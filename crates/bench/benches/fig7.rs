@@ -1,0 +1,30 @@
+//! Criterion bench regenerating Figure 7's fast end: synthesis time for
+//! `max_n` (condition-abduction stress test). The full Fig. 7 sweep
+//! (including `array_search_n` and larger `n`, which take tens of seconds
+//! per point on the bundled SMT substrate) is produced by the `report`
+//! binary: `cargo run --release -p synquid-bench --bin report -- fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use synquid_lang::benchmarks::max_n;
+use synquid_lang::runner::{run_goal, Variant};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for n in 2..=2 {
+        group.bench_with_input(BenchmarkId::new("max", n), &n, |b, &n| {
+            b.iter(|| {
+                run_goal(
+                    &max_n(n),
+                    Variant::Default.config(Duration::from_secs(30), (1, 0)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

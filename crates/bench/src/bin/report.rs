@@ -1,0 +1,55 @@
+//! Regenerates the paper's evaluation artifacts.
+//!
+//! ```text
+//! report table1 [--ablations] [--timeout SECS]
+//! report table2 [--timeout SECS]
+//! report fig7   [--max-n N]   [--timeout SECS]
+//! report all
+//! ```
+
+use std::time::Duration;
+use synquid_bench::{
+    format_fig7, format_table1, format_table2, run_fig7, run_table1, run_table2,
+};
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let timeout = Duration::from_secs(parse_flag(&args, "--timeout").unwrap_or(20));
+    let ablations = args.iter().any(|a| a == "--ablations");
+    let max_n = parse_flag(&args, "--max-n").unwrap_or(4) as usize;
+
+    match which {
+        "table1" => {
+            println!("== Table 1: benchmarks and Synquid results ==");
+            println!("{}", format_table1(&run_table1(timeout, ablations)));
+        }
+        "table2" => {
+            println!("== Table 2: comparison to other synthesizers ==");
+            println!("{}", format_table2(&run_table2(timeout)));
+        }
+        "fig7" => {
+            println!("== Figure 7: non-recursive (SyGuS) benchmarks ==");
+            println!("{}", format_fig7(&run_fig7(max_n, timeout)));
+        }
+        "all" => {
+            println!("== Table 1: benchmarks and Synquid results ==");
+            println!("{}", format_table1(&run_table1(timeout, ablations)));
+            println!("== Table 2: comparison to other synthesizers ==");
+            println!("{}", format_table2(&run_table2(timeout)));
+            println!("== Figure 7: non-recursive (SyGuS) benchmarks ==");
+            println!("{}", format_fig7(&run_fig7(max_n, timeout)));
+        }
+        other => {
+            eprintln!("unknown report '{other}': expected table1, table2, fig7, or all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Program terms (Fig. 2 of the paper) and pretty-printing.
+//!
+//! Programs are split into E-terms (variables and applications, which
+//! propagate type information bottom-up) and I-terms (branching and
+//! function terms, which propagate type information top-down). The
+//! synthesis procedure only ever builds programs in this normal form.
+
+use std::fmt;
+
+/// A program term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Program {
+    /// A variable or component reference (E-term).
+    Var(String),
+    /// Application of an E-term to a term (E-term).
+    App(Box<Program>, Box<Program>),
+    /// Lambda abstraction (function I-term).
+    Abs(String, Box<Program>),
+    /// Fixpoint: a recursive definition bound to a name (function I-term).
+    Fix(String, Box<Program>),
+    /// Conditional (branching I-term).
+    If(Box<Program>, Box<Program>, Box<Program>),
+    /// Pattern match (branching I-term).
+    Match(Box<Program>, Vec<Case>),
+    /// An integer literal (treated as a nullary component).
+    IntLit(i64),
+    /// A boolean literal.
+    BoolLit(bool),
+    /// A hole: a not-yet-synthesized subterm. Complete programs returned by
+    /// the synthesizer never contain holes.
+    Hole,
+}
+
+/// One branch of a pattern match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// Constructor name.
+    pub constructor: String,
+    /// Names bound to the constructor's arguments.
+    pub binders: Vec<String>,
+    /// The branch body.
+    pub body: Program,
+}
+
+impl Program {
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Program {
+        Program::Var(name.into())
+    }
+
+    /// Applies `self` to an argument.
+    pub fn app(self, arg: Program) -> Program {
+        Program::App(Box::new(self), Box::new(arg))
+    }
+
+    /// Applies a named component to several arguments.
+    pub fn apply(name: impl Into<String>, args: Vec<Program>) -> Program {
+        args.into_iter()
+            .fold(Program::var(name), |acc, a| acc.app(a))
+    }
+
+    /// Wraps the body in a lambda.
+    pub fn lambda(arg: impl Into<String>, body: Program) -> Program {
+        Program::Abs(arg.into(), Box::new(body))
+    }
+
+    /// A conditional.
+    pub fn ite(cond: Program, then: Program, els: Program) -> Program {
+        Program::If(Box::new(cond), Box::new(then), Box::new(els))
+    }
+
+    /// True if the term is an E-term (variable or application chain).
+    pub fn is_eterm(&self) -> bool {
+        match self {
+            Program::Var(_) | Program::IntLit(_) | Program::BoolLit(_) => true,
+            Program::App(f, a) => f.is_eterm() && (a.is_eterm() || a.is_function_term()),
+            _ => false,
+        }
+    }
+
+    /// True if the term is a function term (abstraction or fixpoint).
+    pub fn is_function_term(&self) -> bool {
+        matches!(self, Program::Abs(_, _) | Program::Fix(_, _))
+    }
+
+    /// True if the program contains no holes.
+    pub fn is_complete(&self) -> bool {
+        match self {
+            Program::Hole => false,
+            Program::Var(_) | Program::IntLit(_) | Program::BoolLit(_) => true,
+            Program::App(f, a) => f.is_complete() && a.is_complete(),
+            Program::Abs(_, b) | Program::Fix(_, b) => b.is_complete(),
+            Program::If(c, t, e) => c.is_complete() && t.is_complete() && e.is_complete(),
+            Program::Match(s, cases) => {
+                s.is_complete() && cases.iter().all(|c| c.body.is_complete())
+            }
+        }
+    }
+
+    /// The number of AST nodes (used to report solution sizes as in
+    /// Table 1 of the paper).
+    pub fn size(&self) -> usize {
+        match self {
+            Program::Var(_) | Program::IntLit(_) | Program::BoolLit(_) | Program::Hole => 1,
+            Program::App(f, a) => 1 + f.size() + a.size(),
+            Program::Abs(_, b) | Program::Fix(_, b) => 1 + b.size(),
+            Program::If(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Program::Match(s, cases) => {
+                1 + s.size() + cases.iter().map(|c| 1 + c.body.size()).sum::<usize>()
+            }
+        }
+    }
+
+    /// The depth of nested applications in this E-term (0 for variables).
+    pub fn app_depth(&self) -> usize {
+        match self {
+            Program::App(f, a) => 1 + f.app_depth().max(a.app_depth()),
+            _ => 0,
+        }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Program::If(c, t, e) => {
+                writeln!(f, "if {c}")?;
+                write!(f, "{pad}  then ")?;
+                t.fmt_indented(f, indent + 2)?;
+                writeln!(f)?;
+                write!(f, "{pad}  else ")?;
+                e.fmt_indented(f, indent + 2)
+            }
+            Program::Match(s, cases) => {
+                writeln!(f, "match {s} with")?;
+                for (i, case) in cases.iter().enumerate() {
+                    write!(f, "{pad}  | {} ", case.constructor)?;
+                    for b in &case.binders {
+                        write!(f, "{b} ")?;
+                    }
+                    write!(f, "-> ")?;
+                    case.body.fmt_indented(f, indent + 2)?;
+                    if i + 1 < cases.len() {
+                        writeln!(f)?;
+                    }
+                }
+                Ok(())
+            }
+            Program::Abs(x, b) => {
+                write!(f, "\\{x} . ")?;
+                b.fmt_indented(f, indent)
+            }
+            Program::Fix(x, b) => {
+                write!(f, "fix {x} . ")?;
+                b.fmt_indented(f, indent)
+            }
+            other => write!(f, "{other}"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Program::Var(name) => write!(f, "{name}"),
+            Program::IntLit(n) => write!(f, "{n}"),
+            Program::BoolLit(b) => write!(f, "{b}"),
+            Program::Hole => write!(f, "??"),
+            Program::App(fun, arg) => {
+                write!(f, "{fun} ")?;
+                match arg.as_ref() {
+                    Program::App(_, _) | Program::Abs(_, _) | Program::Fix(_, _) => {
+                        write!(f, "({arg})")
+                    }
+                    _ => write!(f, "{arg}"),
+                }
+            }
+            Program::Abs(_, _)
+            | Program::Fix(_, _)
+            | Program::If(_, _, _)
+            | Program::Match(_, _) => self.fmt_indented(f, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replicate_body() -> Program {
+        Program::ite(
+            Program::apply("leq", vec![Program::var("n"), Program::var("zero")]),
+            Program::var("Nil"),
+            Program::apply(
+                "Cons",
+                vec![
+                    Program::var("x"),
+                    Program::apply(
+                        "replicate",
+                        vec![
+                            Program::apply("dec", vec![Program::var("n")]),
+                            Program::var("x"),
+                        ],
+                    ),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn application_builder_curries_left() {
+        let p = Program::apply("f", vec![Program::var("a"), Program::var("b")]);
+        assert_eq!(p.to_string(), "f a b");
+        assert_eq!(p.app_depth(), 2);
+        assert!(p.is_eterm());
+    }
+
+    #[test]
+    fn size_counts_ast_nodes() {
+        assert_eq!(Program::var("x").size(), 1);
+        let p = Program::apply("f", vec![Program::var("a")]);
+        assert_eq!(p.size(), 3);
+        assert!(replicate_body().size() > 10);
+    }
+
+    #[test]
+    fn completeness_detects_holes() {
+        assert!(replicate_body().is_complete());
+        let with_hole = Program::ite(Program::var("c"), Program::Hole, Program::var("x"));
+        assert!(!with_hole.is_complete());
+    }
+
+    #[test]
+    fn pretty_printing_resembles_the_paper() {
+        let program = Program::Fix(
+            "replicate".into(),
+            Box::new(Program::lambda(
+                "n",
+                Program::lambda("x", replicate_body()),
+            )),
+        );
+        let s = program.to_string();
+        assert!(s.contains("\\n . "));
+        assert!(s.contains("if leq n zero"));
+        assert!(s.contains("then"));
+        assert!(s.contains("Cons x (replicate (dec n) x)"));
+    }
+
+    #[test]
+    fn branching_terms_are_not_eterms() {
+        assert!(!replicate_body().is_eterm());
+        assert!(Program::var("x").is_eterm());
+        assert!(!Program::lambda("x", Program::var("x")).is_eterm());
+    }
+
+    #[test]
+    fn match_printing_lists_cases() {
+        let m = Program::Match(
+            Box::new(Program::var("xs")),
+            vec![
+                Case {
+                    constructor: "Nil".into(),
+                    binders: vec![],
+                    body: Program::var("Nil"),
+                },
+                Case {
+                    constructor: "Cons".into(),
+                    binders: vec!["h".into(), "t".into()],
+                    body: Program::var("t"),
+                },
+            ],
+        );
+        let s = m.to_string();
+        assert!(s.contains("match xs with"));
+        assert!(s.contains("| Cons h t -> t"));
+    }
+}

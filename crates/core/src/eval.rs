@@ -1,0 +1,539 @@
+//! A big-step interpreter for synthesized programs.
+//!
+//! The paper's guarantee is static — synthesized programs are correct by
+//! construction of their typing derivation — but being able to *run* the
+//! results is invaluable for testing this reproduction: the integration
+//! tests execute synthesized programs on concrete inputs and compare the
+//! observable behaviour against a reference implementation, catching any
+//! mismatch between the type system and the intended semantics.
+//!
+//! The interpreter understands the program forms of Fig. 2 (variables,
+//! applications, abstractions, fixpoints, conditionals, matches) plus the
+//! standard component library of `synquid-lang` (integer arithmetic,
+//! comparisons, boolean connectives), and treats any other capitalized
+//! name as a datatype constructor.
+
+use crate::ast::Program;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A (possibly partially applied) datatype constructor.
+    Ctor(String, Vec<Value>),
+    /// A closure: formal argument, body, captured bindings.
+    Closure(String, Rc<Program>, Bindings),
+    /// A recursive closure introduced by `fix`.
+    Fixpoint(String, Rc<Program>, Bindings),
+    /// A partially applied built-in component.
+    Builtin(String, Vec<Value>),
+}
+
+/// Variable bindings (environments are persistent maps: cloning is cheap
+/// enough for the program sizes the synthesizer produces).
+pub type Bindings = BTreeMap<String, Value>;
+
+impl Value {
+    /// Builds a `List` value (`Cons`/`Nil`) from a vector of values.
+    pub fn list(items: Vec<Value>) -> Value {
+        items.into_iter().rev().fold(
+            Value::Ctor("Nil".into(), vec![]),
+            |acc, x| Value::Ctor("Cons".into(), vec![x, acc]),
+        )
+    }
+
+    /// Converts a `List` value back into a vector; `None` if the value is
+    /// not a proper list.
+    pub fn as_list(&self) -> Option<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut current = self;
+        loop {
+            match current {
+                Value::Ctor(name, args) if name == "Nil" && args.is_empty() => return Some(out),
+                Value::Ctor(name, args) if name == "Cons" && args.len() == 2 => {
+                    out.push(args[0].clone());
+                    current = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Ctor(name, args) if args.is_empty() => write!(f, "{name}"),
+            Value::Ctor(name, args) => {
+                write!(f, "({name}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Closure(arg, _, _) => write!(f, "<closure \\{arg}>"),
+            Value::Fixpoint(name, _, _) => write!(f, "<fix {name}>"),
+            Value::Builtin(name, args) => write!(f, "<builtin {name}/{}>", args.len()),
+        }
+    }
+}
+
+/// An evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl EvalError {
+    fn new(message: impl Into<String>) -> EvalError {
+        EvalError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+type BuiltinFn = Rc<dyn Fn(&[Value]) -> Result<Value, EvalError>>;
+
+/// The interpreter.
+#[derive(Clone)]
+pub struct Evaluator {
+    builtins: BTreeMap<String, (usize, BuiltinFn)>,
+    /// Remaining evaluation steps before the interpreter gives up (guards
+    /// against accidentally non-terminating inputs).
+    pub fuel: u64,
+}
+
+impl fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("builtins", &self.builtins.keys().collect::<Vec<_>>())
+            .field("fuel", &self.fuel)
+            .finish()
+    }
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator::with_standard_components()
+    }
+}
+
+impl Evaluator {
+    /// An evaluator with no built-in components (constructors still work).
+    pub fn new() -> Evaluator {
+        Evaluator {
+            builtins: BTreeMap::new(),
+            fuel: 1_000_000,
+        }
+    }
+
+    /// An evaluator pre-loaded with the semantics of the standard component
+    /// library of `synquid-lang` (`zero`, `inc`, `dec`, `plus`, comparisons
+    /// over integers and over ordered opaque values, boolean connectives).
+    pub fn with_standard_components() -> Evaluator {
+        let mut eval = Evaluator::new();
+        eval.register_const("zero", Value::Int(0));
+        eval.register_const("one", Value::Int(1));
+        eval.register_const("true", Value::Bool(true));
+        eval.register_const("false", Value::Bool(false));
+        eval.register("inc", 1, |args| int_op(args, |a, _| a + 1));
+        eval.register("dec", 1, |args| int_op(args, |a, _| a - 1));
+        eval.register("neg", 1, |args| int_op(args, |a, _| -a));
+        eval.register("plus", 2, |args| int_op2(args, |a, b| a + b));
+        eval.register("minus", 2, |args| int_op2(args, |a, b| a - b));
+        eval.register("not", 1, |args| {
+            let b = args[0]
+                .as_bool()
+                .ok_or_else(|| EvalError::new("not expects a boolean"))?;
+            Ok(Value::Bool(!b))
+        });
+        eval.register("and", 2, |args| bool_op2(args, |a, b| a && b));
+        eval.register("or", 2, |args| bool_op2(args, |a, b| a || b));
+        for (name, generic) in [("leq", false), ("lt", false), ("eq", false), ("neq", false),
+                                ("leqg", true), ("ltg", true), ("eqg", true), ("neqg", true)] {
+            let base = name.trim_end_matches('g').to_string();
+            let _ = generic;
+            eval.register(name, 2, move |args| compare(&base, args));
+        }
+        for i in 0..=8 {
+            eval.register_const(format!("c{i}"), Value::Int(i));
+        }
+        eval
+    }
+
+    /// Registers a built-in component with the given arity.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+        f: impl Fn(&[Value]) -> Result<Value, EvalError> + 'static,
+    ) {
+        self.builtins.insert(name.into(), (arity, Rc::new(f)));
+    }
+
+    /// Registers a nullary component with a constant value.
+    pub fn register_const(&mut self, name: impl Into<String>, value: Value) {
+        self.builtins
+            .insert(name.into(), (0, Rc::new(move |_| Ok(value.clone()))));
+    }
+
+    /// Evaluates a closed program (typically a synthesized function) and
+    /// applies it to the given argument values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] for unbound names, arity mismatches,
+    /// non-exhaustive matches, or fuel exhaustion.
+    pub fn run(&mut self, program: &Program, args: &[Value]) -> Result<Value, EvalError> {
+        let mut value = self.eval(program, &Bindings::new())?;
+        for arg in args {
+            value = self.apply(value, arg.clone())?;
+        }
+        Ok(value)
+    }
+
+    /// Evaluates a program under the given bindings.
+    pub fn eval(&mut self, program: &Program, bindings: &Bindings) -> Result<Value, EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::new("evaluation fuel exhausted"));
+        }
+        self.fuel -= 1;
+        match program {
+            Program::IntLit(n) => Ok(Value::Int(*n)),
+            Program::BoolLit(b) => Ok(Value::Bool(*b)),
+            Program::Hole => Err(EvalError::new("cannot evaluate a hole")),
+            Program::Var(name) => self.lookup(name, bindings),
+            Program::Abs(arg, body) => Ok(Value::Closure(
+                arg.clone(),
+                Rc::new(body.as_ref().clone()),
+                bindings.clone(),
+            )),
+            Program::Fix(name, body) => Ok(Value::Fixpoint(
+                name.clone(),
+                Rc::new(body.as_ref().clone()),
+                bindings.clone(),
+            )),
+            Program::App(f, a) => {
+                let fv = self.eval(f, bindings)?;
+                let av = self.eval(a, bindings)?;
+                self.apply(fv, av)
+            }
+            Program::If(c, t, e) => {
+                let cv = self.eval(c, bindings)?;
+                match cv {
+                    Value::Bool(true) => self.eval(t, bindings),
+                    Value::Bool(false) => self.eval(e, bindings),
+                    other => Err(EvalError::new(format!(
+                        "condition evaluated to non-boolean {other}"
+                    ))),
+                }
+            }
+            Program::Match(scrutinee, cases) => {
+                let sv = self.eval(scrutinee, bindings)?;
+                let Value::Ctor(name, args) = sv else {
+                    return Err(EvalError::new(format!(
+                        "match scrutinee is not a constructor value: {sv}"
+                    )));
+                };
+                let case = cases
+                    .iter()
+                    .find(|c| c.constructor == name)
+                    .ok_or_else(|| EvalError::new(format!("non-exhaustive match: {name}")))?;
+                if case.binders.len() != args.len() {
+                    return Err(EvalError::new(format!(
+                        "constructor {name} carries {} values but the pattern binds {}",
+                        args.len(),
+                        case.binders.len()
+                    )));
+                }
+                let mut inner = bindings.clone();
+                for (binder, value) in case.binders.iter().zip(args) {
+                    inner.insert(binder.clone(), value);
+                }
+                self.eval(&case.body, &inner)
+            }
+        }
+    }
+
+    fn lookup(&mut self, name: &str, bindings: &Bindings) -> Result<Value, EvalError> {
+        if let Some(v) = bindings.get(name) {
+            return Ok(v.clone());
+        }
+        if let Some((arity, f)) = self.builtins.get(name).cloned() {
+            if arity == 0 {
+                return f(&[]);
+            }
+            return Ok(Value::Builtin(name.to_string(), Vec::new()));
+        }
+        if name.chars().next().is_some_and(char::is_uppercase) {
+            return Ok(Value::Ctor(name.to_string(), Vec::new()));
+        }
+        Err(EvalError::new(format!("unbound variable {name}")))
+    }
+
+    /// Applies a function value to an argument value.
+    pub fn apply(&mut self, function: Value, arg: Value) -> Result<Value, EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::new("evaluation fuel exhausted"));
+        }
+        self.fuel -= 1;
+        match function {
+            Value::Closure(formal, body, mut captured) => {
+                captured.insert(formal, arg);
+                self.eval(&body, &captured)
+            }
+            Value::Fixpoint(name, body, captured) => {
+                let mut recursive = captured.clone();
+                recursive.insert(
+                    name.clone(),
+                    Value::Fixpoint(name, body.clone(), captured),
+                );
+                let unfolded = self.eval(&body, &recursive)?;
+                self.apply(unfolded, arg)
+            }
+            Value::Builtin(name, mut args) => {
+                args.push(arg);
+                let (arity, f) = self
+                    .builtins
+                    .get(&name)
+                    .cloned()
+                    .ok_or_else(|| EvalError::new(format!("unknown builtin {name}")))?;
+                if args.len() == arity {
+                    f(&args)
+                } else {
+                    Ok(Value::Builtin(name, args))
+                }
+            }
+            Value::Ctor(name, mut args) => {
+                args.push(arg);
+                Ok(Value::Ctor(name, args))
+            }
+            other => Err(EvalError::new(format!("cannot apply non-function {other}"))),
+        }
+    }
+}
+
+fn int_op(args: &[Value], f: impl Fn(i64, i64) -> i64) -> Result<Value, EvalError> {
+    let a = args[0]
+        .as_int()
+        .ok_or_else(|| EvalError::new("expected an integer argument"))?;
+    Ok(Value::Int(f(a, 0)))
+}
+
+fn int_op2(args: &[Value], f: impl Fn(i64, i64) -> i64) -> Result<Value, EvalError> {
+    let a = args[0]
+        .as_int()
+        .ok_or_else(|| EvalError::new("expected an integer argument"))?;
+    let b = args[1]
+        .as_int()
+        .ok_or_else(|| EvalError::new("expected an integer argument"))?;
+    Ok(Value::Int(f(a, b)))
+}
+
+fn bool_op2(args: &[Value], f: impl Fn(bool, bool) -> bool) -> Result<Value, EvalError> {
+    let a = args[0]
+        .as_bool()
+        .ok_or_else(|| EvalError::new("expected a boolean argument"))?;
+    let b = args[1]
+        .as_bool()
+        .ok_or_else(|| EvalError::new("expected a boolean argument"))?;
+    Ok(Value::Bool(f(a, b)))
+}
+
+/// Generic comparison used by both the integer components (`leq`, …) and
+/// their generic counterparts (`leqg`, …): integers compare numerically,
+/// booleans and constructors compare structurally where an order exists.
+fn compare(op: &str, args: &[Value]) -> Result<Value, EvalError> {
+    let result = match (&args[0], &args[1]) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            "leq" => a <= b,
+            "lt" => a < b,
+            "eq" => a == b,
+            "neq" => a != b,
+            _ => return Err(EvalError::new(format!("unknown comparison {op}"))),
+        },
+        (a, b) => match op {
+            "eq" => a == b,
+            "neq" => a != b,
+            _ => {
+                return Err(EvalError::new(format!(
+                    "ordered comparison {op} on non-integer values {a} and {b}"
+                )))
+            }
+        },
+    };
+    Ok(Value::Bool(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Case;
+
+    fn replicate_program() -> Program {
+        let body = Program::ite(
+            Program::apply("leq", vec![Program::var("n"), Program::var("zero")]),
+            Program::var("Nil"),
+            Program::apply(
+                "Cons",
+                vec![
+                    Program::var("x"),
+                    Program::apply(
+                        "replicate",
+                        vec![Program::apply("dec", vec![Program::var("n")]), Program::var("x")],
+                    ),
+                ],
+            ),
+        );
+        Program::Fix(
+            "replicate".into(),
+            Box::new(Program::lambda("n", Program::lambda("x", body))),
+        )
+    }
+
+    #[test]
+    fn literals_and_arithmetic_evaluate() {
+        let mut eval = Evaluator::default();
+        let p = Program::apply("plus", vec![Program::IntLit(2), Program::IntLit(3)]);
+        assert_eq!(eval.run(&p, &[]), Ok(Value::Int(5)));
+        let p = Program::apply("inc", vec![Program::apply("dec", vec![Program::IntLit(7)])]);
+        assert_eq!(eval.run(&p, &[]), Ok(Value::Int(7)));
+    }
+
+    #[test]
+    fn closures_capture_their_environment() {
+        let mut eval = Evaluator::default();
+        // (\x . \y . plus x y) 2 40
+        let p = Program::lambda(
+            "x",
+            Program::lambda("y", Program::apply("plus", vec![Program::var("x"), Program::var("y")])),
+        );
+        assert_eq!(
+            eval.run(&p, &[Value::Int(2), Value::Int(40)]),
+            Ok(Value::Int(42))
+        );
+    }
+
+    #[test]
+    fn fig1_replicate_produces_n_copies() {
+        let mut eval = Evaluator::default();
+        let result = eval
+            .run(&replicate_program(), &[Value::Int(3), Value::Int(9)])
+            .expect("replicate evaluates");
+        let items = result.as_list().expect("result is a list");
+        assert_eq!(items, vec![Value::Int(9); 3]);
+        // Zero and negative counts produce the empty list.
+        let mut eval = Evaluator::default();
+        let empty = eval
+            .run(&replicate_program(), &[Value::Int(0), Value::Int(1)])
+            .unwrap();
+        assert_eq!(empty.as_list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn match_destructures_constructor_values() {
+        let mut eval = Evaluator::default();
+        // match xs with Nil -> 0 | Cons h t -> h
+        let program = Program::lambda(
+            "xs",
+            Program::Match(
+                Box::new(Program::var("xs")),
+                vec![
+                    Case {
+                        constructor: "Nil".into(),
+                        binders: vec![],
+                        body: Program::IntLit(0),
+                    },
+                    Case {
+                        constructor: "Cons".into(),
+                        binders: vec!["h".into(), "t".into()],
+                        body: Program::var("h"),
+                    },
+                ],
+            ),
+        );
+        let list = Value::list(vec![Value::Int(5), Value::Int(6)]);
+        assert_eq!(eval.run(&program, &[list]), Ok(Value::Int(5)));
+        let mut eval = Evaluator::default();
+        assert_eq!(
+            eval.run(&program, &[Value::list(vec![])]),
+            Ok(Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn generic_equality_works_on_constructor_values() {
+        let mut eval = Evaluator::default();
+        let p = Program::apply("eqg", vec![Program::var("Nil"), Program::var("Nil")]);
+        assert_eq!(eval.run(&p, &[]), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut eval = Evaluator::default();
+        assert!(eval.run(&Program::var("nope"), &[]).is_err());
+        assert!(eval.run(&Program::Hole, &[]).is_err());
+        let bad_if = Program::ite(Program::IntLit(3), Program::IntLit(1), Program::IntLit(2));
+        assert!(eval.run(&bad_if, &[]).is_err());
+    }
+
+    #[test]
+    fn fuel_bounds_runaway_recursion() {
+        // fix loop . \n . loop n
+        let looping = Program::Fix(
+            "loop".into(),
+            Box::new(Program::lambda(
+                "n",
+                Program::apply("loop", vec![Program::var("n")]),
+            )),
+        );
+        let mut eval = Evaluator::default();
+        // Keep the bound small: the interpreter is not tail-recursive, so a
+        // large fuel budget on a divergent program would exhaust the test
+        // thread's stack before it exhausts the fuel.
+        eval.fuel = 500;
+        let err = eval.run(&looping, &[Value::Int(1)]).unwrap_err();
+        assert!(err.message.contains("fuel"));
+    }
+
+    #[test]
+    fn list_round_trip_helpers() {
+        let v = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(v.as_list().unwrap().len(), 2);
+        assert_eq!(v.to_string(), "(Cons 1 (Cons 2 Nil))");
+        assert!(Value::Int(3).as_list().is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! # synquid-core
+//!
+//! The synthesis engine of the Synquid reproduction: program terms
+//! (Fig. 2), round-trip type checking embedded in E-term enumeration
+//! (Fig. 4, Sec. 3.7), liquid abduction for conditionals (IF-ABD), match
+//! synthesis, termination-aware recursion, and the ablation switches
+//! evaluated in the paper.
+//!
+//! ## Example: synthesizing `replicate`
+//!
+//! The quickstart example in the repository root (`examples/quickstart.rs`)
+//! synthesizes the paper's Fig. 1 program from the signature
+//! `n: Nat → x: α → {List α | len ν = n}` using this crate's
+//! [`Synthesizer`] together with the component environment assembled by
+//! `synquid-lang`.
+
+pub mod ast;
+pub mod check;
+pub mod eval;
+pub mod options;
+pub mod synthesis;
+pub mod trace;
+
+pub use ast::{Case, Program};
+pub use check::TypeChecker;
+pub use eval::{EvalError, Evaluator, Value};
+pub use options::SynthesisConfig;
+pub use synthesis::{Goal, Synthesized, SynthesisError, SynthesisStats, Synthesizer};

@@ -1,0 +1,118 @@
+//! Synthesizer configuration, including the ablation switches evaluated in
+//! the paper (Table 1: T-nrt, T-ncc, T-nmus) and exploration bounds
+//! (Sec. 4.2: T-all vs T-def).
+
+use std::time::Duration;
+
+/// Configuration of the synthesis procedure.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Maximum nesting depth of applications in enumerated E-terms.
+    pub max_app_depth: usize,
+    /// Maximum nesting depth of pattern matches.
+    pub max_match_depth: usize,
+    /// Maximum nesting depth of conditionals (the paper imposes no a-priori
+    /// bound; this is a safety bound well above what any benchmark needs).
+    pub max_branch_depth: usize,
+    /// Maximum application depth when synthesizing branch guards.
+    pub guard_depth: usize,
+    /// Enable round-trip type checking (early subtyping checks on partial
+    /// applications). Disabling reproduces the T-nrt ablation.
+    pub round_trip: bool,
+    /// Enable type-consistency checks on partial applications. Disabling
+    /// reproduces the T-ncc ablation.
+    pub consistency: bool,
+    /// Use MUSFIX for fixpoint strengthening. Disabling switches to the
+    /// naive breadth-first backend (the T-nmus ablation).
+    pub use_musfix: bool,
+    /// Wall-clock timeout for one synthesis goal.
+    pub timeout: Duration,
+    /// Cap on the number of candidates returned by one E-term enumeration.
+    pub max_candidates: usize,
+    /// Cap on the number of argument candidates explored per argument
+    /// position.
+    pub max_arg_candidates: usize,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            max_app_depth: 3,
+            max_match_depth: 1,
+            max_branch_depth: 3,
+            guard_depth: 2,
+            round_trip: true,
+            consistency: true,
+            use_musfix: true,
+            timeout: Duration::from_secs(120),
+            max_candidates: 64,
+            max_arg_candidates: 24,
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// The default configuration with a different timeout.
+    pub fn with_timeout(timeout: Duration) -> SynthesisConfig {
+        SynthesisConfig {
+            timeout,
+            ..SynthesisConfig::default()
+        }
+    }
+
+    /// The T-nrt ablation: bidirectional checking only (no early subtyping
+    /// checks on partial applications).
+    pub fn without_round_trip(mut self) -> SynthesisConfig {
+        self.round_trip = false;
+        self
+    }
+
+    /// The T-ncc ablation: no type-consistency checks.
+    pub fn without_consistency(mut self) -> SynthesisConfig {
+        self.consistency = false;
+        self
+    }
+
+    /// The T-nmus ablation: naive breadth-first strengthening instead of
+    /// MUSFIX.
+    pub fn without_musfix(mut self) -> SynthesisConfig {
+        self.use_musfix = false;
+        self
+    }
+
+    /// Per-benchmark exploration bounds (the T-all column of Table 1 uses
+    /// minimal bounds per benchmark; T-def shares bounds per group).
+    pub fn with_bounds(mut self, app_depth: usize, match_depth: usize) -> SynthesisConfig {
+        self.max_app_depth = app_depth;
+        self.max_match_depth = match_depth;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_all_features() {
+        let c = SynthesisConfig::default();
+        assert!(c.round_trip && c.consistency && c.use_musfix);
+    }
+
+    #[test]
+    fn ablation_builders_flip_single_flags() {
+        let c = SynthesisConfig::default().without_round_trip();
+        assert!(!c.round_trip && c.consistency && c.use_musfix);
+        let c = SynthesisConfig::default().without_consistency();
+        assert!(c.round_trip && !c.consistency && c.use_musfix);
+        let c = SynthesisConfig::default().without_musfix();
+        assert!(c.round_trip && c.consistency && !c.use_musfix);
+    }
+
+    #[test]
+    fn bounds_builder_sets_depths() {
+        let c = SynthesisConfig::default().with_bounds(5, 2);
+        assert_eq!(c.max_app_depth, 5);
+        assert_eq!(c.max_match_depth, 2);
+    }
+}

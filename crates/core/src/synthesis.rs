@@ -1,0 +1,919 @@
+//! The synthesis procedure (Sec. 3.7), built on round-trip type checking.
+//!
+//! Given a goal schema, the synthesizer introduces a fixpoint (with a
+//! termination-weakened recursive binding), type abstractions, and lambda
+//! abstractions, then enumerates well-typed E-terms for the scalar body:
+//!
+//! * every E-term candidate is checked against the goal *as it is built*
+//!   (round-trip checking): partial applications are pruned by early
+//!   subtyping and consistency checks before their arguments are
+//!   synthesized;
+//! * a fresh predicate unknown `P0` is conjoined to the path condition
+//!   before checking each candidate, so the Horn solver *abduces* the
+//!   weakest branch condition under which the candidate is correct
+//!   (liquid abduction / rule IF-ABD);
+//! * if no branch-free term (or conditional) works, the synthesizer
+//!   generates a pattern match on a datatype variable in scope and
+//!   recurses into the branches.
+
+use crate::ast::{Case, Program};
+use crate::options::SynthesisConfig;
+use std::time::Instant;
+use synquid_horn::{FixpointConfig, StrengthenBackend};
+use synquid_logic::{Sort, Substitution, Term};
+use synquid_solver::Smt;
+use synquid_types::{
+    weaken_for_recursion, BaseType, ConstraintSolver, Environment, RType, Schema,
+};
+
+/// A synthesis goal: a name, an environment of components, and the goal
+/// schema.
+#[derive(Debug, Clone)]
+pub struct Goal {
+    /// Name of the function being synthesized (used for recursive calls).
+    pub name: String,
+    /// The component environment.
+    pub env: Environment,
+    /// The goal type schema.
+    pub schema: Schema,
+}
+
+impl Goal {
+    /// Creates a goal.
+    pub fn new(name: impl Into<String>, env: Environment, schema: Schema) -> Goal {
+        Goal {
+            name: name.into(),
+            env,
+            schema,
+        }
+    }
+}
+
+/// Why synthesis failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The search space was exhausted without finding a solution.
+    NoSolution(String),
+    /// The configured timeout was exceeded.
+    Timeout,
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::NoSolution(goal) => write!(f, "no solution found for goal {goal}"),
+            SynthesisError::Timeout => write!(f, "synthesis timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Statistics collected during one synthesis run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynthesisStats {
+    /// E-term candidates whose types were checked.
+    pub eterms_checked: usize,
+    /// Conditionals created through liquid abduction.
+    pub branches_abduced: usize,
+    /// Pattern matches generated.
+    pub matches_generated: usize,
+    /// Wall-clock seconds spent.
+    pub elapsed_secs: f64,
+}
+
+/// A successfully synthesized program together with statistics.
+#[derive(Debug, Clone)]
+pub struct Synthesized {
+    /// The program.
+    pub program: Program,
+    /// Statistics of the run.
+    pub stats: SynthesisStats,
+}
+
+/// One enumerated E-term candidate: the program, the constraint-solver
+/// state after all its checks, the environment extended with the bindings
+/// of its intermediate results, and its strengthened type.
+#[derive(Debug, Clone)]
+struct Candidate {
+    program: Program,
+    solver: ConstraintSolver,
+    env: Environment,
+    ty: RType,
+}
+
+/// The synthesizer.
+#[derive(Debug)]
+pub struct Synthesizer {
+    config: SynthesisConfig,
+    /// The shared SMT solver (statistics survive backtracking).
+    pub smt: Smt,
+    deadline: Instant,
+    stats: SynthesisStats,
+    fresh_counter: usize,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with the given configuration.
+    pub fn new(config: SynthesisConfig) -> Synthesizer {
+        let deadline = Instant::now() + config.timeout;
+        Synthesizer {
+            config,
+            smt: Smt::new(),
+            deadline,
+            stats: SynthesisStats::default(),
+            fresh_counter: 0,
+        }
+    }
+
+    /// Statistics of the last run.
+    pub fn stats(&self) -> SynthesisStats {
+        self.stats
+    }
+
+    fn fixpoint_config(&self) -> FixpointConfig {
+        let mut cfg = FixpointConfig::default();
+        cfg.backend = if self.config.use_musfix {
+            StrengthenBackend::Musfix
+        } else {
+            StrengthenBackend::NaiveBfs
+        };
+        cfg
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        let n = self.fresh_counter;
+        self.fresh_counter += 1;
+        format!("__{prefix}{n}")
+    }
+
+    fn check_deadline(&self) -> Result<(), SynthesisError> {
+        if Instant::now() > self.deadline {
+            Err(SynthesisError::Timeout)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Synthesizes a program for the goal.
+    pub fn synthesize(&mut self, goal: &Goal) -> Result<Synthesized, SynthesisError> {
+        let start = Instant::now();
+        self.deadline = start + self.config.timeout;
+        let mut env = goal.env.clone();
+        env.add_qualifiers_from_type(&goal.schema.ty);
+
+        let mut solver = ConstraintSolver::new(self.fixpoint_config());
+        solver.consistency_enabled = self.config.consistency;
+
+        let (args, ret) = goal.schema.ty.uncurry();
+        let arg_names: Vec<String> = args.iter().map(|(n, _)| n.clone()).collect();
+        let recursive = weaken_for_recursion(&env, &goal.schema, &arg_names);
+        if let Some(weakened) = &recursive {
+            env.add_var(goal.name.clone(), weakened.clone());
+        }
+        for (name, ty) in &args {
+            env.add_var(name.clone(), ty.clone());
+        }
+
+        let body = self.synthesize_in(
+            &env,
+            &ret,
+            &solver,
+            self.config.max_branch_depth,
+            self.config.max_match_depth,
+        )?;
+
+        let mut program = body;
+        for (name, _) in args.iter().rev() {
+            program = Program::Abs(name.clone(), Box::new(program));
+        }
+        if recursive.is_some() && program_mentions(&program, &goal.name) {
+            program = Program::Fix(goal.name.clone(), Box::new(program));
+        }
+        self.stats.elapsed_secs = start.elapsed().as_secs_f64();
+        Ok(Synthesized {
+            program,
+            stats: self.stats,
+        })
+    }
+
+    /// Synthesizes a term of the given (possibly functional) goal type.
+    fn synthesize_in(
+        &mut self,
+        env: &Environment,
+        goal: &RType,
+        base_solver: &ConstraintSolver,
+        branch_depth: usize,
+        match_depth: usize,
+    ) -> Result<Program, SynthesisError> {
+        self.check_deadline()?;
+        crate::trace!("synthesize_in goal={goal} branch_depth={branch_depth} match_depth={match_depth}");
+
+        // Function goals: introduce lambdas (rule ABS).
+        if goal.is_function() {
+            let (args, ret) = goal.uncurry();
+            let mut inner = env.clone();
+            for (name, ty) in &args {
+                inner.add_var(name.clone(), ty.clone());
+            }
+            let body = self.synthesize_in(&inner, &ret, base_solver, branch_depth, match_depth)?;
+            let mut program = body;
+            for (name, _) in args.iter().rev() {
+                program = Program::Abs(name.clone(), Box::new(program));
+            }
+            return Ok(program);
+        }
+
+        // Phase 1: branch-free E-terms with liquid abduction, by increasing
+        // application depth so that the smallest correct term is found
+        // first and deep enumerations are only paid for when needed.
+        for depth in 0..=self.config.max_app_depth {
+            let candidates = self.abduction_candidates(env, goal, depth, base_solver)?;
+            crate::trace!("depth {depth}: {} abduction candidates", candidates.len());
+            for (program, solver, condition) in candidates {
+                self.check_deadline()?;
+                crate::trace!("  candidate {program} under condition {condition}");
+                if condition.is_true() {
+                    return Ok(program);
+                }
+                if branch_depth == 0 {
+                    continue;
+                }
+                // Synthesize a guard computing the abduced condition.
+                let Some(guard) = self.synthesize_guard(env, &condition, base_solver) else {
+                    crate::trace!("  no guard found for condition {condition}");
+                    continue;
+                };
+                crate::trace!("  guard {guard} for condition {condition}");
+                self.stats.branches_abduced += 1;
+                // Synthesize the remaining branch under the negated condition.
+                let mut else_env = env.clone();
+                else_env.add_path_condition(condition.clone().not());
+                match self.synthesize_in(&else_env, goal, base_solver, branch_depth - 1, match_depth)
+                {
+                    Ok(else_branch) => {
+                        let _ = solver;
+                        return Ok(Program::ite(guard, program, else_branch));
+                    }
+                    Err(SynthesisError::Timeout) => return Err(SynthesisError::Timeout),
+                    Err(SynthesisError::NoSolution(_)) => continue,
+                }
+            }
+        }
+
+        // Phase 2: pattern matches on datatype variables in scope.
+        if match_depth > 0 {
+            if let Some(program) =
+                self.synthesize_match(env, goal, base_solver, branch_depth, match_depth)?
+            {
+                return Ok(program);
+            }
+        }
+
+        Err(SynthesisError::NoSolution(goal.to_string()))
+    }
+
+    /// Enumerates branch-free candidates for a scalar goal, each together
+    /// with the weakest path condition (abduced via a fresh unknown) under
+    /// which it satisfies the goal.
+    fn abduction_candidates(
+        &mut self,
+        env: &Environment,
+        goal: &RType,
+        depth: usize,
+        base_solver: &ConstraintSolver,
+    ) -> Result<Vec<(Program, ConstraintSolver, Term)>, SynthesisError> {
+        let mut solver = base_solver.clone();
+        let p0 = solver.fresh_unknown(env, None, "branch condition");
+        let mut cond_env = env.clone();
+        cond_env.add_path_condition(p0.clone());
+        let candidates = self.enumerate_eterms(&cond_env, goal, depth, &solver)?;
+        let mut out = Vec::new();
+        for c in candidates {
+            let condition = c.solver.apply_assignment(&p0);
+            out.push((c.program, c.solver, condition));
+        }
+        // Prefer candidates that need no branching, then smaller programs.
+        out.sort_by_key(|(p, _, cond)| (!cond.is_true() as usize, p.size()));
+        Ok(out)
+    }
+
+    /// Synthesizes a boolean guard term whose value equals the abduced
+    /// condition.
+    fn synthesize_guard(
+        &mut self,
+        env: &Environment,
+        condition: &Term,
+        base_solver: &ConstraintSolver,
+    ) -> Option<Program> {
+        let goal = RType::refined(
+            BaseType::Bool,
+            Term::value_var(Sort::Bool).iff(condition.clone()),
+        );
+        let solver = base_solver.clone();
+        let candidates = self
+            .enumerate_eterms(env, &goal, self.config.guard_depth, &solver)
+            .ok()?;
+        candidates.into_iter().next().map(|c| c.program)
+    }
+
+    /// Attempts to synthesize a pattern match on some datatype variable in
+    /// scope (the MATCH rule, with the scrutinee restricted to variables).
+    fn synthesize_match(
+        &mut self,
+        env: &Environment,
+        goal: &RType,
+        base_solver: &ConstraintSolver,
+        branch_depth: usize,
+        match_depth: usize,
+    ) -> Result<Option<Program>, SynthesisError> {
+        // Candidate scrutinees: datatype-typed scalar variables, most
+        // recently bound first (function arguments and pattern variables
+        // before library components).
+        let mut scrutinees: Vec<(String, String, Vec<RType>)> = Vec::new();
+        for name in env.var_names().iter().rev() {
+            if let Some(schema) = env.lookup(name) {
+                if !schema.is_monomorphic() {
+                    continue;
+                }
+                if let Some(BaseType::Data(dt, targs)) = schema.ty.base_type() {
+                    if env.datatype(dt).is_some() {
+                        scrutinees.push((name.clone(), dt.clone(), targs.clone()));
+                    }
+                }
+            }
+        }
+        'scrutinee: for (scrut, dt_name, targs) in scrutinees {
+            self.check_deadline()?;
+            let Some(dt) = env.datatype(&dt_name).cloned() else {
+                continue;
+            };
+            let scrut_sort = Sort::Data(dt_name.clone(), targs.iter().map(|t| t.sort()).collect());
+            let mut cases = Vec::new();
+            for ctor in &dt.constructors {
+                // Instantiate the constructor at the scrutinee's type args.
+                let con_ty = ctor.schema.instantiate(&targs);
+                let (cargs, cret) = con_ty.uncurry();
+                let mut case_env = env.clone();
+                let mut rename = Substitution::new();
+                let mut binders = Vec::new();
+                for (formal, ty) in &cargs {
+                    let binder = self.fresh_name(&format!("{}_{}", scrut, formal));
+                    let bound_ty = ty.substitute(&rename);
+                    rename.insert(formal.clone(), Term::var(binder.clone(), bound_ty.sort()));
+                    case_env.add_var(binder.clone(), bound_ty);
+                    binders.push(binder);
+                }
+                // Path fact: the constructor's result refinement, with ν
+                // replaced by the scrutinee and formals by the binders.
+                let fact = cret
+                    .refinement()
+                    .substitute(&rename)
+                    .substitute_value(&Term::var(scrut.clone(), scrut_sort.clone()));
+                case_env.add_path_condition(fact);
+                self.stats.matches_generated += 1;
+                crate::trace!("match {scrut} case {}", ctor.name);
+                match self.synthesize_in(
+                    &case_env,
+                    goal,
+                    base_solver,
+                    branch_depth,
+                    match_depth - 1,
+                ) {
+                    Ok(body) => cases.push(Case {
+                        constructor: ctor.name.clone(),
+                        binders,
+                        body,
+                    }),
+                    Err(SynthesisError::Timeout) => return Err(SynthesisError::Timeout),
+                    Err(SynthesisError::NoSolution(_)) => {
+                        crate::trace!("match {scrut} case {} failed", ctor.name);
+                        continue 'scrutinee;
+                    }
+                }
+            }
+            if cases.len() == dt.constructors.len() {
+                return Ok(Some(Program::Match(
+                    Box::new(Program::var(scrut)),
+                    cases,
+                )));
+            }
+        }
+        Ok(None)
+    }
+
+    // -----------------------------------------------------------------
+    // E-term enumeration with round-trip checking
+    // -----------------------------------------------------------------
+
+    /// Enumerates E-terms of the given goal type up to the given
+    /// application depth, checking each candidate (and each partial
+    /// application) as it is built.
+    fn enumerate_eterms(
+        &mut self,
+        env: &Environment,
+        goal: &RType,
+        depth: usize,
+        solver: &ConstraintSolver,
+    ) -> Result<Vec<Candidate>, SynthesisError> {
+        let mut out: Vec<Candidate> = Vec::new();
+        self.check_deadline()?;
+
+        // Integer literals as nullary components (the paper's benchmarks
+        // bind `0` as a component; accepting the literal directly keeps the
+        // guard and SyGuS benchmarks independent of naming).
+        if matches!(goal.base_type(), Some(BaseType::Int)) {
+            for lit in [0i64, 1] {
+                let mut s = solver.clone();
+                let ty = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(lit)));
+                self.stats.eterms_checked += 1;
+                if s.subtype(env, &ty, goal, &mut self.smt, "int-literal").is_ok() {
+                    out.push(Candidate {
+                        program: Program::IntLit(lit),
+                        solver: s,
+                        env: env.clone(),
+                        ty,
+                    });
+                }
+            }
+        }
+        if matches!(goal.base_type(), Some(BaseType::Bool)) {
+            for lit in [true, false] {
+                let mut s = solver.clone();
+                let ty = RType::refined(
+                    BaseType::Bool,
+                    Term::value_var(Sort::Bool).iff(Term::BoolLit(lit)),
+                );
+                self.stats.eterms_checked += 1;
+                if s.subtype(env, &ty, goal, &mut self.smt, "bool-literal").is_ok() {
+                    out.push(Candidate {
+                        program: Program::BoolLit(lit),
+                        solver: s,
+                        env: env.clone(),
+                        ty,
+                    });
+                }
+            }
+        }
+
+        // Variables and components (rules VARSC and VAR∀).
+        let names: Vec<String> = env.var_names().to_vec();
+        for name in &names {
+            if out.len() >= self.config.max_candidates {
+                break;
+            }
+            let Some(schema) = env.lookup(name).cloned() else {
+                continue;
+            };
+            let mut s = solver.clone();
+            let instantiated = s.instantiate_schema(&schema);
+            if instantiated.is_function() {
+                // A function-typed variable is only a candidate when the
+                // goal itself is a function type (e.g. passing a component
+                // to a higher-order combinator).
+                if goal.is_function() {
+                    self.stats.eterms_checked += 1;
+                    if s.subtype(env, &instantiated, goal, &mut self.smt, name).is_ok() {
+                        out.push(Candidate {
+                            program: Program::var(name.clone()),
+                            solver: s,
+                            env: env.clone(),
+                            ty: instantiated,
+                        });
+                    }
+                }
+                continue;
+            }
+            if goal.is_function() {
+                continue;
+            }
+            let singleton = env.singleton_type(name, &instantiated);
+            self.stats.eterms_checked += 1;
+            if s.subtype(env, &singleton, goal, &mut self.smt, name).is_ok() {
+                out.push(Candidate {
+                    program: Program::var(name.clone()),
+                    solver: s,
+                    env: env.clone(),
+                    ty: singleton,
+                });
+            }
+        }
+
+        // Applications (rules APPFO and APPHO), at depth ≥ 1.
+        if depth >= 1 && !goal.is_function() {
+            for name in &names {
+                if out.len() >= self.config.max_candidates {
+                    break;
+                }
+                self.check_deadline()?;
+                let Some(schema) = env.lookup(name).cloned() else {
+                    continue;
+                };
+                let mut s = solver.clone();
+                let fty = s.instantiate_schema(&schema);
+                if !fty.is_function() {
+                    continue;
+                }
+                let apps = self.enumerate_applications(env, goal, depth, name, &fty, s)?;
+                out.extend(apps);
+            }
+        }
+
+        Ok(out)
+    }
+
+    /// Enumerates applications of one head component against the goal.
+    fn enumerate_applications(
+        &mut self,
+        env: &Environment,
+        goal: &RType,
+        depth: usize,
+        head: &str,
+        head_ty: &RType,
+        mut solver: ConstraintSolver,
+    ) -> Result<Vec<Candidate>, SynthesisError> {
+        let (fargs, fret) = head_ty.uncurry();
+
+        // Round-trip early check: the return type must be a subtype of the
+        // goal under vacuous (⊥-typed) arguments (first premise of APPFO).
+        if self.config.round_trip {
+            let mut bot_env = env.clone();
+            let mut subst = Substitution::new();
+            for (i, (formal, ty)) in fargs.iter().enumerate() {
+                if ty.is_scalar() {
+                    let name = format!("__bot_{head}_{i}");
+                    bot_env.add_var(name.clone(), ty.shape().refine_with(&Term::ff()));
+                    subst.insert(formal.clone(), Term::var(name, ty.sort()));
+                }
+            }
+            let early_ret = fret.substitute(&subst);
+            self.stats.eterms_checked += 1;
+            if solver
+                .subtype(&bot_env, &early_ret, goal, &mut self.smt, &format!("{head}:early"))
+                .is_err()
+            {
+                return Ok(Vec::new());
+            }
+        }
+
+        // Consistency check on the partial application (Sec. 3.4): with the
+        // arguments at their declared types, the return type must have a
+        // common inhabitant with the goal.
+        if self.config.consistency {
+            let mut decl_env = env.clone();
+            let mut subst = Substitution::new();
+            for (i, (formal, ty)) in fargs.iter().enumerate() {
+                if ty.is_scalar() {
+                    let name = format!("__decl_{head}_{i}");
+                    decl_env.add_var(name.clone(), ty.clone());
+                    subst.insert(formal.clone(), Term::var(name, ty.sort()));
+                }
+            }
+            let decl_ret = fret.substitute(&subst);
+            if solver
+                .consistent(&decl_env, &decl_ret, goal, &mut self.smt, &format!("{head}:cc"))
+                .is_err()
+            {
+                return Ok(Vec::new());
+            }
+        }
+
+        // Synthesize the arguments left to right, threading the solver
+        // state, the extended environment, and the substitution of formals
+        // by the names bound to the actual arguments.
+        struct Partial {
+            args: Vec<Program>,
+            solver: ConstraintSolver,
+            env: Environment,
+            subst: Substitution,
+            pending: Vec<(usize, RType)>,
+        }
+        let mut partials = vec![Partial {
+            args: Vec::new(),
+            solver,
+            env: env.clone(),
+            subst: Substitution::new(),
+            pending: Vec::new(),
+        }];
+        for (i, (formal, arg_ty)) in fargs.iter().enumerate() {
+            let mut next = Vec::new();
+            for partial in partials {
+                self.check_deadline()?;
+                let expected = arg_ty.substitute(&partial.subst);
+                let resolved = partial.solver.resolve(&expected);
+                if resolved.is_function() {
+                    // Higher-order argument: defer until the rest of the
+                    // application has determined its type (APPHO; this is
+                    // how auxiliary functions such as the folding operation
+                    // of `sort` are discovered).
+                    let mut pending = partial.pending.clone();
+                    pending.push((i, expected));
+                    let mut args = partial.args.clone();
+                    args.push(Program::Hole);
+                    next.push(Partial {
+                        args,
+                        solver: partial.solver,
+                        env: partial.env,
+                        subst: partial.subst,
+                        pending,
+                    });
+                    continue;
+                }
+                let arg_candidates =
+                    self.enumerate_eterms(&partial.env, &expected, depth - 1, &partial.solver)?;
+                for cand in arg_candidates.into_iter().take(self.config.max_arg_candidates) {
+                    let binder = self.fresh_name("a");
+                    let mut cand_env = cand.env.clone();
+                    cand_env.add_var(binder.clone(), cand.ty.clone());
+                    let mut subst = partial.subst.clone();
+                    subst.insert(formal.clone(), Term::var(binder, cand.ty.sort()));
+                    let mut args = partial.args.clone();
+                    args.push(cand.program);
+                    next.push(Partial {
+                        args,
+                        solver: cand.solver,
+                        env: cand_env,
+                        subst,
+                        pending: partial.pending.clone(),
+                    });
+                }
+            }
+            partials = next;
+            if partials.is_empty() {
+                return Ok(Vec::new());
+            }
+        }
+
+        // Final check of the fully applied term against the goal, then
+        // synthesis of any deferred higher-order arguments.
+        let mut out = Vec::new();
+        for partial in partials {
+            self.check_deadline()?;
+            let mut s = partial.solver.clone();
+            let ret_final = fret.substitute(&partial.subst);
+            self.stats.eterms_checked += 1;
+            if s.subtype(&partial.env, &ret_final, goal, &mut self.smt, &format!("{head}:ret"))
+                .is_err()
+            {
+                continue;
+            }
+            let mut args = partial.args.clone();
+            let mut ok = true;
+            for (idx, ho_ty) in &partial.pending {
+                let concrete = s.finalize(ho_ty);
+                match self.synthesize_in(
+                    &partial.env,
+                    &concrete,
+                    &s,
+                    self.config.max_branch_depth,
+                    self.config.max_match_depth,
+                ) {
+                    Ok(p) => args[*idx] = p,
+                    Err(SynthesisError::Timeout) => return Err(SynthesisError::Timeout),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let program = args
+                .into_iter()
+                .fold(Program::var(head), |acc, a| acc.app(a));
+            out.push(Candidate {
+                program,
+                solver: s,
+                env: partial.env,
+                ty: ret_final,
+            });
+            if out.len() >= self.config.max_candidates {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// True if the program mentions the given variable name.
+fn program_mentions(p: &Program, name: &str) -> bool {
+    match p {
+        Program::Var(v) => v == name,
+        Program::App(f, a) => program_mentions(f, name) || program_mentions(a, name),
+        Program::Abs(_, b) | Program::Fix(_, b) => program_mentions(b, name),
+        Program::If(c, t, e) => {
+            program_mentions(c, name) || program_mentions(t, name) || program_mentions(e, name)
+        }
+        Program::Match(s, cases) => {
+            program_mentions(s, name) || cases.iter().any(|c| program_mentions(&c.body, name))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synquid_logic::Qualifier;
+    use synquid_types::list_datatype;
+
+    /// Components 0, inc, dec, leq, neq used across the paper's examples.
+    fn int_components(env: &mut Environment) {
+        env.add_var(
+            "zero",
+            RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(0))),
+        );
+        env.add_var(
+            "inc",
+            RType::fun(
+                "x",
+                RType::int(),
+                RType::refined(
+                    BaseType::Int,
+                    Term::value_var(Sort::Int).eq(Term::var("x", Sort::Int).plus(Term::int(1))),
+                ),
+            ),
+        );
+        env.add_var(
+            "dec",
+            RType::fun(
+                "x",
+                RType::int(),
+                RType::refined(
+                    BaseType::Int,
+                    Term::value_var(Sort::Int).eq(Term::var("x", Sort::Int).minus(Term::int(1))),
+                ),
+            ),
+        );
+        env.add_var(
+            "leq",
+            RType::fun_n(
+                vec![("x".into(), RType::int()), ("y".into(), RType::int())],
+                RType::refined(
+                    BaseType::Bool,
+                    Term::value_var(Sort::Bool)
+                        .iff(Term::var("x", Sort::Int).le(Term::var("y", Sort::Int))),
+                ),
+            ),
+        );
+    }
+
+    fn base_env() -> Environment {
+        let mut env = Environment::new();
+        env.add_qualifiers(Qualifier::standard(Sort::Int));
+        env
+    }
+
+    #[test]
+    fn synthesizes_the_identity_like_projection() {
+        // max-of-one: n: Int → {Int | ν = n} should synthesize `n`.
+        let env = base_env();
+        let goal = Goal::new(
+            "id",
+            env,
+            Schema::monotype(RType::fun(
+                "n",
+                RType::int(),
+                RType::refined(
+                    BaseType::Int,
+                    Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int)),
+                ),
+            )),
+        );
+        let mut syn = Synthesizer::new(SynthesisConfig::default());
+        let result = syn.synthesize(&goal).expect("id should synthesize");
+        assert_eq!(result.program.to_string(), "\\n . n");
+    }
+
+    #[test]
+    fn synthesizes_successor_with_a_component() {
+        // n: Int → {Int | ν = n + 1} requires applying inc.
+        let mut env = base_env();
+        int_components(&mut env);
+        let goal = Goal::new(
+            "succ",
+            env,
+            Schema::monotype(RType::fun(
+                "n",
+                RType::int(),
+                RType::refined(
+                    BaseType::Int,
+                    Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int).plus(Term::int(1))),
+                ),
+            )),
+        );
+        let mut syn = Synthesizer::new(SynthesisConfig::default());
+        let result = syn.synthesize(&goal).expect("succ should synthesize");
+        assert_eq!(result.program.to_string(), "\\n . inc n");
+    }
+
+    #[test]
+    fn synthesizes_max_of_two_with_liquid_abduction() {
+        // max2 :: x: Int → y: Int → {Int | ν ≥ x ∧ ν ≥ y ∧ (ν = x ∨ ν = y)}
+        let mut env = base_env();
+        int_components(&mut env);
+        let nu = || Term::value_var(Sort::Int);
+        let x = || Term::var("x", Sort::Int);
+        let y = || Term::var("y", Sort::Int);
+        let ret = RType::refined(
+            BaseType::Int,
+            nu().ge(x())
+                .and(nu().ge(y()))
+                .and(nu().eq(x()).or(nu().eq(y()))),
+        );
+        let goal = Goal::new(
+            "max2",
+            env,
+            Schema::monotype(RType::fun_n(
+                vec![("x".into(), RType::int()), ("y".into(), RType::int())],
+                ret,
+            )),
+        );
+        let mut syn = Synthesizer::new(SynthesisConfig::default());
+        let result = syn.synthesize(&goal).expect("max2 should synthesize");
+        let text = result.program.to_string();
+        assert!(text.contains("if"), "expected a conditional, got:\n{text}");
+        assert!(result.stats.branches_abduced >= 1);
+        // Both branches return one of the arguments.
+        assert!(text.contains('x') && text.contains('y'));
+    }
+
+    #[test]
+    fn rejects_goals_with_no_solution() {
+        // n: Int → {Int | ν = n + 2} with only `inc` available at depth 1.
+        let mut env = base_env();
+        int_components(&mut env);
+        let goal = Goal::new(
+            "plus-two",
+            env,
+            Schema::monotype(RType::fun(
+                "n",
+                RType::int(),
+                RType::refined(
+                    BaseType::Int,
+                    Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int).plus(Term::int(2))),
+                ),
+            )),
+        );
+        let mut config = SynthesisConfig::default();
+        config.max_app_depth = 1;
+        config.max_match_depth = 0;
+        let mut syn = Synthesizer::new(config);
+        assert!(matches!(
+            syn.synthesize(&goal),
+            Err(SynthesisError::NoSolution(_))
+        ));
+        // With depth 2 it becomes solvable: inc (inc n).
+        let mut env = base_env();
+        int_components(&mut env);
+        let goal = Goal::new(
+            "plus-two",
+            env,
+            Schema::monotype(RType::fun(
+                "n",
+                RType::int(),
+                RType::refined(
+                    BaseType::Int,
+                    Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int).plus(Term::int(2))),
+                ),
+            )),
+        );
+        let mut syn = Synthesizer::new(SynthesisConfig::default());
+        let result = syn.synthesize(&goal).expect("plus-two at depth 2");
+        assert_eq!(result.program.to_string(), "\\n . inc (inc n)");
+    }
+
+    #[test]
+    fn synthesizes_list_head_preserving_polymorphism() {
+        // A monomorphic projection through a datatype: given xs with
+        // len xs = 0 in the environment, the goal {List a | len ν = 0}
+        // is satisfied by xs itself (no constructors needed).
+        let mut env = base_env();
+        env.add_datatype(list_datatype());
+        let list_sort = Sort::data("List", vec![Sort::var("a")]);
+        let len_v = Term::app("len", vec![Term::value_var(list_sort.clone())], Sort::Int);
+        env.add_var(
+            "xs",
+            RType::refined(
+                BaseType::Data("List".into(), vec![RType::tyvar("a")]),
+                len_v.clone().eq(Term::int(0)),
+            ),
+        );
+        let goal = Goal::new(
+            "empty_copy",
+            env,
+            Schema::forall(
+                vec!["a".to_string()],
+                RType::refined(
+                    BaseType::Data("List".into(), vec![RType::tyvar("a")]),
+                    len_v.eq(Term::int(0)),
+                ),
+            ),
+        );
+        let mut syn = Synthesizer::new(SynthesisConfig::default());
+        let result = syn.synthesize(&goal).expect("should reuse xs or Nil");
+        let text = result.program.to_string();
+        assert!(text == "xs" || text == "Nil", "got {text}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Lightweight synthesis tracing, enabled with `SYNQUID_TRACE=1`.
+//!
+//! The synthesizer explores a large search space; when a goal unexpectedly
+//! fails or takes too long, the trace shows which candidates were
+//! enumerated, why they were rejected, and where the time went. Tracing is
+//! off by default and costs a single atomic load per call site when
+//! disabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+static ENABLED: AtomicU8 = AtomicU8::new(2); // 2 = not yet read from env
+
+/// True if `SYNQUID_TRACE` is set to a non-empty, non-"0" value.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = std::env::var("SYNQUID_TRACE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            ENABLED.store(u8::from(on), Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Emits a trace line (to stderr) when tracing is enabled.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::trace::enabled() {
+            eprintln!("[synquid] {}", format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_is_stable_across_calls() {
+        let first = super::enabled();
+        assert_eq!(first, super::enabled());
+    }
+}

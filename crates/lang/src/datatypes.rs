@@ -1,0 +1,699 @@
+//! Additional datatype declarations used by the benchmark suite.
+//!
+//! The core `synquid-types` crate ships the three datatypes that the paper
+//! uses in its running examples (`List`, `IList`, `BST`); the remaining
+//! benchmark groups of Table 1 need a few more:
+//!
+//! * [`tree_datatype`] — unlabelled binary trees (`Tree` group);
+//! * [`heap_datatype`] — binary min-heaps (`Binary Heap` group);
+//! * [`unique_list_datatype`] — lists with pairwise-distinct elements
+//!   (`Unique list` group);
+//! * [`strict_list_datatype`] — strictly increasing lists
+//!   (`Strictly sorted list` group);
+//! * [`avl_datatype`] and [`rbt_datatype`] — height-balanced and
+//!   red-black trees (`AVL` / `RBT` groups).
+//!
+//! Each declaration mirrors the refined constructor signatures the paper's
+//! benchmark files use: structural measures (`size`, `elems`) plus the
+//! representation invariant encoded in the constructor argument types
+//! (ordering for heaps and search trees, distinctness for unique lists,
+//! height balance for AVL trees).
+
+use synquid_logic::{Sort, Term};
+use synquid_types::{BaseType, Constructor, Datatype, Measure, RType, Schema};
+
+fn set_measure(name: &str, datatype: &str, elem: Sort) -> Measure {
+    Measure {
+        name: name.into(),
+        datatype: datatype.into(),
+        result: Sort::set(elem),
+        non_negative: false,
+    }
+}
+
+fn nat_measure(name: &str, datatype: &str) -> Measure {
+    Measure {
+        name: name.into(),
+        datatype: datatype.into(),
+        result: Sort::Int,
+        non_negative: true,
+    }
+}
+
+/// Binary trees with element-set and size measures:
+///
+/// ```text
+/// termination measure tsize :: Tree α → Nat
+/// measure telems :: Tree α → Set α
+/// data Tree α where
+///   Leaf  :: {Tree α | tsize ν = 0 ∧ telems ν = []}
+///   TNode :: x: α → l: Tree α → r: Tree α →
+///            {Tree α | tsize ν = tsize l + tsize r + 1
+///                    ∧ telems ν = telems l + telems r + [x]}
+/// ```
+pub fn tree_datatype() -> Datatype {
+    let a = "a".to_string();
+    let elem = Sort::var(a.clone());
+    let base = BaseType::Data("Tree".into(), vec![RType::tyvar(a.clone())]);
+    let sort = base.sort();
+    let tsize = |t: Term| Term::app("tsize", vec![t], Sort::Int);
+    let telems = |t: Term| Term::app("telems", vec![t], Sort::set(elem.clone()));
+    let nu = || Term::value_var(sort.clone());
+
+    let leaf = Constructor {
+        name: "Leaf".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::refined(
+                base.clone(),
+                tsize(nu())
+                    .eq(Term::int(0))
+                    .and(telems(nu()).eq(Term::empty_set(elem.clone()))),
+            ),
+        ),
+    };
+
+    let x = Term::var("x", elem.clone());
+    let l = Term::var("l", sort.clone());
+    let r = Term::var("r", sort.clone());
+    let node_refinement = tsize(nu())
+        .eq(tsize(l.clone()).plus(tsize(r.clone())).plus(Term::int(1)))
+        .and(telems(nu()).eq(telems(l)
+            .union(telems(r))
+            .union(Term::singleton(elem.clone(), x))));
+    let node = Constructor {
+        name: "TNode".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::fun_n(
+                vec![
+                    ("x".to_string(), RType::tyvar(a.clone())),
+                    ("l".to_string(), RType::base(base.clone())),
+                    ("r".to_string(), RType::base(base.clone())),
+                ],
+                RType::refined(base.clone(), node_refinement),
+            ),
+        ),
+    };
+
+    Datatype {
+        name: "Tree".into(),
+        type_params: vec![a],
+        constructors: vec![leaf, node],
+        measures: vec![
+            nat_measure("tsize", "Tree"),
+            set_measure("telems", "Tree", elem),
+        ],
+        termination_measure: Some("tsize".into()),
+    }
+}
+
+/// Binary min-heaps: every element of either subtree is at least the root.
+///
+/// ```text
+/// termination measure hsize :: Heap α → Nat
+/// measure helems :: Heap α → Set α
+/// data Heap α where
+///   HEmpty :: {Heap α | hsize ν = 0 ∧ helems ν = []}
+///   HNode  :: x: α → l: Heap {α | x ≤ ν} → r: Heap {α | x ≤ ν} →
+///             {Heap α | hsize ν = hsize l + hsize r + 1
+///                     ∧ helems ν = helems l + helems r + [x]}
+/// ```
+pub fn heap_datatype() -> Datatype {
+    let a = "a".to_string();
+    let elem = Sort::var(a.clone());
+    let base = BaseType::Data("Heap".into(), vec![RType::tyvar(a.clone())]);
+    let sort = base.sort();
+    let hsize = |t: Term| Term::app("hsize", vec![t], Sort::Int);
+    let helems = |t: Term| Term::app("helems", vec![t], Sort::set(elem.clone()));
+    let nu = || Term::value_var(sort.clone());
+
+    let empty = Constructor {
+        name: "HEmpty".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::refined(
+                base.clone(),
+                hsize(nu())
+                    .eq(Term::int(0))
+                    .and(helems(nu()).eq(Term::empty_set(elem.clone()))),
+            ),
+        ),
+    };
+
+    let x = Term::var("x", elem.clone());
+    // Subtree element type: {α | x ≤ ν}.
+    let bounded_elem = RType::refined(
+        BaseType::TypeVar(a.clone()),
+        x.clone().le(Term::value_var(elem.clone())),
+    );
+    let bounded_heap = RType::base(BaseType::Data("Heap".into(), vec![bounded_elem]));
+    let l = Term::var("l", sort.clone());
+    let r = Term::var("r", sort.clone());
+    let node_refinement = hsize(nu())
+        .eq(hsize(l.clone()).plus(hsize(r.clone())).plus(Term::int(1)))
+        .and(helems(nu()).eq(helems(l)
+            .union(helems(r))
+            .union(Term::singleton(elem.clone(), x))));
+    let node = Constructor {
+        name: "HNode".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::fun_n(
+                vec![
+                    ("x".to_string(), RType::tyvar(a.clone())),
+                    ("l".to_string(), bounded_heap.clone()),
+                    ("r".to_string(), bounded_heap),
+                ],
+                RType::refined(base.clone(), node_refinement),
+            ),
+        ),
+    };
+
+    Datatype {
+        name: "Heap".into(),
+        type_params: vec![a],
+        constructors: vec![empty, node],
+        measures: vec![
+            nat_measure("hsize", "Heap"),
+            set_measure("helems", "Heap", elem),
+        ],
+        termination_measure: Some("hsize".into()),
+    }
+}
+
+/// Lists with pairwise distinct elements:
+///
+/// ```text
+/// termination measure ulen :: UList α → Nat
+/// measure uelems :: UList α → Set α
+/// data UList α where
+///   UNil  :: {UList α | ulen ν = 0 ∧ uelems ν = []}
+///   UCons :: x: α → xs: {UList α | ¬ (x ∈ uelems ν)} →
+///            {UList α | ulen ν = ulen xs + 1 ∧ uelems ν = uelems xs + [x]}
+/// ```
+pub fn unique_list_datatype() -> Datatype {
+    let a = "a".to_string();
+    let elem = Sort::var(a.clone());
+    let base = BaseType::Data("UList".into(), vec![RType::tyvar(a.clone())]);
+    let sort = base.sort();
+    let ulen = |t: Term| Term::app("ulen", vec![t], Sort::Int);
+    let uelems = |t: Term| Term::app("uelems", vec![t], Sort::set(elem.clone()));
+    let nu = || Term::value_var(sort.clone());
+
+    let nil = Constructor {
+        name: "UNil".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::refined(
+                base.clone(),
+                ulen(nu())
+                    .eq(Term::int(0))
+                    .and(uelems(nu()).eq(Term::empty_set(elem.clone()))),
+            ),
+        ),
+    };
+
+    let x = Term::var("x", elem.clone());
+    let xs = Term::var("xs", sort.clone());
+    // The tail must not contain the head: {UList α | ¬ (x ∈ uelems ν)}.
+    let tail_ty = RType::refined(
+        base.clone(),
+        x.clone().member(uelems(nu())).not(),
+    );
+    let cons_refinement = ulen(nu())
+        .eq(ulen(xs.clone()).plus(Term::int(1)))
+        .and(uelems(nu()).eq(uelems(xs).union(Term::singleton(elem.clone(), x))));
+    let cons = Constructor {
+        name: "UCons".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::fun_n(
+                vec![
+                    ("x".to_string(), RType::tyvar(a.clone())),
+                    ("xs".to_string(), tail_ty),
+                ],
+                RType::refined(base.clone(), cons_refinement),
+            ),
+        ),
+    };
+
+    Datatype {
+        name: "UList".into(),
+        type_params: vec![a],
+        constructors: vec![nil, cons],
+        measures: vec![
+            nat_measure("ulen", "UList"),
+            set_measure("uelems", "UList", elem),
+        ],
+        termination_measure: Some("ulen".into()),
+    }
+}
+
+/// Strictly increasing lists (every element is strictly below the rest):
+///
+/// ```text
+/// termination measure slen :: SList α → Nat
+/// measure selems :: SList α → Set α
+/// data SList α where
+///   SNil  :: {SList α | slen ν = 0 ∧ selems ν = []}
+///   SCons :: x: α → xs: SList {α | x < ν} →
+///            {SList α | slen ν = slen xs + 1 ∧ selems ν = selems xs + [x]}
+/// ```
+pub fn strict_list_datatype() -> Datatype {
+    let a = "a".to_string();
+    let elem = Sort::var(a.clone());
+    let base = BaseType::Data("SList".into(), vec![RType::tyvar(a.clone())]);
+    let sort = base.sort();
+    let slen = |t: Term| Term::app("slen", vec![t], Sort::Int);
+    let selems = |t: Term| Term::app("selems", vec![t], Sort::set(elem.clone()));
+    let nu = || Term::value_var(sort.clone());
+
+    let nil = Constructor {
+        name: "SNil".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::refined(
+                base.clone(),
+                slen(nu())
+                    .eq(Term::int(0))
+                    .and(selems(nu()).eq(Term::empty_set(elem.clone()))),
+            ),
+        ),
+    };
+
+    let x = Term::var("x", elem.clone());
+    let xs = Term::var("xs", sort.clone());
+    let tail_elem = RType::refined(
+        BaseType::TypeVar(a.clone()),
+        x.clone().lt(Term::value_var(elem.clone())),
+    );
+    let cons_refinement = slen(nu())
+        .eq(slen(xs.clone()).plus(Term::int(1)))
+        .and(selems(nu()).eq(selems(xs).union(Term::singleton(elem.clone(), x))));
+    let cons = Constructor {
+        name: "SCons".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::fun_n(
+                vec![
+                    ("x".to_string(), RType::tyvar(a.clone())),
+                    (
+                        "xs".to_string(),
+                        RType::base(BaseType::Data("SList".into(), vec![tail_elem])),
+                    ),
+                ],
+                RType::refined(base.clone(), cons_refinement),
+            ),
+        ),
+    };
+
+    Datatype {
+        name: "SList".into(),
+        type_params: vec![a],
+        constructors: vec![nil, cons],
+        measures: vec![
+            nat_measure("slen", "SList"),
+            set_measure("selems", "SList", elem),
+        ],
+        termination_measure: Some("slen".into()),
+    }
+}
+
+/// Height-balanced (AVL) trees. The height is tracked by the `height`
+/// measure; the `ANode` constructor requires the subtree heights to differ
+/// by at most one and records the node height explicitly.
+///
+/// ```text
+/// termination measure asize  :: AVL α → Nat
+/// measure height :: AVL α → Nat
+/// measure aelems :: AVL α → Set α
+/// data AVL α where
+///   ALeaf :: {AVL α | asize ν = 0 ∧ height ν = 0 ∧ aelems ν = []}
+///   ANode :: x: α → l: AVL {α | ν < x} → r: {AVL {α | x < ν} |
+///              height l - height r ≤ 1 ∧ height r - height l ≤ 1} →
+///            {AVL α | asize ν = asize l + asize r + 1
+///                   ∧ aelems ν = aelems l + aelems r + [x]
+///                   ∧ (height l ≥ height r ⇒ height ν = height l + 1)
+///                   ∧ (height r ≥ height l ⇒ height ν = height r + 1)}
+/// ```
+pub fn avl_datatype() -> Datatype {
+    let a = "a".to_string();
+    let elem = Sort::var(a.clone());
+    let base = BaseType::Data("AVL".into(), vec![RType::tyvar(a.clone())]);
+    let sort = base.sort();
+    let asize = |t: Term| Term::app("asize", vec![t], Sort::Int);
+    let height = |t: Term| Term::app("height", vec![t], Sort::Int);
+    let aelems = |t: Term| Term::app("aelems", vec![t], Sort::set(elem.clone()));
+    let nu = || Term::value_var(sort.clone());
+
+    let leaf = Constructor {
+        name: "ALeaf".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::refined(
+                base.clone(),
+                asize(nu())
+                    .eq(Term::int(0))
+                    .and(height(nu()).eq(Term::int(0)))
+                    .and(aelems(nu()).eq(Term::empty_set(elem.clone()))),
+            ),
+        ),
+    };
+
+    let x = Term::var("x", elem.clone());
+    let l = Term::var("l", sort.clone());
+    let r = Term::var("r", sort.clone());
+    let left_elem = RType::refined(
+        BaseType::TypeVar(a.clone()),
+        Term::value_var(elem.clone()).lt(x.clone()),
+    );
+    let right_elem = RType::refined(
+        BaseType::TypeVar(a.clone()),
+        x.clone().lt(Term::value_var(elem.clone())),
+    );
+    // The right-subtree binder additionally carries the balance condition
+    // relative to the already-bound left subtree.
+    let balance = height(l.clone())
+        .minus(height(nu()))
+        .le(Term::int(1))
+        .and(height(nu()).minus(height(l.clone())).le(Term::int(1)));
+    let node_refinement = asize(nu())
+        .eq(asize(l.clone()).plus(asize(r.clone())).plus(Term::int(1)))
+        .and(aelems(nu()).eq(aelems(l.clone())
+            .union(aelems(r.clone()))
+            .union(Term::singleton(elem.clone(), x))))
+        .and(height(l.clone())
+            .ge(height(r.clone()))
+            .implies(height(nu()).eq(height(l.clone()).plus(Term::int(1)))))
+        .and(height(r.clone())
+            .ge(height(l))
+            .implies(height(nu()).eq(height(r).plus(Term::int(1)))));
+    let node = Constructor {
+        name: "ANode".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::fun_n(
+                vec![
+                    ("x".to_string(), RType::tyvar(a.clone())),
+                    (
+                        "l".to_string(),
+                        RType::base(BaseType::Data("AVL".into(), vec![left_elem])),
+                    ),
+                    (
+                        "r".to_string(),
+                        RType::refined(BaseType::Data("AVL".into(), vec![right_elem]), balance),
+                    ),
+                ],
+                RType::refined(base.clone(), node_refinement),
+            ),
+        ),
+    };
+
+    Datatype {
+        name: "AVL".into(),
+        type_params: vec![a],
+        constructors: vec![leaf, node],
+        measures: vec![
+            nat_measure("asize", "AVL"),
+            nat_measure("height", "AVL"),
+            set_measure("aelems", "AVL", elem),
+        ],
+        termination_measure: Some("asize".into()),
+    }
+}
+
+/// Red-black trees. Colors are tracked by the integer measure `color`
+/// (0 = black, 1 = red) and the black height by `bheight`; red nodes must
+/// have black children and the black height of both subtrees must agree.
+pub fn rbt_datatype() -> Datatype {
+    let a = "a".to_string();
+    let elem = Sort::var(a.clone());
+    let base = BaseType::Data("RBT".into(), vec![RType::tyvar(a.clone())]);
+    let sort = base.sort();
+    let rsize = |t: Term| Term::app("rsize", vec![t], Sort::Int);
+    let color = |t: Term| Term::app("color", vec![t], Sort::Int);
+    let bheight = |t: Term| Term::app("bheight", vec![t], Sort::Int);
+    let relems = |t: Term| Term::app("relems", vec![t], Sort::set(elem.clone()));
+    let nu = || Term::value_var(sort.clone());
+
+    let leaf = Constructor {
+        name: "RLeaf".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::refined(
+                base.clone(),
+                rsize(nu())
+                    .eq(Term::int(0))
+                    .and(color(nu()).eq(Term::int(0)))
+                    .and(bheight(nu()).eq(Term::int(0)))
+                    .and(relems(nu()).eq(Term::empty_set(elem.clone()))),
+            ),
+        ),
+    };
+
+    let x = Term::var("x", elem.clone());
+    let c = Term::var("c", Sort::Int);
+    let l = Term::var("l", sort.clone());
+    let r = Term::var("r", sort.clone());
+    let left_elem = RType::refined(
+        BaseType::TypeVar(a.clone()),
+        Term::value_var(elem.clone()).lt(x.clone()),
+    );
+    let right_elem = RType::refined(
+        BaseType::TypeVar(a.clone()),
+        x.clone().lt(Term::value_var(elem.clone())),
+    );
+    // c ∈ {0, 1}; a red node (c = 1) must have black children; black
+    // heights of the two subtrees agree.
+    let color_arg = RType::refined(
+        BaseType::Int,
+        Term::value_var(Sort::Int)
+            .ge(Term::int(0))
+            .and(Term::value_var(Sort::Int).le(Term::int(1))),
+    );
+    let left_ok = RType::base(BaseType::Data("RBT".into(), vec![left_elem]));
+    let right_constraint = bheight(nu())
+        .eq(bheight(l.clone()))
+        .and(c.clone().eq(Term::int(1)).implies(
+            color(l.clone()).eq(Term::int(0)).and(color(nu()).eq(Term::int(0))),
+        ));
+    let right_ok = RType::refined(BaseType::Data("RBT".into(), vec![right_elem]), right_constraint);
+    let node_refinement = rsize(nu())
+        .eq(rsize(l.clone()).plus(rsize(r.clone())).plus(Term::int(1)))
+        .and(color(nu()).eq(c.clone()))
+        .and(bheight(nu()).eq(bheight(l.clone()).plus(c.clone().eq(Term::int(0)).ite_int())))
+        .and(relems(nu()).eq(relems(l)
+            .union(relems(r))
+            .union(Term::singleton(elem.clone(), x))));
+    let node = Constructor {
+        name: "RNode".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::fun_n(
+                vec![
+                    ("c".to_string(), color_arg),
+                    ("x".to_string(), RType::tyvar(a.clone())),
+                    ("l".to_string(), left_ok),
+                    ("r".to_string(), right_ok),
+                ],
+                RType::refined(base.clone(), node_refinement),
+            ),
+        ),
+    };
+
+    Datatype {
+        name: "RBT".into(),
+        type_params: vec![a],
+        constructors: vec![leaf, node],
+        measures: vec![
+            nat_measure("rsize", "RBT"),
+            nat_measure("color", "RBT"),
+            nat_measure("bheight", "RBT"),
+            set_measure("relems", "RBT", elem),
+        ],
+        termination_measure: Some("rsize".into()),
+    }
+}
+
+/// A tiny "address book" datatype for the `User` group of Table 1: an
+/// address book is a list of entries, each of which is either private or
+/// business; the measures count the two kinds of entries.
+pub fn address_book_datatype() -> Datatype {
+    let a = "a".to_string();
+    let elem = Sort::var(a.clone());
+    let base = BaseType::Data("Book".into(), vec![RType::tyvar(a.clone())]);
+    let sort = base.sort();
+    let bsize = |t: Term| Term::app("bsize", vec![t], Sort::Int);
+    let bpriv = |t: Term| Term::app("bpriv", vec![t], Sort::Int);
+    let bbus = |t: Term| Term::app("bbus", vec![t], Sort::Int);
+    let nu = || Term::value_var(sort.clone());
+    let _ = elem;
+
+    let empty = Constructor {
+        name: "BEmpty".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::refined(
+                base.clone(),
+                bsize(nu())
+                    .eq(Term::int(0))
+                    .and(bpriv(nu()).eq(Term::int(0)))
+                    .and(bbus(nu()).eq(Term::int(0))),
+            ),
+        ),
+    };
+
+    let xs = Term::var("xs", sort.clone());
+    let p = Term::var("p", Sort::Bool);
+    // BAdd :: x: α → p: Bool → xs: Book α → {Book α | … counts updated}
+    let add_refinement = bsize(nu())
+        .eq(bsize(xs.clone()).plus(Term::int(1)))
+        .and(p.clone().implies(
+            bpriv(nu())
+                .eq(bpriv(xs.clone()).plus(Term::int(1)))
+                .and(bbus(nu()).eq(bbus(xs.clone()))),
+        ))
+        .and(p.clone().not().implies(
+            bbus(nu())
+                .eq(bbus(xs.clone()).plus(Term::int(1)))
+                .and(bpriv(nu()).eq(bpriv(xs.clone()))),
+        ));
+    let add = Constructor {
+        name: "BAdd".into(),
+        schema: Schema::forall(
+            vec![a.clone()],
+            RType::fun_n(
+                vec![
+                    ("x".to_string(), RType::tyvar(a.clone())),
+                    ("p".to_string(), RType::bool()),
+                    ("xs".to_string(), RType::base(base.clone())),
+                ],
+                RType::refined(base.clone(), add_refinement),
+            ),
+        ),
+    };
+
+    Datatype {
+        name: "Book".into(),
+        type_params: vec![a],
+        constructors: vec![empty, add],
+        measures: vec![
+            nat_measure("bsize", "Book"),
+            nat_measure("bpriv", "Book"),
+            nat_measure("bbus", "Book"),
+        ],
+        termination_measure: Some("bsize".into()),
+    }
+}
+
+/// Helper: the `ite_int` conversion used by the red-black tree black
+/// height (`1` when the condition holds, `0` otherwise). Defined as an
+/// extension trait so the datatype builder above reads naturally.
+trait IteInt {
+    fn ite_int(self) -> Term;
+}
+
+impl IteInt for Term {
+    fn ite_int(self) -> Term {
+        Term::ite(self, Term::int(1), Term::int(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_scalar_leaf_and_ternary_node() {
+        let t = tree_datatype();
+        assert!(t.constructor("Leaf").unwrap().is_scalar());
+        assert_eq!(t.constructor("TNode").unwrap().arity(), 3);
+        assert_eq!(t.termination().unwrap().name, "tsize");
+    }
+
+    #[test]
+    fn heap_subtrees_are_bounded_below_by_the_root() {
+        let h = heap_datatype();
+        let node = h.constructor("HNode").unwrap();
+        let (args, _) = node.schema.ty.uncurry();
+        for (_, subtree) in &args[1..] {
+            match subtree.base_type().unwrap() {
+                BaseType::Data(_, params) => {
+                    assert!(params[0].refinement().to_string().contains("<="));
+                }
+                other => panic!("expected a Heap argument, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unique_list_tail_excludes_the_head() {
+        let u = unique_list_datatype();
+        let cons = u.constructor("UCons").unwrap();
+        let (args, _) = cons.schema.ty.uncurry();
+        let tail = &args[1].1;
+        assert!(tail.refinement().to_string().contains("in"));
+    }
+
+    #[test]
+    fn strict_list_tail_elements_exceed_the_head() {
+        let s = strict_list_datatype();
+        let cons = s.constructor("SCons").unwrap();
+        let (args, _) = cons.schema.ty.uncurry();
+        match args[1].1.base_type().unwrap() {
+            BaseType::Data(_, params) => {
+                assert!(params[0].refinement().to_string().contains("<"));
+            }
+            other => panic!("expected SList argument, got {other}"),
+        }
+    }
+
+    #[test]
+    fn avl_tracks_both_size_and_height() {
+        let avl = avl_datatype();
+        assert!(avl.measure("height").is_some());
+        assert!(avl.measure("asize").is_some());
+        assert!(avl.measure("height").unwrap().non_negative);
+        let node = avl.constructor("ANode").unwrap();
+        assert_eq!(node.arity(), 3);
+    }
+
+    #[test]
+    fn rbt_nodes_carry_a_color_argument() {
+        let rbt = rbt_datatype();
+        let node = rbt.constructor("RNode").unwrap();
+        assert_eq!(node.arity(), 4);
+        assert!(rbt.measure("color").is_some());
+        assert!(rbt.measure("bheight").is_some());
+    }
+
+    #[test]
+    fn address_book_counts_private_and_business_entries() {
+        let book = address_book_datatype();
+        assert_eq!(book.constructors.len(), 2);
+        assert!(book.measure("bpriv").is_some());
+        assert!(book.measure("bbus").is_some());
+        let add = book.constructor("BAdd").unwrap();
+        assert_eq!(add.arity(), 3);
+    }
+
+    #[test]
+    fn all_extra_datatypes_have_scalar_constructors_for_match_abduction() {
+        for dt in [
+            tree_datatype(),
+            heap_datatype(),
+            unique_list_datatype(),
+            strict_list_datatype(),
+            avl_datatype(),
+            rbt_datatype(),
+            address_book_datatype(),
+        ] {
+            assert!(
+                dt.has_scalar_constructor(),
+                "{} should have a scalar constructor",
+                dt.name
+            );
+        }
+    }
+}

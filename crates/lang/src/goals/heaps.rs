@@ -1,0 +1,126 @@
+//! Transcriptions of the `Binary Heap` group of Table 1.
+
+use crate::components::{heap_environment, heap_type, helems_of};
+use synquid_core::Goal;
+use synquid_logic::{Sort, Term};
+use synquid_types::{BaseType, RType, Schema};
+
+fn elem_sort() -> Sort {
+    Sort::var("a")
+}
+
+fn heap_sort() -> Sort {
+    Sort::Data("Heap".into(), vec![elem_sort()])
+}
+
+fn avar(n: &str) -> Term {
+    Term::var(n, elem_sort())
+}
+
+fn hvar(n: &str) -> Term {
+    Term::var(n, heap_sort())
+}
+
+/// `heap is member :: x: α → h: Heap α → {Bool | ν ⇔ x ∈ helems h}`
+/// (components: `false`, `not`, `or`, `≤`, `≠`).
+pub fn goal_heap_member() -> Goal {
+    let env = heap_environment();
+    let ret = RType::refined(
+        BaseType::Bool,
+        Term::value_var(Sort::Bool).iff(avar("x").member(helems_of(hvar("h"), elem_sort()))),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("x".into(), RType::tyvar("a")),
+            ("h".into(), heap_type(RType::tyvar("a"))),
+        ],
+        ret,
+    );
+    Goal::new("heap_member", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `1-element constructor :: x: α → {Heap α | helems ν = [x]}`.
+pub fn goal_heap_singleton() -> Goal {
+    let env = heap_environment();
+    let ret = RType::refined(
+        BaseType::Data("Heap".into(), vec![RType::tyvar("a")]),
+        helems_of(Term::value_var(heap_sort()), elem_sort())
+            .eq(Term::singleton(elem_sort(), avar("x"))),
+    );
+    let ty = RType::fun("x", RType::tyvar("a"), ret);
+    Goal::new("heap_singleton", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `2-element constructor :: x: α → y: α → {Heap α | helems ν = [x, y]}`.
+///
+/// The min-heap invariant (both subtrees bounded below by the root) forces
+/// the synthesizer to compare `x` and `y` and put the smaller one at the
+/// root, which is exactly the branching behaviour the paper reports for
+/// this row.
+pub fn goal_heap_two() -> Goal {
+    let env = heap_environment();
+    let ret = RType::refined(
+        BaseType::Data("Heap".into(), vec![RType::tyvar("a")]),
+        helems_of(Term::value_var(heap_sort()), elem_sort()).eq(
+            Term::singleton(elem_sort(), avar("x")).union(Term::singleton(elem_sort(), avar("y"))),
+        ),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("x".into(), RType::tyvar("a")),
+            ("y".into(), RType::tyvar("a")),
+        ],
+        ret,
+    );
+    Goal::new("heap_two", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `heap insert :: x: α → h: Heap α → {Heap α | helems ν = helems h + [x]}`
+/// (components: `≤`, `≠`).
+pub fn goal_heap_insert() -> Goal {
+    let env = heap_environment();
+    let ret = RType::refined(
+        BaseType::Data("Heap".into(), vec![RType::tyvar("a")]),
+        helems_of(Term::value_var(heap_sort()), elem_sort()).eq(
+            helems_of(hvar("h"), elem_sort()).union(Term::singleton(elem_sort(), avar("x"))),
+        ),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("x".into(), RType::tyvar("a")),
+            ("h".into(), heap_type(RType::tyvar("a"))),
+        ],
+        ret,
+    );
+    Goal::new("heap_insert", env, Schema::forall(vec!["a".into()], ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_goals_are_well_formed() {
+        for goal in [
+            goal_heap_member(),
+            goal_heap_singleton(),
+            goal_heap_two(),
+            goal_heap_insert(),
+        ] {
+            assert!(goal.schema.ty.is_function());
+            assert!(goal.env.datatype("Heap").is_some());
+            let (_, ret) = goal.schema.ty.uncurry();
+            assert!(!ret.refinement().is_true());
+        }
+    }
+
+    #[test]
+    fn constructors_specify_the_exact_element_set() {
+        let one = goal_heap_singleton();
+        let (_, ret) = one.schema.ty.uncurry();
+        assert!(ret.refinement().to_string().contains("helems"));
+        let two = goal_heap_two();
+        let (args, _) = two.schema.ty.uncurry();
+        assert_eq!(args.len(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Additional transcribed synthesis goals for Table 1.
+//!
+//! The first transcription pass (in [`crate::benchmarks`]) covered the
+//! paper's running examples; the modules below transcribe the remaining
+//! benchmark groups that are expressible with the component libraries of
+//! [`crate::components`] and the datatypes of [`crate::datatypes`]:
+//!
+//! * [`lists`] — the rest of the `List` group (membership, take, delete,
+//!   map, insert-at-end, reverse);
+//! * [`unique`] — the `Unique list` and `Strictly sorted list` groups;
+//! * [`trees`] — the `Tree` group (membership, node count, preorder);
+//! * [`heaps`] — the `Binary Heap` group (membership, constructors,
+//!   insertion);
+//! * [`sorting`] — the remaining `Sorting` goals (merging sorted lists);
+//! * [`user`] — the `User` group (address books).
+//!
+//! Each function returns a fresh [`Goal`]; the benchmark table wires them
+//! into the Table 1 rows by name.
+
+pub mod heaps;
+pub mod lists;
+pub mod sorting;
+pub mod trees;
+pub mod unique;
+pub mod user;
+
+pub use heaps::*;
+pub use lists::*;
+pub use sorting::*;
+pub use trees::*;
+pub use unique::*;
+pub use user::*;

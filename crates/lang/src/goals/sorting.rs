@@ -1,0 +1,86 @@
+//! Transcriptions of the remaining `Sorting` goals of Table 1.
+
+use crate::components::{ilist_type, sorting_environment};
+use synquid_core::Goal;
+use synquid_logic::{Sort, Term};
+use synquid_types::{BaseType, RType, Schema};
+
+fn elem_sort() -> Sort {
+    Sort::var("a")
+}
+
+fn ilist_sort() -> Sort {
+    Sort::Data("IList".into(), vec![elem_sort()])
+}
+
+fn ielems(t: Term) -> Term {
+    Term::app("ielems", vec![t], Sort::set(elem_sort()))
+}
+
+fn ilen(t: Term) -> Term {
+    Term::app("ilen", vec![t], Sort::Int)
+}
+
+/// `merge :: xs: IList α → ys: IList α →
+///  {IList α | ielems ν = ielems xs + ielems ys}` (components: `≤`, `≠`).
+///
+/// The paper's merge benchmark uses a lexicographic termination order over
+/// both arguments; this reproduction's termination discipline descends on
+/// the first measured argument only (DESIGN.md §6), so the goal is
+/// transcribed and reported honestly even where synthesis does not
+/// complete within the budget.
+pub fn goal_merge() -> Goal {
+    let env = sorting_environment();
+    let ret = RType::refined(
+        BaseType::Data("IList".into(), vec![RType::tyvar("a")]),
+        ielems(Term::value_var(ilist_sort())).eq(
+            ielems(Term::var("xs", ilist_sort())).union(ielems(Term::var("ys", ilist_sort()))),
+        ),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("xs".into(), ilist_type(RType::tyvar("a"))),
+            ("ys".into(), ilist_type(RType::tyvar("a"))),
+        ],
+        ret,
+    );
+    Goal::new("merge", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `extract minimum (simplified) :: xs: {IList α | ilen ν > 0} →
+///  {α | ν ∈ ielems xs}`: the head of a non-empty sorted list is an
+/// element of the list (the full benchmark also returns the remaining
+/// list, which requires pairs).
+pub fn goal_sorted_head() -> Goal {
+    let env = sorting_environment();
+    let arg = RType::refined(
+        BaseType::Data("IList".into(), vec![RType::tyvar("a")]),
+        ilen(Term::value_var(ilist_sort())).gt(Term::int(0)),
+    );
+    let ret = RType::refined(
+        BaseType::TypeVar("a".into()),
+        Term::value_var(elem_sort()).member(ielems(Term::var("xs", ilist_sort()))),
+    );
+    let ty = RType::fun("xs", arg, ret);
+    Goal::new("sorted_head", env, Schema::forall(vec!["a".into()], ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_two_sorted_lists() {
+        let goal = goal_merge();
+        let (args, ret) = goal.schema.ty.uncurry();
+        assert_eq!(args.len(), 2);
+        assert!(ret.refinement().to_string().contains("ielems"));
+    }
+
+    #[test]
+    fn sorted_head_requires_a_non_empty_argument() {
+        let goal = goal_sorted_head();
+        let (args, _) = goal.schema.ty.uncurry();
+        assert!(args[0].1.refinement().to_string().contains('>'));
+    }
+}

@@ -1,0 +1,128 @@
+//! Transcriptions of the `Tree` group of Table 1.
+
+use crate::components::{
+    add_arith_components, elems_of, len_of, telems_of, tree_environment, tree_type, tsize_of,
+};
+use synquid_core::Goal;
+use synquid_logic::{Sort, Term};
+use synquid_types::{list_datatype, BaseType, RType, Schema};
+
+fn elem_sort() -> Sort {
+    Sort::var("a")
+}
+
+fn tree_sort() -> Sort {
+    Sort::Data("Tree".into(), vec![elem_sort()])
+}
+
+fn avar(n: &str) -> Term {
+    Term::var(n, elem_sort())
+}
+
+fn tvar(n: &str) -> Term {
+    Term::var(n, tree_sort())
+}
+
+/// `tree is member :: x: α → t: Tree α → {Bool | ν ⇔ x ∈ telems t}`
+/// (components: `false`, `not`, `or`, `=`).
+pub fn goal_tree_member() -> Goal {
+    let env = tree_environment();
+    let ret = RType::refined(
+        BaseType::Bool,
+        Term::value_var(Sort::Bool).iff(avar("x").member(telems_of(tvar("t"), elem_sort()))),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("x".into(), RType::tyvar("a")),
+            ("t".into(), tree_type(RType::tyvar("a"))),
+        ],
+        ret,
+    );
+    Goal::new("tree_member", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `node count :: t: Tree α → {Int | ν = tsize t}` (components: `0`, `1`,
+/// `+`).
+pub fn goal_tree_count() -> Goal {
+    let mut env = tree_environment();
+    add_arith_components(&mut env);
+    let ret = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(tsize_of(tvar("t"))));
+    let ty = RType::fun("t", tree_type(RType::tyvar("a")), ret);
+    Goal::new("tree_count", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `preorder :: t: Tree α → {List α | elems ν = telems t ∧ len ν = tsize t}`
+/// with list `append` provided as a component.
+pub fn goal_tree_preorder() -> Goal {
+    let mut env = tree_environment();
+    env.add_datatype(list_datatype());
+    // Component: append :: xs: List α → ys: List α →
+    //   {List α | len ν = len xs + len ys ∧ elems ν = elems xs + elems ys}.
+    let ls = Sort::Data("List".into(), vec![elem_sort()]);
+    let nu = Term::value_var(ls.clone());
+    let append_ret = RType::refined(
+        BaseType::Data("List".into(), vec![RType::tyvar("a")]),
+        len_of(nu.clone())
+            .eq(len_of(Term::var("xs", ls.clone())).plus(len_of(Term::var("ys", ls.clone()))))
+            .and(elems_of(nu.clone(), elem_sort()).eq(
+                elems_of(Term::var("xs", ls.clone()), elem_sort())
+                    .union(elems_of(Term::var("ys", ls.clone()), elem_sort())),
+            )),
+    );
+    env.add_var(
+        "append",
+        Schema::forall(
+            vec!["a".into()],
+            RType::fun_n(
+                vec![
+                    (
+                        "xs".into(),
+                        RType::base(BaseType::Data("List".into(), vec![RType::tyvar("a")])),
+                    ),
+                    (
+                        "ys".into(),
+                        RType::base(BaseType::Data("List".into(), vec![RType::tyvar("a")])),
+                    ),
+                ],
+                append_ret,
+            ),
+        ),
+    );
+    let ret = RType::refined(
+        BaseType::Data("List".into(), vec![RType::tyvar("a")]),
+        elems_of(Term::value_var(ls.clone()), elem_sort())
+            .eq(telems_of(tvar("t"), elem_sort()))
+            .and(len_of(Term::value_var(ls)).eq(tsize_of(tvar("t")))),
+    );
+    let ty = RType::fun("t", tree_type(RType::tyvar("a")), ret);
+    Goal::new("tree_preorder", env, Schema::forall(vec!["a".into()], ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_goals_are_well_formed() {
+        for goal in [goal_tree_member(), goal_tree_count(), goal_tree_preorder()] {
+            assert!(goal.schema.ty.is_function());
+            assert!(goal.env.datatype("Tree").is_some());
+        }
+    }
+
+    #[test]
+    fn tree_count_has_arithmetic_components() {
+        let goal = goal_tree_count();
+        assert!(goal.env.lookup("plus").is_some());
+        assert!(goal.env.lookup("one").is_some());
+    }
+
+    #[test]
+    fn preorder_bridges_trees_and_lists() {
+        let goal = goal_tree_preorder();
+        assert!(goal.env.datatype("List").is_some());
+        assert!(goal.env.lookup("append").is_some());
+        let (_, ret) = goal.schema.ty.uncurry();
+        assert!(ret.refinement().to_string().contains("telems"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Transcriptions of the `Unique list` and `Strictly sorted list` groups.
+
+use crate::components::{
+    elems_of, list_type, selems_of, slist_type, strict_list_environment, uelems_of, ulist_type,
+    unique_list_environment,
+};
+use synquid_core::Goal;
+use synquid_logic::{Sort, Term};
+use synquid_types::{BaseType, RType, Schema};
+
+fn elem_sort() -> Sort {
+    Sort::var("a")
+}
+
+fn avar(n: &str) -> Term {
+    Term::var(n, elem_sort())
+}
+
+fn ulist_sort() -> Sort {
+    Sort::Data("UList".into(), vec![elem_sort()])
+}
+
+fn slist_sort() -> Sort {
+    Sort::Data("SList".into(), vec![elem_sort()])
+}
+
+/// `unique insert :: x: α → xs: UList α →
+///  {UList α | uelems ν = uelems xs + [x]}` (components: `=`, `≠`).
+pub fn goal_unique_insert() -> Goal {
+    let env = unique_list_environment();
+    let ret = RType::refined(
+        BaseType::Data("UList".into(), vec![RType::tyvar("a")]),
+        uelems_of(Term::value_var(ulist_sort()), elem_sort()).eq(
+            uelems_of(Term::var("xs", ulist_sort()), elem_sort())
+                .union(Term::singleton(elem_sort(), avar("x"))),
+        ),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("x".into(), RType::tyvar("a")),
+            ("xs".into(), ulist_type(RType::tyvar("a"))),
+        ],
+        ret,
+    );
+    Goal::new("unique_insert", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `unique delete :: x: α → xs: UList α →
+///  {UList α | uelems ν = uelems xs − [x]}` (components: `=`, `≠`).
+pub fn goal_unique_delete() -> Goal {
+    let env = unique_list_environment();
+    let ret = RType::refined(
+        BaseType::Data("UList".into(), vec![RType::tyvar("a")]),
+        uelems_of(Term::value_var(ulist_sort()), elem_sort()).eq(
+            uelems_of(Term::var("xs", ulist_sort()), elem_sort())
+                .set_diff(Term::singleton(elem_sort(), avar("x"))),
+        ),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("x".into(), RType::tyvar("a")),
+            ("xs".into(), ulist_type(RType::tyvar("a"))),
+        ],
+        ret,
+    );
+    Goal::new("unique_delete", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `remove duplicates :: xs: List α → {UList α | uelems ν = elems xs}`,
+/// with list membership (`is member`) provided as a component — exactly
+/// the decomposition the paper uses (the membership test is the other
+/// synthesis goal of this row).
+pub fn goal_remove_duplicates() -> Goal {
+    let mut env = unique_list_environment();
+    // Component: member :: x: α → xs: UList α → {Bool | ν ⇔ x ∈ uelems xs}.
+    let member_ret = RType::refined(
+        BaseType::Bool,
+        Term::value_var(Sort::Bool)
+            .iff(avar("x").member(uelems_of(Term::var("xs", ulist_sort()), elem_sort()))),
+    );
+    env.add_var(
+        "umember",
+        Schema::forall(
+            vec!["a".into()],
+            RType::fun_n(
+                vec![
+                    ("x".into(), RType::tyvar("a")),
+                    ("xs".into(), ulist_type(RType::tyvar("a"))),
+                ],
+                member_ret,
+            ),
+        ),
+    );
+    let list_sort = Sort::Data("List".into(), vec![elem_sort()]);
+    let ret = RType::refined(
+        BaseType::Data("UList".into(), vec![RType::tyvar("a")]),
+        uelems_of(Term::value_var(ulist_sort()), elem_sort())
+            .eq(elems_of(Term::var("xs", list_sort), elem_sort())),
+    );
+    let ty = RType::fun("xs", list_type(RType::tyvar("a")), ret);
+    Goal::new("remove_duplicates", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `strictly sorted insert :: x: α → xs: SList α →
+///  {SList α | selems ν = selems xs + [x]}` (components: `<`).
+pub fn goal_strict_insert() -> Goal {
+    let env = strict_list_environment();
+    let ret = RType::refined(
+        BaseType::Data("SList".into(), vec![RType::tyvar("a")]),
+        selems_of(Term::value_var(slist_sort()), elem_sort()).eq(
+            selems_of(Term::var("xs", slist_sort()), elem_sort())
+                .union(Term::singleton(elem_sort(), avar("x"))),
+        ),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("x".into(), RType::tyvar("a")),
+            ("xs".into(), slist_type(RType::tyvar("a"))),
+        ],
+        ret,
+    );
+    Goal::new("strict_insert", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `strictly sorted delete :: x: α → xs: SList α →
+///  {SList α | selems ν = selems xs − [x]}` (components: `<`).
+pub fn goal_strict_delete() -> Goal {
+    let env = strict_list_environment();
+    let ret = RType::refined(
+        BaseType::Data("SList".into(), vec![RType::tyvar("a")]),
+        selems_of(Term::value_var(slist_sort()), elem_sort()).eq(
+            selems_of(Term::var("xs", slist_sort()), elem_sort())
+                .set_diff(Term::singleton(elem_sort(), avar("x"))),
+        ),
+    );
+    let ty = RType::fun_n(
+        vec![
+            ("x".into(), RType::tyvar("a")),
+            ("xs".into(), slist_type(RType::tyvar("a"))),
+        ],
+        ret,
+    );
+    Goal::new("strict_delete", env, Schema::forall(vec!["a".into()], ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_strict_goals_are_well_formed() {
+        for goal in [
+            goal_unique_insert(),
+            goal_unique_delete(),
+            goal_remove_duplicates(),
+            goal_strict_insert(),
+            goal_strict_delete(),
+        ] {
+            assert!(goal.schema.ty.is_function());
+            let (_, ret) = goal.schema.ty.uncurry();
+            assert!(ret.is_scalar());
+            assert!(!ret.refinement().is_true(), "{} has a trivial goal", goal.name);
+        }
+    }
+
+    #[test]
+    fn remove_duplicates_provides_a_membership_component() {
+        let goal = goal_remove_duplicates();
+        assert!(goal.env.lookup("umember").is_some());
+        assert!(goal.env.datatype("List").is_some());
+        assert!(goal.env.datatype("UList").is_some());
+    }
+
+    #[test]
+    fn strict_goals_use_the_slist_measures() {
+        let goal = goal_strict_insert();
+        let (_, ret) = goal.schema.ty.uncurry();
+        assert!(ret.refinement().to_string().contains("selems"));
+    }
+}

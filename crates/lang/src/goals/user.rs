@@ -1,0 +1,86 @@
+//! Transcriptions of the `User` group of Table 1 (custom datatypes).
+
+use crate::components::{book_environment, len_of, list_type};
+use synquid_core::Goal;
+use synquid_logic::{Sort, Term};
+use synquid_types::{list_datatype, BaseType, RType, Schema};
+
+fn elem_sort() -> Sort {
+    Sort::var("a")
+}
+
+fn book_sort() -> Sort {
+    Sort::Data("Book".into(), vec![elem_sort()])
+}
+
+fn book_ty() -> RType {
+    RType::base(BaseType::Data("Book".into(), vec![RType::tyvar("a")]))
+}
+
+fn bsize(t: Term) -> Term {
+    Term::app("bsize", vec![t], Sort::Int)
+}
+
+/// `make address book :: xs: List α → {Book α | bsize ν = len xs}`,
+/// with `is_private : α → Bool` provided as a component (the paper's
+/// benchmark classifies each entry as private or business).
+pub fn goal_make_address_book() -> Goal {
+    let mut env = book_environment();
+    env.add_datatype(list_datatype());
+    env.add_var(
+        "is_private",
+        Schema::forall(
+            vec!["a".into()],
+            RType::fun("x", RType::tyvar("a"), RType::bool()),
+        ),
+    );
+    let ret = RType::refined(
+        BaseType::Data("Book".into(), vec![RType::tyvar("a")]),
+        bsize(Term::value_var(book_sort())).eq(len_of(Term::var(
+            "xs",
+            Sort::Data("List".into(), vec![elem_sort()]),
+        ))),
+    );
+    let ty = RType::fun("xs", list_type(RType::tyvar("a")), ret);
+    Goal::new("make_address_book", env, Schema::forall(vec!["a".into()], ty))
+}
+
+/// `merge address books :: b1: Book α → b2: Book α →
+///  {Book α | bsize ν = bsize b1 + bsize b2}`.
+pub fn goal_merge_address_books() -> Goal {
+    let env = book_environment();
+    let ret = RType::refined(
+        BaseType::Data("Book".into(), vec![RType::tyvar("a")]),
+        bsize(Term::value_var(book_sort()))
+            .eq(bsize(Term::var("b1", book_sort())).plus(bsize(Term::var("b2", book_sort())))),
+    );
+    let ty = RType::fun_n(
+        vec![("b1".into(), book_ty()), ("b2".into(), book_ty())],
+        ret,
+    );
+    Goal::new(
+        "merge_address_books",
+        env,
+        Schema::forall(vec!["a".into()], ty),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_book_goals_are_well_formed() {
+        for goal in [goal_make_address_book(), goal_merge_address_books()] {
+            assert!(goal.schema.ty.is_function());
+            assert!(goal.env.datatype("Book").is_some());
+        }
+    }
+
+    #[test]
+    fn make_address_book_classifies_entries_with_a_component() {
+        let goal = goal_make_address_book();
+        assert!(goal.env.lookup("is_private").is_some());
+        assert!(goal.env.datatype("List").is_some());
+    }
+}

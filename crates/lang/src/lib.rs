@@ -1,0 +1,28 @@
+//! # synquid-lang
+//!
+//! The user-facing layer of the Synquid reproduction: reusable component
+//! libraries (integers, booleans, lists, sorted lists, binary search
+//! trees), the benchmark suite of the paper's evaluation (Table 1,
+//! Table 2, and the Fig. 7 SyGuS family), and helpers for running goals
+//! and collecting results.
+//!
+//! ## Example
+//!
+//! ```
+//! use synquid_lang::benchmarks::max_n;
+//! use synquid_lang::runner::{run_goal, Variant};
+//! use std::time::Duration;
+//!
+//! let goal = max_n(2);
+//! let result = run_goal(&goal, Variant::Default.config(Duration::from_secs(30), (1, 0)));
+//! assert!(result.solved);
+//! ```
+
+pub mod benchmarks;
+pub mod components;
+pub mod datatypes;
+pub mod goals;
+pub mod runner;
+
+pub use benchmarks::{array_search_n, max_n, sygus, table1, table2, transcribed, Benchmark};
+pub use runner::{run_goal, RunResult, Variant};

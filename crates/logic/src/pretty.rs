@@ -1,0 +1,145 @@
+//! Pretty-printing of refinement terms.
+//!
+//! The output follows the notation of the paper where practical: the value
+//! variable prints as `ν`, set union as `+`, membership as `in`, and
+//! predicate unknowns as `P<i>`.
+
+use crate::term::{BinOp, Term, UnOp};
+use std::fmt;
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Plus => "+",
+            BinOp::Minus => "-",
+            BinOp::Times => "*",
+            BinOp::Eq => "==",
+            BinOp::Neq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Implies => "==>",
+            BinOp::Iff => "<==>",
+            BinOp::Union => "+",
+            BinOp::Intersect => "*",
+            BinOp::Diff => "\\",
+            BinOp::Member => "in",
+            BinOp::Subset => "<=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+fn needs_parens(t: &Term) -> bool {
+    matches!(t, Term::Binary(_, _, _) | Term::Ite(_, _, _) | Term::App(_, _, _))
+}
+
+fn fmt_atom(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if needs_parens(t) {
+        write!(f, "({t})")
+    } else {
+        write!(f, "{t}")
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::IntLit(n) => write!(f, "{n}"),
+            Term::BoolLit(b) => write!(f, "{b}"),
+            Term::SetLit(_, elems) => {
+                write!(f, "[")?;
+                for (i, e) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Term::Var(name, _) => write!(f, "{name}"),
+            Term::Unknown(id, subst) => {
+                write!(f, "P{id}")?;
+                if !subst.is_empty() {
+                    write!(f, "[")?;
+                    for (i, (k, v)) in subst.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}/{k}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            Term::Unary(op, t) => {
+                write!(f, "{op}")?;
+                fmt_atom(t, f)
+            }
+            Term::Binary(op, a, b) => {
+                fmt_atom(a, f)?;
+                write!(f, " {op} ")?;
+                fmt_atom(b, f)
+            }
+            Term::Ite(c, t, e) => {
+                write!(f, "if ")?;
+                fmt_atom(c, f)?;
+                write!(f, " then ")?;
+                fmt_atom(t, f)?;
+                write!(f, " else ")?;
+                fmt_atom(e, f)
+            }
+            Term::App(name, args, _) => {
+                write!(f, "{name}")?;
+                for a in args {
+                    write!(f, " ")?;
+                    fmt_atom(a, f)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sort, VALUE_VAR};
+
+    #[test]
+    fn value_var_prints_as_nu() {
+        let t = Term::value_var(Sort::Int).ge(Term::int(0));
+        assert_eq!(t.to_string(), format!("{VALUE_VAR} >= 0"));
+    }
+
+    #[test]
+    fn measure_application_prints_with_parens_in_context() {
+        let xs = Term::var("xs", Sort::data("List", vec![Sort::var("a")]));
+        let t = Term::app("len", vec![xs], Sort::Int).eq(Term::int(0));
+        assert_eq!(t.to_string(), "(len xs) == 0");
+    }
+
+    #[test]
+    fn unknown_prints_with_pending_substitution() {
+        let u = Term::unknown(2).substitute_value(&Term::var("x", Sort::Int));
+        assert_eq!(u.to_string(), "P2[x/ν]");
+    }
+
+    #[test]
+    fn set_literal_prints_brackets() {
+        let t = Term::SetLit(Sort::Int, vec![Term::int(1), Term::int(2)]);
+        assert_eq!(t.to_string(), "[1, 2]");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the refinement-term algebra.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use synquid_logic::simplify::{conjuncts, fold_constants, nnf};
+use synquid_logic::{Sort, Substitution, Term};
+
+/// A strategy for small boolean formulas over the integer variables
+/// `x`, `y`, `z` and small constants.
+fn arb_int_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-4i64..5).prop_map(Term::int),
+        Just(Term::var("x", Sort::Int)),
+        Just(Term::var("y", Sort::Int)),
+        Just(Term::var("z", Sort::Int)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.plus(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.minus(b)),
+        ]
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Term> {
+    let atom = prop_oneof![
+        Just(Term::tt()),
+        Just(Term::ff()),
+        (arb_int_term(), arb_int_term()).prop_map(|(a, b)| a.le(b)),
+        (arb_int_term(), arb_int_term()).prop_map(|(a, b)| a.lt(b)),
+        (arb_int_term(), arb_int_term()).prop_map(|(a, b)| a.eq(b)),
+        (arb_int_term(), arb_int_term()).prop_map(|(a, b)| a.neq(b)),
+    ];
+    atom.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.clone().prop_map(|a| a.not()),
+        ]
+    })
+}
+
+/// Evaluates a closed-after-substitution formula under an integer
+/// assignment; returns `None` if the term is not boolean or mentions
+/// unexpected constructs.
+fn eval(term: &Term, env: &BTreeMap<&str, i64>) -> Option<i64> {
+    use synquid_logic::{BinOp, UnOp};
+    Some(match term {
+        Term::IntLit(n) => *n,
+        Term::BoolLit(b) => *b as i64,
+        Term::Var(name, _) => *env.get(name.as_str())?,
+        Term::Unary(UnOp::Neg, t) => -eval(t, env)?,
+        Term::Unary(UnOp::Not, t) => 1 - eval(t, env)?,
+        Term::Binary(op, a, b) => {
+            let a = eval(a, env)?;
+            let b = eval(b, env)?;
+            match op {
+                BinOp::Plus => a + b,
+                BinOp::Minus => a - b,
+                BinOp::Times => a * b,
+                BinOp::Eq => (a == b) as i64,
+                BinOp::Neq => (a != b) as i64,
+                BinOp::Le => (a <= b) as i64,
+                BinOp::Lt => (a < b) as i64,
+                BinOp::Ge => (a >= b) as i64,
+                BinOp::Gt => (a > b) as i64,
+                BinOp::And => (a != 0 && b != 0) as i64,
+                BinOp::Or => (a != 0 || b != 0) as i64,
+                BinOp::Implies => (a == 0 || b != 0) as i64,
+                BinOp::Iff => ((a != 0) == (b != 0)) as i64,
+                _ => return None,
+            }
+        }
+        Term::Ite(c, t, e) => {
+            if eval(c, env)? != 0 {
+                eval(t, env)?
+            } else {
+                eval(e, env)?
+            }
+        }
+        _ => return None,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// NNF preserves the truth value of formulas under every assignment
+    /// from a small sample.
+    #[test]
+    fn nnf_preserves_semantics(f in arb_formula(), x in -3i64..4, y in -3i64..4, z in -3i64..4) {
+        let env: BTreeMap<&str, i64> = [("x", x), ("y", y), ("z", z)].into_iter().collect();
+        let original = eval(&f, &env);
+        let normalized = eval(&nnf(&f), &env);
+        prop_assert_eq!(original.map(|v| v != 0), normalized.map(|v| v != 0));
+    }
+
+    /// Constant folding preserves semantics.
+    #[test]
+    fn fold_constants_preserves_semantics(f in arb_formula(), x in -3i64..4, y in -3i64..4) {
+        let env: BTreeMap<&str, i64> = [("x", x), ("y", y), ("z", 0)].into_iter().collect();
+        let original = eval(&f, &env);
+        let folded = eval(&fold_constants(&f), &env);
+        prop_assert_eq!(original.map(|v| v != 0), folded.map(|v| v != 0));
+    }
+
+    /// NNF never leaves a negation above a connective.
+    #[test]
+    fn nnf_pushes_negations_to_atoms(f in arb_formula()) {
+        use synquid_logic::{BinOp, UnOp};
+        let mut ok = true;
+        nnf(&f).walk(&mut |t| {
+            if let Term::Unary(UnOp::Not, inner) = t {
+                if let Term::Binary(op, _, _) = inner.as_ref() {
+                    if matches!(op, BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff) {
+                        ok = false;
+                    }
+                }
+            }
+        });
+        prop_assert!(ok);
+    }
+
+    /// Substituting a variable eliminates it from the free-variable set
+    /// (when the replacement does not itself mention the variable).
+    #[test]
+    fn substitution_eliminates_the_variable(f in arb_formula(), c in -5i64..6) {
+        let mut subst = Substitution::new();
+        subst.insert("x".to_string(), Term::int(c));
+        let substituted = f.substitute(&subst);
+        prop_assert!(!substituted.free_vars().contains_key("x"));
+    }
+
+    /// Substitution commutes with evaluation.
+    #[test]
+    fn substitution_commutes_with_evaluation(f in arb_formula(), c in -3i64..4, y in -3i64..4) {
+        let mut subst = Substitution::new();
+        subst.insert("x".to_string(), Term::int(c));
+        let substituted = f.substitute(&subst);
+        let env_full: BTreeMap<&str, i64> = [("x", c), ("y", y), ("z", 1)].into_iter().collect();
+        let env_rest: BTreeMap<&str, i64> = [("x", 99), ("y", y), ("z", 1)].into_iter().collect();
+        // After substitution the value of the original x binding is irrelevant.
+        prop_assert_eq!(eval(&f, &env_full), eval(&substituted, &env_rest).or(eval(&substituted, &env_full)));
+    }
+
+    /// Splitting a conjunction and conjoining the pieces back is the
+    /// identity up to truth value.
+    #[test]
+    fn conjuncts_roundtrip(f in arb_formula(), x in -3i64..4, y in -3i64..4) {
+        let env: BTreeMap<&str, i64> = [("x", x), ("y", y), ("z", 2)].into_iter().collect();
+        let parts = conjuncts(&f);
+        let rebuilt = Term::conjunction(parts);
+        // Only compare when the original is itself a conjunction shape;
+        // for other shapes conjuncts returns the formula unchanged.
+        prop_assert_eq!(eval(&f, &env).map(|v| v != 0), eval(&rebuilt, &env).map(|v| v != 0));
+    }
+}

@@ -1,0 +1,653 @@
+//! Linear integer arithmetic: a general simplex over exact rationals
+//! (in the style of Dutertre & de Moura) with branch-and-bound for
+//! integrality.
+//!
+//! The solver decides satisfiability of conjunctions of linear constraints
+//! `Σ aᵢ·xᵢ ⋈ c` with `⋈ ∈ {≤, ≥, =, <, >}`. All problem variables are
+//! integer-valued (the refinement logic models every ordered sort as the
+//! integers), so strict inequalities are normalised away (`x < c` becomes
+//! `x ≤ c − 1`) and a rational relaxation is refined by branch-and-bound.
+
+use crate::rational::Rational;
+use std::collections::BTreeMap;
+
+/// Identifier of an arithmetic variable.
+pub type VarId = usize;
+
+/// A linear expression `Σ aᵢ·xᵢ + c`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Coefficients per variable (no zero entries).
+    pub coeffs: BTreeMap<VarId, Rational>,
+    /// Constant offset.
+    pub constant: Rational,
+}
+
+impl LinExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: Rational) -> LinExpr {
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression consisting of a single variable.
+    pub fn variable(v: VarId) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, Rational::ONE);
+        LinExpr {
+            coeffs,
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// Adds another expression scaled by `k`.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: Rational) {
+        for (v, a) in &other.coeffs {
+            let entry = self.coeffs.entry(*v).or_insert(Rational::ZERO);
+            *entry = *entry + *a * k;
+        }
+        self.constant = self.constant + other.constant * k;
+        self.coeffs.retain(|_, a| !a.is_zero());
+    }
+
+    /// `self + other`.
+    pub fn plus(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.add_scaled(other, Rational::ONE);
+        out
+    }
+
+    /// `self - other`.
+    pub fn minus(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.add_scaled(other, -Rational::ONE);
+        out
+    }
+
+    /// `k * self`.
+    pub fn scaled(&self, k: Rational) -> LinExpr {
+        let mut out = LinExpr::default();
+        out.add_scaled(self, k);
+        out
+    }
+
+    /// True if the expression mentions no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates the expression under an assignment (missing variables are
+    /// treated as zero).
+    pub fn eval(&self, assignment: &BTreeMap<VarId, Rational>) -> Rational {
+        let mut acc = self.constant;
+        for (v, a) in &self.coeffs {
+            let val = assignment.get(v).copied().unwrap_or(Rational::ZERO);
+            acc = acc + *a * val;
+        }
+        acc
+    }
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `expr ≤ 0`
+    Le,
+    /// `expr = 0`
+    Eq,
+    /// `expr ≥ 0`
+    Ge,
+}
+
+/// A linear constraint `expr ⋈ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Relation against zero.
+    pub rel: Rel,
+}
+
+impl Constraint {
+    /// `lhs ≤ rhs`.
+    pub fn le(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        Constraint {
+            expr: lhs.minus(&rhs),
+            rel: Rel::Le,
+        }
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        Constraint {
+            expr: lhs.minus(&rhs),
+            rel: Rel::Eq,
+        }
+    }
+
+    /// `lhs ≥ rhs`.
+    pub fn ge(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        Constraint {
+            expr: lhs.minus(&rhs),
+            rel: Rel::Ge,
+        }
+    }
+
+    /// `lhs < rhs` over the integers (`lhs ≤ rhs − 1`).
+    pub fn lt_int(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        let mut expr = lhs.minus(&rhs);
+        expr.constant = expr.constant + Rational::ONE;
+        Constraint { expr, rel: Rel::Le }
+    }
+
+    /// `lhs > rhs` over the integers (`lhs ≥ rhs + 1`).
+    pub fn gt_int(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        let mut expr = lhs.minus(&rhs);
+        expr.constant = expr.constant - Rational::ONE;
+        Constraint { expr, rel: Rel::Ge }
+    }
+
+    fn holds(&self, assignment: &BTreeMap<VarId, Rational>) -> bool {
+        let v = self.expr.eval(assignment);
+        match self.rel {
+            Rel::Le => v <= Rational::ZERO,
+            Rel::Eq => v.is_zero(),
+            Rel::Ge => v >= Rational::ZERO,
+        }
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiaResult {
+    /// Satisfiable with an integer model.
+    Sat(BTreeMap<VarId, Rational>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The branch-and-bound budget was exhausted; treated as "possibly
+    /// satisfiable" by callers (conservative for validity checking).
+    Unknown,
+}
+
+impl LiaResult {
+    /// True unless the result is [`LiaResult::Unsat`].
+    pub fn possibly_sat(&self) -> bool {
+        !matches!(self, LiaResult::Unsat)
+    }
+}
+
+/// A simplex tableau specialised to feasibility checking.
+#[derive(Debug, Clone)]
+struct Simplex {
+    /// Number of variables (problem + slack).
+    num_vars: usize,
+    /// Rows: basic variable -> linear combination of non-basic variables.
+    rows: BTreeMap<VarId, BTreeMap<VarId, Rational>>,
+    /// Lower bounds.
+    lower: BTreeMap<VarId, Rational>,
+    /// Upper bounds.
+    upper: BTreeMap<VarId, Rational>,
+    /// Current assignment β.
+    beta: BTreeMap<VarId, Rational>,
+}
+
+impl Simplex {
+    fn new(num_problem_vars: usize) -> Simplex {
+        Simplex {
+            num_vars: num_problem_vars,
+            rows: BTreeMap::new(),
+            lower: BTreeMap::new(),
+            upper: BTreeMap::new(),
+            beta: BTreeMap::new(),
+        }
+    }
+
+    fn beta(&self, v: VarId) -> Rational {
+        self.beta.get(&v).copied().unwrap_or(Rational::ZERO)
+    }
+
+    fn set_beta(&mut self, v: VarId, val: Rational) {
+        self.beta.insert(v, val);
+    }
+
+    /// Introduces a slack variable equal to the given combination of
+    /// problem variables and returns its id.
+    fn add_slack(&mut self, combo: &BTreeMap<VarId, Rational>) -> VarId {
+        let s = self.num_vars;
+        self.num_vars += 1;
+        // The slack starts basic: s = Σ aᵢ·xᵢ, where each xᵢ is currently
+        // non-basic (or basic — substitute its row).
+        let mut row: BTreeMap<VarId, Rational> = BTreeMap::new();
+        for (v, a) in combo {
+            if let Some(vrow) = self.rows.get(v).cloned() {
+                for (w, b) in vrow {
+                    let e = row.entry(w).or_insert(Rational::ZERO);
+                    *e = *e + *a * b;
+                }
+            } else {
+                let e = row.entry(*v).or_insert(Rational::ZERO);
+                *e = *e + *a;
+            }
+        }
+        row.retain(|_, a| !a.is_zero());
+        let val = row
+            .iter()
+            .map(|(v, a)| *a * self.beta(*v))
+            .fold(Rational::ZERO, |x, y| x + y);
+        self.rows.insert(s, row);
+        self.set_beta(s, val);
+        s
+    }
+
+    fn assert_upper(&mut self, v: VarId, c: Rational) -> bool {
+        if let Some(l) = self.lower.get(&v) {
+            if *l > c {
+                return false;
+            }
+        }
+        let tighter = match self.upper.get(&v) {
+            Some(u) => c < *u,
+            None => true,
+        };
+        if tighter {
+            self.upper.insert(v, c);
+            if !self.rows.contains_key(&v) && self.beta(v) > c {
+                self.update_nonbasic(v, c);
+            }
+        }
+        true
+    }
+
+    fn assert_lower(&mut self, v: VarId, c: Rational) -> bool {
+        if let Some(u) = self.upper.get(&v) {
+            if *u < c {
+                return false;
+            }
+        }
+        let tighter = match self.lower.get(&v) {
+            Some(l) => c > *l,
+            None => true,
+        };
+        if tighter {
+            self.lower.insert(v, c);
+            if !self.rows.contains_key(&v) && self.beta(v) < c {
+                self.update_nonbasic(v, c);
+            }
+        }
+        true
+    }
+
+    /// Sets a non-basic variable to a new value and updates all basic rows.
+    fn update_nonbasic(&mut self, v: VarId, val: Rational) {
+        let delta = val - self.beta(v);
+        if delta.is_zero() {
+            return;
+        }
+        let rows: Vec<(VarId, Rational)> = self
+            .rows
+            .iter()
+            .filter_map(|(b, row)| row.get(&v).map(|a| (*b, *a)))
+            .collect();
+        for (b, a) in rows {
+            let nb = self.beta(b) + a * delta;
+            self.set_beta(b, nb);
+        }
+        self.set_beta(v, val);
+    }
+
+    /// Pivot: basic variable `b` leaves the basis, non-basic `n` enters.
+    fn pivot(&mut self, b: VarId, n: VarId, new_b_value: Rational) {
+        let row_b = self.rows.remove(&b).expect("pivot on non-basic row");
+        let a_bn = *row_b.get(&n).expect("entering variable not in row");
+        // b = Σ a_bj x_j  =>  n = (b - Σ_{j≠n} a_bj x_j) / a_bn
+        let mut row_n: BTreeMap<VarId, Rational> = BTreeMap::new();
+        row_n.insert(b, a_bn.recip());
+        for (j, a) in &row_b {
+            if *j != n {
+                row_n.insert(*j, -*a / a_bn);
+            }
+        }
+        row_n.retain(|_, a| !a.is_zero());
+
+        // Substitute n's new definition into every other row.
+        let keys: Vec<VarId> = self.rows.keys().copied().collect();
+        for k in keys {
+            let row = self.rows.get(&k).cloned().unwrap_or_default();
+            if let Some(a_kn) = row.get(&n).copied() {
+                let mut new_row = row.clone();
+                new_row.remove(&n);
+                for (j, a) in &row_n {
+                    let e = new_row.entry(*j).or_insert(Rational::ZERO);
+                    *e = *e + a_kn * *a;
+                }
+                new_row.retain(|_, a| !a.is_zero());
+                self.rows.insert(k, new_row);
+            }
+        }
+        self.rows.insert(n, row_n);
+
+        // Update assignments: b takes its target value, n is recomputed so
+        // that b's row still holds, and all other basic variables follow.
+        let delta_b = new_b_value - self.beta(b);
+        let delta_n = delta_b / a_bn;
+        let new_n = self.beta(n) + delta_n;
+
+        // Recompute every basic variable's value from scratch after the
+        // non-basic update (simpler than incremental bookkeeping and still
+        // cheap at our problem sizes).
+        self.set_beta(b, new_b_value);
+        self.set_beta(n, new_n);
+        let basics: Vec<VarId> = self.rows.keys().copied().collect();
+        for bb in basics {
+            let row = &self.rows[&bb];
+            let val = row
+                .iter()
+                .map(|(v, a)| *a * self.beta(*v))
+                .fold(Rational::ZERO, |x, y| x + y);
+            self.set_beta(bb, val);
+        }
+    }
+
+    /// Restores feasibility (the "check" procedure of the general simplex).
+    fn check(&mut self) -> bool {
+        let max_iters = 10_000;
+        for _ in 0..max_iters {
+            // Find a basic variable violating one of its bounds (Bland's
+            // rule: smallest id first, to guarantee termination).
+            let violated = self
+                .rows
+                .keys()
+                .copied()
+                .find(|b| {
+                    let v = self.beta(*b);
+                    self.lower.get(b).is_some_and(|l| v < *l)
+                        || self.upper.get(b).is_some_and(|u| v > *u)
+                });
+            let Some(b) = violated else {
+                return true;
+            };
+            let v = self.beta(b);
+            let below = self.lower.get(&b).is_some_and(|l| v < *l);
+            let target = if below {
+                self.lower[&b]
+            } else {
+                self.upper[&b]
+            };
+            let row = self.rows[&b].clone();
+            // Find a suitable non-basic variable to pivot with (Bland).
+            let mut entering = None;
+            let mut candidates: Vec<(VarId, Rational)> = row.into_iter().collect();
+            candidates.sort_by_key(|(v, _)| *v);
+            for (n, a) in candidates {
+                let n_val = self.beta(n);
+                let can_increase = match self.upper.get(&n) {
+                    Some(u) => n_val < *u,
+                    None => true,
+                };
+                let can_decrease = match self.lower.get(&n) {
+                    Some(l) => n_val > *l,
+                    None => true,
+                };
+                let ok = if below {
+                    (a.is_positive() && can_increase) || (a.is_negative() && can_decrease)
+                } else {
+                    (a.is_positive() && can_decrease) || (a.is_negative() && can_increase)
+                };
+                if ok {
+                    entering = Some(n);
+                    break;
+                }
+            }
+            match entering {
+                Some(n) => self.pivot(b, n, target),
+                None => return false,
+            }
+        }
+        // Should not happen with Bland's rule; be conservative.
+        true
+    }
+
+    fn model(&self, num_problem_vars: usize) -> BTreeMap<VarId, Rational> {
+        (0..num_problem_vars).map(|v| (v, self.beta(v))).collect()
+    }
+}
+
+/// Decides satisfiability of a conjunction of linear constraints over the
+/// integers.
+#[derive(Debug, Clone, Default)]
+pub struct LiaSolver {
+    /// Maximum number of branch-and-bound nodes explored before giving up.
+    pub branch_budget: usize,
+}
+
+impl LiaSolver {
+    /// Creates a solver with the default branch-and-bound budget.
+    pub fn new() -> LiaSolver {
+        LiaSolver { branch_budget: 200 }
+    }
+
+    /// Checks a conjunction of constraints; `num_vars` is the number of
+    /// problem variables (ids `0..num_vars`).
+    pub fn check(&self, num_vars: usize, constraints: &[Constraint]) -> LiaResult {
+        let mut budget = self.branch_budget;
+        self.check_rec(num_vars, constraints.to_vec(), &mut budget)
+    }
+
+    fn check_rec(
+        &self,
+        num_vars: usize,
+        constraints: Vec<Constraint>,
+        budget: &mut usize,
+    ) -> LiaResult {
+        // Constant constraints can be discharged immediately.
+        for c in &constraints {
+            if c.expr.is_constant() && !c.holds(&BTreeMap::new()) {
+                return LiaResult::Unsat;
+            }
+        }
+
+        let mut simplex = Simplex::new(num_vars);
+        for c in constraints.iter().filter(|c| !c.expr.is_constant()) {
+            let combo = c.expr.coeffs.clone();
+            let s = simplex.add_slack(&combo);
+            // expr ⋈ 0  ⟺  Σ aᵢxᵢ ⋈ -constant
+            let bound = -c.expr.constant;
+            let ok = match c.rel {
+                Rel::Le => simplex.assert_upper(s, bound),
+                Rel::Ge => simplex.assert_lower(s, bound),
+                Rel::Eq => simplex.assert_upper(s, bound) && simplex.assert_lower(s, bound),
+            };
+            if !ok {
+                return LiaResult::Unsat;
+            }
+        }
+        if !simplex.check() {
+            return LiaResult::Unsat;
+        }
+        let model = simplex.model(num_vars);
+        // Branch and bound on a fractional variable.
+        let fractional = model.iter().find(|(_, v)| !v.is_integer());
+        match fractional {
+            None => {
+                debug_assert!(constraints.iter().all(|c| c.holds(&model)));
+                LiaResult::Sat(model)
+            }
+            Some((&v, &val)) => {
+                if *budget == 0 {
+                    return LiaResult::Unknown;
+                }
+                *budget -= 1;
+                // x ≤ floor(val)
+                let mut left = constraints.clone();
+                left.push(Constraint::le(
+                    LinExpr::variable(v),
+                    LinExpr::constant(Rational::new(val.floor(), 1)),
+                ));
+                match self.check_rec(num_vars, left, budget) {
+                    LiaResult::Sat(m) => return LiaResult::Sat(m),
+                    LiaResult::Unknown => return LiaResult::Unknown,
+                    LiaResult::Unsat => {}
+                }
+                // x ≥ ceil(val)
+                let mut right = constraints;
+                right.push(Constraint::ge(
+                    LinExpr::variable(v),
+                    LinExpr::constant(Rational::new(val.ceil(), 1)),
+                ));
+                self.check_rec(num_vars, right, budget)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(v: VarId) -> LinExpr {
+        LinExpr::variable(v)
+    }
+
+    fn num(n: i64) -> LinExpr {
+        LinExpr::constant(Rational::from_int(n))
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let solver = LiaSolver::new();
+        assert!(matches!(solver.check(0, &[]), LiaResult::Sat(_)));
+        let c = Constraint::le(num(1), num(0));
+        assert_eq!(solver.check(0, &[c]), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn simple_bounds() {
+        let solver = LiaSolver::new();
+        // x >= 1 ∧ x <= 3
+        let cs = vec![
+            Constraint::ge(var(0), num(1)),
+            Constraint::le(var(0), num(3)),
+        ];
+        match solver.check(1, &cs) {
+            LiaResult::Sat(m) => {
+                let x = m[&0];
+                assert!(x >= Rational::from_int(1) && x <= Rational::from_int(3));
+                assert!(x.is_integer());
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // x >= 4 ∧ x <= 3 is unsat
+        let cs = vec![
+            Constraint::ge(var(0), num(4)),
+            Constraint::le(var(0), num(3)),
+        ];
+        assert_eq!(solver.check(1, &cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn combination_of_constraints() {
+        let solver = LiaSolver::new();
+        // x + y <= 5 ∧ x >= 3 ∧ y >= 3 is unsat
+        let cs = vec![
+            Constraint::le(var(0).plus(&var(1)), num(5)),
+            Constraint::ge(var(0), num(3)),
+            Constraint::ge(var(1), num(3)),
+        ];
+        assert_eq!(solver.check(2, &cs), LiaResult::Unsat);
+        // x + y <= 5 ∧ x >= 3 ∧ y >= 2 is sat
+        let cs = vec![
+            Constraint::le(var(0).plus(&var(1)), num(5)),
+            Constraint::ge(var(0), num(3)),
+            Constraint::ge(var(1), num(2)),
+        ];
+        assert!(matches!(solver.check(2, &cs), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn equalities_chain() {
+        let solver = LiaSolver::new();
+        // len = n ∧ n = 0 ∧ len >= 1  — the replicate-style contradiction
+        let cs = vec![
+            Constraint::eq(var(0), var(1)),
+            Constraint::eq(var(1), num(0)),
+            Constraint::ge(var(0), num(1)),
+        ];
+        assert_eq!(solver.check(2, &cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn integrality_matters() {
+        let solver = LiaSolver::new();
+        // 2x = 1 has a rational solution but no integer one.
+        let cs = vec![Constraint::eq(
+            var(0).scaled(Rational::from_int(2)),
+            num(1),
+        )];
+        assert_eq!(solver.check(1, &cs), LiaResult::Unsat);
+        // 2x = 4 is fine.
+        let cs = vec![Constraint::eq(
+            var(0).scaled(Rational::from_int(2)),
+            num(4),
+        )];
+        assert!(matches!(solver.check(1, &cs), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn strict_inequalities_over_integers() {
+        let solver = LiaSolver::new();
+        // x < y ∧ y < x + 2  ⇒  y = x + 1 (sat)
+        let cs = vec![
+            Constraint::lt_int(var(0), var(1)),
+            Constraint::lt_int(var(1), var(0).plus(&num(2))),
+        ];
+        match solver.check(2, &cs) {
+            LiaResult::Sat(m) => {
+                assert_eq!(m[&1], m[&0] + Rational::ONE);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // x < y ∧ y < x + 1 is unsat over integers.
+        let cs = vec![
+            Constraint::lt_int(var(0), var(1)),
+            Constraint::lt_int(var(1), var(0).plus(&num(1))),
+        ];
+        assert_eq!(solver.check(2, &cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn unbounded_problems_are_sat() {
+        let solver = LiaSolver::new();
+        let cs = vec![Constraint::ge(var(0).minus(&var(1)), num(10))];
+        assert!(matches!(solver.check(2, &cs), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn larger_system_with_pivoting() {
+        let solver = LiaSolver::new();
+        // x + y + z = 10, x - y >= 2, z >= 3, y >= 1  → sat
+        let cs = vec![
+            Constraint::eq(var(0).plus(&var(1)).plus(&var(2)), num(10)),
+            Constraint::ge(var(0).minus(&var(1)), num(2)),
+            Constraint::ge(var(2), num(3)),
+            Constraint::ge(var(1), num(1)),
+        ];
+        match solver.check(3, &cs) {
+            LiaResult::Sat(m) => {
+                for c in &cs {
+                    assert!(c.holds(&m), "violated {c:?} by {m:?}");
+                }
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // Tighten until unsat: x + y + z = 10, x - y >= 2, z >= 6, y >= 2 → x>=4, sum >= 12
+        let cs = vec![
+            Constraint::eq(var(0).plus(&var(1)).plus(&var(2)), num(10)),
+            Constraint::ge(var(0).minus(&var(1)), num(2)),
+            Constraint::ge(var(2), num(6)),
+            Constraint::ge(var(1), num(2)),
+        ];
+        assert_eq!(solver.check(3, &cs), LiaResult::Unsat);
+    }
+}

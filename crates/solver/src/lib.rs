@@ -1,0 +1,42 @@
+//! # synquid-solver
+//!
+//! The SMT substrate of the Synquid reproduction.
+//!
+//! The original Synquid uses Z3 to discharge the quantifier-free
+//! verification conditions produced by liquid type checking. This crate
+//! provides a from-scratch replacement covering exactly the fragment the
+//! synthesizer needs:
+//!
+//! * linear integer arithmetic (a general simplex over exact rationals
+//!   with branch-and-bound, [`lia`]),
+//! * uninterpreted functions via Ackermann reduction ([`encode`]),
+//! * the ground theory of finite sets via finite-witness reduction
+//!   ([`encode`]),
+//! * a CDCL SAT solver for the propositional structure ([`sat`]),
+//! * a lazy DPLL(T) driver exposing `Sat`/`Valid` queries ([`smt`]),
+//! * MARCO-style enumeration of minimal unsatisfiable subsets ([`mus`]),
+//!   which powers the MUSFIX fixpoint strengthening of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use synquid_logic::{Term, Sort};
+//! use synquid_solver::Smt;
+//!
+//! let x = Term::var("x", Sort::Int);
+//! let y = Term::var("y", Sort::Int);
+//! let mut smt = Smt::new();
+//! assert!(smt.entails(&x.clone().lt(y.clone()), &x.le(y)));
+//! ```
+
+pub mod encode;
+pub mod lia;
+pub mod mus;
+pub mod rational;
+pub mod sat;
+pub mod smt;
+
+pub use mus::{enumerate_mus, enumerate_mus_smt, MusConfig};
+pub use rational::Rational;
+pub use sat::{Lit, SatResult, SatSolver};
+pub use smt::{Smt, SmtResult, SmtStats};

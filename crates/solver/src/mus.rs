@@ -1,0 +1,235 @@
+//! Enumeration of minimal unsatisfiable subsets (MUSes).
+//!
+//! This is the engine behind MUSFIX (Sec. 3.6 of the paper): the
+//! `Strengthen` step of the greatest-fixpoint Horn solver needs, for each
+//! violated Horn constraint, all *minimal* subsets of candidate qualifier
+//! atoms whose addition makes the constraint valid. That task reduces to
+//! enumerating the MUSes of a constraint set that contain the negated
+//! right-hand side of the implication.
+//!
+//! The implementation follows the MARCO algorithm (Liffiton et al.,
+//! "Fast, flexible MUS enumeration"): a *map* SAT instance over subset
+//! selector variables steers exploration; unsatisfiable seeds are shrunk
+//! to MUSes (blocking all supersets), satisfiable seeds are grown to MSSes
+//! (blocking all subsets).
+
+use crate::sat::{Lit, SatResult, SatSolver};
+use crate::smt::{Smt, SmtResult};
+use std::collections::BTreeSet;
+use synquid_logic::Term;
+
+/// Budgets for MUS enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct MusConfig {
+    /// Maximum number of MUSes to report.
+    pub max_muses: usize,
+    /// Maximum number of subset satisfiability checks.
+    pub max_checks: usize,
+}
+
+impl Default for MusConfig {
+    fn default() -> Self {
+        MusConfig {
+            max_muses: 4,
+            max_checks: 400,
+        }
+    }
+}
+
+/// Enumerates minimal unsatisfiable subsets of `0..n` using the provided
+/// oracle. Every reported subset is a superset of `required`; elements of
+/// `required` are never candidates for removal during shrinking.
+///
+/// The `is_unsat` oracle receives a candidate subset (always including
+/// `required`) and must return `true` iff that subset is unsatisfiable
+/// (together with whatever fixed background the caller has in mind).
+pub fn enumerate_mus(
+    n: usize,
+    required: &BTreeSet<usize>,
+    config: MusConfig,
+    mut is_unsat: impl FnMut(&BTreeSet<usize>) -> bool,
+) -> Vec<BTreeSet<usize>> {
+    let mut muses: Vec<BTreeSet<usize>> = Vec::new();
+    let mut checks = 0usize;
+    let mut map = SatSolver::new();
+    map.reserve_vars(n);
+    for &r in required {
+        map.add_clause(vec![Lit::pos(r)]);
+    }
+
+    loop {
+        if muses.len() >= config.max_muses || checks >= config.max_checks {
+            break;
+        }
+        // Find an unexplored seed.
+        let model = match map.solve() {
+            SatResult::Unsat(_) => break,
+            SatResult::Sat(model) => model,
+        };
+        let mut seed: BTreeSet<usize> = (0..n).filter(|i| model.get(*i).copied().unwrap_or(false)).collect();
+        seed.extend(required.iter().copied());
+
+        // Grow the seed towards a maximal set first: MARCO works correctly
+        // with any seed, but maximal seeds find MUSes faster for our
+        // workloads because most candidate atoms are irrelevant.
+        checks += 1;
+        if !is_unsat(&seed) {
+            // Satisfiable: grow to an MSS, then block down.
+            let mut mss = seed.clone();
+            for i in 0..n {
+                if mss.contains(&i) {
+                    continue;
+                }
+                let mut candidate = mss.clone();
+                candidate.insert(i);
+                checks += 1;
+                if checks >= config.max_checks {
+                    break;
+                }
+                if !is_unsat(&candidate) {
+                    mss = candidate;
+                }
+            }
+            // Block down: require at least one element outside the MSS.
+            let clause: Vec<Lit> = (0..n).filter(|i| !mss.contains(i)).map(Lit::pos).collect();
+            if clause.is_empty() {
+                // The full set is satisfiable: no MUS exists above it.
+                break;
+            }
+            map.add_clause(clause);
+        } else {
+            // Unsatisfiable: shrink to a MUS, then block up.
+            let mut mus = seed.clone();
+            let shrink_candidates: Vec<usize> = mus
+                .iter()
+                .copied()
+                .filter(|i| !required.contains(i))
+                .collect();
+            for i in shrink_candidates {
+                let mut candidate = mus.clone();
+                candidate.remove(&i);
+                checks += 1;
+                if checks >= config.max_checks {
+                    break;
+                }
+                if is_unsat(&candidate) {
+                    mus = candidate;
+                }
+            }
+            // Block up: at least one element of the MUS must be absent.
+            let clause: Vec<Lit> = mus
+                .iter()
+                .copied()
+                .filter(|i| !required.contains(i))
+                .map(Lit::neg)
+                .collect();
+            if clause.is_empty() {
+                // The required set alone is unsatisfiable; it is the unique
+                // MUS containing the required elements.
+                muses.push(mus);
+                break;
+            }
+            map.add_clause(clause);
+            muses.push(mus);
+        }
+    }
+    muses
+}
+
+/// Enumerates the MUSes of `background ∧ soft` that contain all `required`
+/// soft constraints, using the SMT solver as the oracle.
+pub fn enumerate_mus_smt(
+    smt: &mut Smt,
+    background: &Term,
+    soft: &[Term],
+    required: &BTreeSet<usize>,
+    config: MusConfig,
+) -> Vec<BTreeSet<usize>> {
+    enumerate_mus(soft.len(), required, config, |subset| {
+        let mut formulas = vec![background.clone()];
+        formulas.extend(subset.iter().map(|i| soft[*i].clone()));
+        matches!(smt.check_sat_conj(&formulas), SmtResult::Unsat)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synquid_logic::{Sort, Term};
+
+    fn set(items: &[usize]) -> BTreeSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn enumerates_all_muses_of_a_boolean_oracle() {
+        // Constraints: 0:"x>0", 1:"x<0", 2:"x=5", 3:"true".
+        // MUSes: {0,1}, {1,2}.
+        let is_unsat = |s: &BTreeSet<usize>| {
+            (s.contains(&0) && s.contains(&1)) || (s.contains(&1) && s.contains(&2))
+        };
+        let muses = enumerate_mus(4, &BTreeSet::new(), MusConfig::default(), is_unsat);
+        assert_eq!(muses.len(), 2);
+        assert!(muses.contains(&set(&[0, 1])));
+        assert!(muses.contains(&set(&[1, 2])));
+    }
+
+    #[test]
+    fn required_elements_are_in_every_mus() {
+        // Same oracle, but require element 2: only {1,2} qualifies.
+        let is_unsat = |s: &BTreeSet<usize>| {
+            (s.contains(&0) && s.contains(&1)) || (s.contains(&1) && s.contains(&2))
+        };
+        let muses = enumerate_mus(4, &set(&[2]), MusConfig::default(), is_unsat);
+        assert_eq!(muses, vec![set(&[1, 2])]);
+    }
+
+    #[test]
+    fn no_mus_when_everything_satisfiable() {
+        let muses = enumerate_mus(5, &BTreeSet::new(), MusConfig::default(), |_| false);
+        assert!(muses.is_empty());
+    }
+
+    #[test]
+    fn required_set_alone_unsat_is_the_unique_mus() {
+        let muses = enumerate_mus(3, &set(&[1]), MusConfig::default(), |s| s.contains(&1));
+        assert_eq!(muses, vec![set(&[1])]);
+    }
+
+    #[test]
+    fn smt_backed_enumeration_finds_branch_condition() {
+        // Background: len ν = 0 ∧ ¬(len ν = n) ∧ 0 ≤ n   (the replicate
+        // Nil-branch VC with the conclusion negated).
+        // Soft candidates: {n ≤ 0, n ≠ 0, 0 ≤ n}.
+        // The only MUS containing the (already unsat-making) candidate
+        // n ≤ 0 is {n ≤ 0} itself: adding it makes the background unsat.
+        let list = Sort::data("List", vec![Sort::var("a")]);
+        let len_v = Term::app("len", vec![Term::value_var(list)], Sort::Int);
+        let n = Term::var("n", Sort::Int);
+        let background = len_v
+            .clone()
+            .eq(Term::int(0))
+            .and(len_v.eq(n.clone()).not())
+            .and(Term::int(0).le(n.clone()));
+        let soft = vec![
+            n.clone().le(Term::int(0)),
+            n.clone().neq(Term::int(0)),
+            Term::int(0).le(n.clone()),
+        ];
+        let mut smt = Smt::new();
+        let muses = enumerate_mus_smt(
+            &mut smt,
+            &background,
+            &soft,
+            &BTreeSet::new(),
+            MusConfig::default(),
+        );
+        assert!(
+            muses.contains(&set(&[0])),
+            "expected {{n ≤ 0}} to be a MUS, got {muses:?}"
+        );
+        // {n ≠ 0, 0 ≤ n} also implies n > 0, contradicting len ν = 0 = n?
+        // No: background already negates len ν = n, so n ≠ 0 does not help.
+        assert!(!muses.contains(&set(&[1])));
+    }
+}

@@ -1,0 +1,233 @@
+//! Exact rational arithmetic for the simplex core.
+//!
+//! Rationals are stored as reduced `i128` fractions with a positive
+//! denominator. The linear programs arising from refinement-type
+//! verification conditions are tiny, so `i128` precision is ample; all
+//! operations use checked arithmetic and panic on overflow rather than
+//! silently producing wrong answers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational from a numerator and denominator.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates an integral rational.
+    pub fn from_int(n: i64) -> Rational {
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True if this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True if this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// True if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Largest integer less than or equal to this rational.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Smallest integer greater than or equal to this rational.
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the rational is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(
+            self.num
+                .checked_mul(rhs.den)
+                .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+                .expect("rational overflow in add"),
+            self.den.checked_mul(rhs.den).expect("rational overflow"),
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(
+            self.num.checked_mul(rhs.num).expect("rational overflow in mul"),
+            self.den.checked_mul(rhs.den).expect("rational overflow in mul"),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.num.checked_mul(other.den).expect("rational overflow in cmp");
+        let rhs = other.num.checked_mul(self.den).expect("rational overflow in cmp");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_reduces_fractions() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering_is_consistent() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::from_int(2) > Rational::new(3, 2));
+    }
+
+    #[test]
+    fn floor_and_ceil_handle_negatives() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from_int(5).floor(), 5);
+        assert_eq!(Rational::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+}

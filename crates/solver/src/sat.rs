@@ -1,0 +1,652 @@
+//! A CDCL SAT solver.
+//!
+//! This is the boolean engine of the SMT substrate: it is used both for the
+//! propositional abstraction in the DPLL(T) loop and as the "map" solver of
+//! the MARCO-style MUS enumerator. The implementation is a conventional
+//! conflict-driven clause-learning solver with two-watched-literal
+//! propagation, first-UIP clause learning, activity-based branching, and
+//! solving under assumptions.
+
+use std::collections::HashMap;
+
+/// A boolean variable, numbered from 0.
+pub type BVar = usize;
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    code: usize,
+}
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: BVar) -> Lit {
+        Lit { code: v << 1 }
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: BVar) -> Lit {
+        Lit { code: (v << 1) | 1 }
+    }
+
+    /// Creates a literal with the given polarity.
+    pub fn new(v: BVar, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> BVar {
+        self.code >> 1
+    }
+
+    /// True if the literal is positive.
+    pub fn is_pos(self) -> bool {
+        self.code & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit {
+            code: self.code ^ 1,
+        }
+    }
+
+    fn index(self) -> usize {
+        self.code
+    }
+}
+
+/// Result of a SAT call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; the model maps every variable to a boolean.
+    Sat(Vec<bool>),
+    /// Unsatisfiable. When solving under assumptions, contains the subset
+    /// of assumption literals involved in the refutation (a "core").
+    Unsat(Vec<Lit>),
+}
+
+impl SatResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    True,
+    False,
+    Unassigned,
+}
+
+/// The CDCL solver.
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Vec<Lit>>,
+    watches: HashMap<usize, Vec<usize>>, // literal index -> clause ids watching it
+    assignment: Vec<Value>,
+    level: Vec<usize>,
+    reason: Vec<Option<usize>>, // clause id that implied the assignment
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    propagate_head: usize,
+    has_empty_clause: bool,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            var_inc: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> BVar {
+        let v = self.assignment.len();
+        self.assignment.push(Value::Unassigned);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Adds a clause (a disjunction of literals). The empty clause makes
+    /// the instance trivially unsatisfiable.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        lits.sort();
+        lits.dedup();
+        // A clause containing both x and ¬x is a tautology.
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return;
+            }
+        }
+        if lits.is_empty() {
+            self.has_empty_clause = true;
+            return;
+        }
+        for l in &lits {
+            self.reserve_vars(l.var() + 1);
+        }
+        let id = self.clauses.len();
+        // Watch the first two literals (or duplicate the single literal).
+        let w0 = lits[0];
+        let w1 = *lits.get(1).unwrap_or(&lits[0]);
+        self.clauses.push(lits);
+        self.watches.entry(w0.index()).or_default().push(id);
+        if w1 != w0 {
+            self.watches.entry(w1.index()).or_default().push(id);
+        }
+    }
+
+    fn value(&self, l: Lit) -> Value {
+        match self.assignment[l.var()] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => {
+                if l.is_pos() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if l.is_pos() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) -> bool {
+        match self.value(l) {
+            Value::False => false,
+            Value::True => true,
+            Value::Unassigned => {
+                self.assignment[l.var()] = if l.is_pos() { Value::True } else { Value::False };
+                self.level[l.var()] = self.decision_level();
+                self.reason[l.var()] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the id of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagate_head < self.trail.len() {
+            let l = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            let falsified = l.negate();
+            let watching = self
+                .watches
+                .get(&falsified.index())
+                .cloned()
+                .unwrap_or_default();
+            let mut still_watching = Vec::with_capacity(watching.len());
+            let mut conflict = None;
+            let mut i = 0;
+            while i < watching.len() {
+                let cid = watching[i];
+                i += 1;
+                if conflict.is_some() {
+                    still_watching.push(cid);
+                    continue;
+                }
+                let clause = self.clauses[cid].clone();
+                // Try to find a non-false literal other than `falsified` to watch.
+                let mut satisfied = false;
+                let mut new_watch = None;
+                let mut unassigned = None;
+                for &cl in &clause {
+                    if cl == falsified {
+                        continue;
+                    }
+                    match self.value(cl) {
+                        Value::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Value::Unassigned => {
+                            if unassigned.is_none() {
+                                unassigned = Some(cl);
+                            }
+                            if new_watch.is_none() && !self.is_watched(cid, cl) {
+                                new_watch = Some(cl);
+                            }
+                        }
+                        Value::False => {
+                            if new_watch.is_none() && !self.is_watched(cid, cl) {
+                                // Could re-watch a false literal only as a
+                                // last resort; skip.
+                            }
+                        }
+                    }
+                }
+                if satisfied {
+                    still_watching.push(cid);
+                    continue;
+                }
+                if let Some(nw) = new_watch {
+                    // Move the watch from `falsified` to `nw`.
+                    self.watches.entry(nw.index()).or_default().push(cid);
+                    continue;
+                }
+                match unassigned {
+                    Some(unit) => {
+                        // Clause is unit: propagate.
+                        still_watching.push(cid);
+                        if !self.enqueue(unit, Some(cid)) {
+                            conflict = Some(cid);
+                        }
+                    }
+                    None => {
+                        // All literals false: conflict.
+                        still_watching.push(cid);
+                        conflict = Some(cid);
+                    }
+                }
+            }
+            self.watches.insert(falsified.index(), still_watching);
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn is_watched(&self, cid: usize, l: Lit) -> bool {
+        self.watches
+            .get(&l.index())
+            .map(|v| v.contains(&cid))
+            .unwrap_or(false)
+    }
+
+    fn bump(&mut self, v: BVar) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause and the
+    /// backtrack level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, usize) {
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause_id = conflict;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            let clause = self.clauses[clause_id].clone();
+            for &q in &clause {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var();
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Select next literal from the trail to resolve on.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var();
+            seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            clause_id = self.reason[pv].expect("non-decision literal must have a reason");
+        }
+        let uip = p.unwrap().negate();
+        learned.push(uip);
+        // Backtrack level: second-highest level in the learned clause.
+        let mut bt = 0;
+        for &l in &learned {
+            if l != uip {
+                bt = bt.max(self.level[l.var()]);
+            }
+        }
+        // Put the UIP literal first so it is watched and immediately unit.
+        let n = learned.len();
+        learned.swap(0, n - 1);
+        (learned, bt)
+    }
+
+    fn backtrack(&mut self, level: usize) {
+        while let Some(&l) = self.trail.last() {
+            if self.level[l.var()] <= level && self.reason[l.var()].is_none() && self.level[l.var()] != 0
+            {
+                // Decision at or below the target level stays only if below.
+            }
+            if self.level[l.var()] <= level {
+                break;
+            }
+            self.assignment[l.var()] = Value::Unassigned;
+            self.reason[l.var()] = None;
+            self.trail.pop();
+        }
+        self.trail_lim.truncate(level);
+        self.propagate_head = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<(f64, BVar)> = None;
+        for v in 0..self.num_vars() {
+            if matches!(self.assignment[v], Value::Unassigned) {
+                let a = self.activity[v];
+                if best.map(|(ba, _)| a > ba).unwrap_or(true) {
+                    best = Some((a, v));
+                }
+            }
+        }
+        best.map(|(_, v)| Lit::neg(v))
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. If the result is
+    /// unsatisfiable, the returned core is a subset of the assumptions that
+    /// suffices for unsatisfiability (not necessarily minimal).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if self.has_empty_clause {
+            return SatResult::Unsat(vec![]);
+        }
+        for l in assumptions {
+            self.reserve_vars(l.var() + 1);
+        }
+        // Reset transient state.
+        self.backtrack(0);
+        for v in 0..self.num_vars() {
+            if self.level[v] > 0 {
+                self.assignment[v] = Value::Unassigned;
+            }
+        }
+        self.trail.retain(|l| {
+            matches!(
+                (l.is_pos(), &self.assignment[l.var()]),
+                (true, Value::True) | (false, Value::False)
+            )
+        });
+        self.propagate_head = 0;
+
+        if self.propagate().is_some() {
+            return SatResult::Unsat(vec![]);
+        }
+
+        let mut conflicts = 0usize;
+        loop {
+            // Apply assumptions as pseudo-decisions first.
+            let mut all_assumed = true;
+            for &a in assumptions {
+                match self.value(a) {
+                    Value::True => continue,
+                    Value::False => {
+                        // Conflict with assumptions: collect involved assumptions.
+                        let core = self.assumption_core(a, assumptions);
+                        return SatResult::Unsat(core);
+                    }
+                    Value::Unassigned => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, None);
+                        all_assumed = false;
+                        break;
+                    }
+                }
+            }
+            if !all_assumed {
+                if let Some(conflict) = self.propagate() {
+                    if self.decision_level() <= assumptions.len() {
+                        // Conflict among assumptions.
+                        let core = self.conflict_assumptions(conflict, assumptions);
+                        return SatResult::Unsat(core);
+                    }
+                    conflicts += 1;
+                    let (learned, bt) = self.analyze(conflict);
+                    self.backtrack(bt);
+                    let unit = learned[0];
+                    self.add_clause_runtime(learned);
+                    self.enqueue_learned(unit);
+                    let _ = conflicts;
+                }
+                continue;
+            }
+
+            match self.decide() {
+                None => {
+                    let model = self
+                        .assignment
+                        .iter()
+                        .map(|v| matches!(v, Value::True))
+                        .collect();
+                    return SatResult::Sat(model);
+                }
+                Some(d) => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(d, None);
+                }
+            }
+
+            while let Some(conflict) = self.propagate() {
+                if self.decision_level() == 0 {
+                    return SatResult::Unsat(assumptions.to_vec());
+                }
+                if self.decision_level() <= assumptions.len() {
+                    let core = self.conflict_assumptions(conflict, assumptions);
+                    return SatResult::Unsat(core);
+                }
+                conflicts += 1;
+                self.var_inc *= 1.05;
+                let (learned, bt) = self.analyze(conflict);
+                self.backtrack(bt.max(assumptions.len().min(self.decision_level())));
+                let unit = learned[0];
+                self.add_clause_runtime(learned);
+                self.enqueue_learned(unit);
+            }
+        }
+    }
+
+    fn add_clause_runtime(&mut self, lits: Vec<Lit>) {
+        if lits.is_empty() {
+            self.has_empty_clause = true;
+            return;
+        }
+        let id = self.clauses.len();
+        let w0 = lits[0];
+        let w1 = *lits.get(1).unwrap_or(&lits[0]);
+        self.clauses.push(lits);
+        self.watches.entry(w0.index()).or_default().push(id);
+        if w1 != w0 {
+            self.watches.entry(w1.index()).or_default().push(id);
+        }
+    }
+
+    fn enqueue_learned(&mut self, unit: Lit) {
+        if matches!(self.value(unit), Value::Unassigned) {
+            let cid = self.clauses.len() - 1;
+            self.enqueue(unit, Some(cid));
+        }
+    }
+
+    fn assumption_core(&self, _failed: Lit, assumptions: &[Lit]) -> Vec<Lit> {
+        // Conservative core: all assumptions assigned so far.
+        assumptions
+            .iter()
+            .copied()
+            .filter(|a| !matches!(self.value(*a), Value::Unassigned))
+            .collect()
+    }
+
+    fn conflict_assumptions(&self, _conflict: usize, assumptions: &[Lit]) -> Vec<Lit> {
+        assumptions
+            .iter()
+            .copied()
+            .filter(|a| !matches!(self.value(*a), Value::Unassigned))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::new(v, pos)
+    }
+
+    #[test]
+    fn empty_instance_is_sat() {
+        let mut s = SatSolver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = SatSolver::new();
+        s.add_clause(vec![lit(0, true)]);
+        s.add_clause(vec![lit(0, false), lit(1, true)]);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                assert!(m[0]);
+                assert!(m[1]);
+            }
+            _ => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut s = SatSolver::new();
+        s.add_clause(vec![lit(0, true)]);
+        s.add_clause(vec![lit(0, false)]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn requires_search_and_learning() {
+        // Pigeonhole-ish: (a∨b) ∧ (¬a∨c) ∧ (¬b∨c) ∧ ¬c is unsat.
+        let mut s = SatSolver::new();
+        s.add_clause(vec![lit(0, true), lit(1, true)]);
+        s.add_clause(vec![lit(0, false), lit(2, true)]);
+        s.add_clause(vec![lit(1, false), lit(2, true)]);
+        s.add_clause(vec![lit(2, false)]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn satisfiable_3sat_instance() {
+        let mut s = SatSolver::new();
+        // (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ ¬x1) ∧ (¬x1 ∨ ¬x2) ∧ (¬x0 ∨ ¬x2)
+        s.add_clause(vec![lit(0, true), lit(1, true), lit(2, true)]);
+        s.add_clause(vec![lit(0, false), lit(1, false)]);
+        s.add_clause(vec![lit(1, false), lit(2, false)]);
+        s.add_clause(vec![lit(0, false), lit(2, false)]);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                let count = [m[0], m[1], m[2]].iter().filter(|b| **b).count();
+                assert_eq!(count, 1, "exactly one variable should be true");
+            }
+            _ => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = SatSolver::new();
+        s.add_clause(vec![lit(0, true), lit(1, true)]);
+        // Assume both false: unsat under assumptions, sat without.
+        assert!(s.solve().is_sat());
+        let r = s.solve_with_assumptions(&[lit(0, false), lit(1, false)]);
+        assert!(!r.is_sat());
+        let r = s.solve_with_assumptions(&[lit(0, false)]);
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn model_respects_assumptions() {
+        let mut s = SatSolver::new();
+        s.add_clause(vec![lit(0, true), lit(1, true), lit(2, true)]);
+        match s.solve_with_assumptions(&[lit(0, false), lit(1, false)]) {
+            SatResult::Sat(m) => {
+                assert!(!m[0]);
+                assert!(!m[1]);
+                assert!(m[2]);
+            }
+            _ => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn tautological_clauses_are_ignored() {
+        let mut s = SatSolver::new();
+        s.add_clause(vec![lit(0, true), lit(0, false)]);
+        s.add_clause(vec![lit(1, true)]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn larger_random_like_instance() {
+        // A chain of implications x0 -> x1 -> ... -> x9 plus x0, ¬x9 is unsat.
+        let mut s = SatSolver::new();
+        for i in 0..9 {
+            s.add_clause(vec![lit(i, false), lit(i + 1, true)]);
+        }
+        s.add_clause(vec![lit(0, true)]);
+        s.add_clause(vec![lit(9, false)]);
+        assert!(!s.solve().is_sat());
+
+        let mut s = SatSolver::new();
+        for i in 0..9 {
+            s.add_clause(vec![lit(i, false), lit(i + 1, true)]);
+        }
+        s.add_clause(vec![lit(0, true)]);
+        assert!(s.solve().is_sat());
+    }
+}

@@ -1,0 +1,514 @@
+//! The SMT facade: satisfiability and validity of refinement formulas.
+//!
+//! [`Smt`] combines the encoder ([`crate::encode`]), the CDCL SAT solver
+//! ([`crate::sat`]) and the linear integer arithmetic solver
+//! ([`crate::lia`]) into a lazy DPLL(T) loop:
+//!
+//! 1. the formula is encoded into a boolean skeleton over theory atoms and
+//!    converted to CNF with the Tseitin transformation;
+//! 2. the SAT solver proposes a boolean model;
+//! 3. the arithmetic literals implied by the model are checked by the LIA
+//!    solver; if they are inconsistent, a blocking clause over the atom
+//!    literals is added and the loop repeats.
+//!
+//! This plays the role that Z3 plays for the original Synquid
+//! implementation (see DESIGN.md for the substitution rationale).
+
+use crate::encode::{Encoded, Encoder, Skeleton, TheoryAtom};
+use crate::lia::{LiaResult, LiaSolver};
+use crate::sat::{Lit, SatResult, SatSolver};
+use synquid_logic::Term;
+
+/// Result of an SMT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmtResult {
+    /// The formula is satisfiable.
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The solver gave up (budget exhaustion); callers treat this as
+    /// "possibly satisfiable".
+    Unknown,
+}
+
+impl SmtResult {
+    /// True unless the result is [`SmtResult::Unsat`].
+    pub fn possibly_sat(self) -> bool {
+        !matches!(self, SmtResult::Unsat)
+    }
+}
+
+/// Statistics accumulated by an [`Smt`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmtStats {
+    /// Number of satisfiability queries answered.
+    pub queries: usize,
+    /// Number of queries answered from the memo cache.
+    pub cache_hits: usize,
+    /// Number of SAT-solver invocations across all queries.
+    pub sat_calls: usize,
+    /// Number of LIA checks across all queries.
+    pub theory_calls: usize,
+}
+
+/// The SMT solver facade.
+///
+/// Results are memoized per formula: liquid type checking re-issues the
+/// same verification conditions many times while the synthesizer
+/// backtracks, so the cache removes most of the redundant work (the cache
+/// is sound because queries are self-contained formulas with no
+/// incremental assertions).
+#[derive(Debug, Default)]
+pub struct Smt {
+    stats: SmtStats,
+    /// Maximum number of DPLL(T) iterations per query.
+    pub max_iterations: usize,
+    cache: std::collections::HashMap<Term, SmtResult>,
+}
+
+impl Smt {
+    /// Creates a solver with default budgets.
+    pub fn new() -> Smt {
+        Smt {
+            stats: SmtStats::default(),
+            max_iterations: 2_000,
+            cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> SmtStats {
+        self.stats
+    }
+
+    /// Checks whether `formula` is satisfiable.
+    pub fn check_sat(&mut self, formula: &Term) -> SmtResult {
+        self.check_sat_conj(std::slice::from_ref(formula))
+    }
+
+    /// Checks whether the conjunction of `formulas` is satisfiable.
+    ///
+    /// The formulas are conjoined *before* encoding so that the finite
+    /// universe used by set elimination covers element terms and witnesses
+    /// from every conjunct (this matters for entailments whose premise
+    /// contains positive set equalities).
+    pub fn check_sat_conj(&mut self, formulas: &[Term]) -> SmtResult {
+        self.stats.queries += 1;
+        let conj = Term::conjunction(formulas.iter().cloned());
+        if let Some(cached) = self.cache.get(&conj) {
+            self.stats.cache_hits += 1;
+            return *cached;
+        }
+        let mut encoder = Encoder::new();
+        let skeleton = encoder.encode(&conj);
+        let problem = encoder.finish(skeleton);
+        let result = self.solve_encoded(&problem, &[]);
+        if self.cache.len() < 200_000 {
+            self.cache.insert(conj, result);
+        }
+        result
+    }
+
+    /// Checks whether `formula` is valid (true in all models).
+    pub fn is_valid(&mut self, formula: &Term) -> bool {
+        matches!(self.check_sat(&formula.clone().not()), SmtResult::Unsat)
+    }
+
+    /// Checks whether `premise ⇒ conclusion` is valid.
+    pub fn entails(&mut self, premise: &Term, conclusion: &Term) -> bool {
+        matches!(
+            self.check_sat_conj(&[premise.clone(), conclusion.clone().not()]),
+            SmtResult::Unsat
+        )
+    }
+
+    /// Low-level entry point used by the MUS enumerator: checks the
+    /// conjunction of already-encoded skeletons against a shared encoding.
+    pub(crate) fn solve_encoded(&mut self, problem: &Encoded, roots: &[Skeleton]) -> SmtResult {
+        // Trivial short-circuit.
+        if roots.iter().any(|r| matches!(r, Skeleton::False)) {
+            return SmtResult::Unsat;
+        }
+
+        let mut sat = SatSolver::new();
+        // One SAT variable per theory atom, allocated up front so atom index
+        // and SAT variable coincide.
+        sat.reserve_vars(problem.atoms.len());
+        let mut tseitin = Tseitin {
+            sat: &mut sat,
+        };
+        for root in roots
+            .iter()
+            .chain(std::iter::once(&problem.skeleton))
+            .chain(problem.side_conditions.iter())
+        {
+            tseitin.assert_root(root);
+        }
+        // Eagerly assert the total-order relationships between comparison
+        // atoms over the same linear expression (x ≤ y vs x > y vs y < x …).
+        // Without these lemmas the SAT solver proposes many boolean models
+        // that differ only in mutually inconsistent comparisons, each of
+        // which costs a theory conflict; with them, most such models are
+        // pruned propositionally.
+        for clause in order_axioms(problem) {
+            sat.add_clause(clause);
+        }
+
+        let lia = LiaSolver::new();
+        for _ in 0..self.max_iterations {
+            self.stats.sat_calls += 1;
+            let model = match sat.solve() {
+                SatResult::Unsat(_) => return SmtResult::Unsat,
+                SatResult::Sat(model) => model,
+            };
+            // Collect the arithmetic literals implied by the boolean model.
+            let mut literals: Vec<(usize, bool, crate::lia::Constraint)> = Vec::new();
+            for (idx, atom) in problem.atoms.iter().enumerate() {
+                let value = model.get(idx).copied().unwrap_or(false);
+                if let TheoryAtom::Compare(_, _, _) = atom {
+                    if let Some(c) = problem.atom_constraint(idx, value) {
+                        literals.push((idx, value, c));
+                    }
+                }
+            }
+            self.stats.theory_calls += 1;
+            let constraints: Vec<_> = literals.iter().map(|(_, _, c)| c.clone()).collect();
+            match lia.check(problem.num_arith_vars, &constraints) {
+                LiaResult::Sat(_) => return SmtResult::Sat,
+                LiaResult::Unknown => return SmtResult::Unknown,
+                LiaResult::Unsat => {
+                    if literals.is_empty() {
+                        return SmtResult::Unsat;
+                    }
+                    // Shrink the conflicting literal set to a small core by
+                    // deletion so the blocking clause prunes many boolean
+                    // models at once (the loop converges in a handful of
+                    // iterations instead of enumerating every assignment to
+                    // the irrelevant comparison atoms).
+                    let mut core = literals;
+                    let mut i = 0;
+                    while i < core.len() {
+                        let mut candidate = core.clone();
+                        candidate.remove(i);
+                        let cs: Vec<_> = candidate.iter().map(|(_, _, c)| c.clone()).collect();
+                        self.stats.theory_calls += 1;
+                        if matches!(lia.check(problem.num_arith_vars, &cs), LiaResult::Unsat) {
+                            core = candidate;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    let blocking: Vec<Lit> = core
+                        .iter()
+                        .map(|(idx, value, _)| Lit::new(*idx, !*value))
+                        .collect();
+                    if blocking.is_empty() {
+                        return SmtResult::Unsat;
+                    }
+                    sat.add_clause(blocking);
+                }
+            }
+        }
+        SmtResult::Unknown
+    }
+}
+
+/// The sign-normalized relation of a comparison atom `d ⋈ 0` where `d` is
+/// the difference of the atom's two sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rel0 {
+    Le,
+    Lt,
+    Ge,
+    Gt,
+}
+
+impl Rel0 {
+    fn flip(self) -> Rel0 {
+        match self {
+            Rel0::Le => Rel0::Ge,
+            Rel0::Lt => Rel0::Gt,
+            Rel0::Ge => Rel0::Le,
+            Rel0::Gt => Rel0::Lt,
+        }
+    }
+}
+
+/// Propositional total-order lemmas between comparison atoms that talk
+/// about the same difference expression (possibly with opposite sign).
+/// Returned as clauses over the atom literals.
+fn order_axioms(problem: &Encoded) -> Vec<Vec<Lit>> {
+    // Normalize every comparison atom to (difference expression, relation),
+    // keyed both by the difference and by its negation so that `x - y` and
+    // `y - x` atoms are related too.
+    let mut keys: Vec<(usize, String, String, Rel0)> = Vec::new();
+    for (idx, atom) in problem.atoms.iter().enumerate() {
+        if let TheoryAtom::Compare(op, lhs, rhs) = atom {
+            let rel = match op {
+                synquid_logic::BinOp::Le => Rel0::Le,
+                synquid_logic::BinOp::Lt => Rel0::Lt,
+                synquid_logic::BinOp::Ge => Rel0::Ge,
+                synquid_logic::BinOp::Gt => Rel0::Gt,
+                _ => continue,
+            };
+            let key = format!("{:?}", lhs.minus(rhs));
+            let neg_key = format!("{:?}", rhs.minus(lhs));
+            keys.push((idx, key, neg_key, rel));
+        }
+    }
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            let (ai, key_i, _, rel_i) = &keys[i];
+            let rel_i = *rel_i;
+            let (aj, key_j, neg_key_j, rel_j) = &keys[j];
+            let rel_j = if key_i == key_j {
+                *rel_j
+            } else if key_i == neg_key_j {
+                rel_j.flip()
+            } else {
+                continue;
+            };
+            let pos = |a: usize| Lit::new(a, true);
+            let neg = |a: usize| Lit::new(a, false);
+            let (a, b) = (*ai, *aj);
+            match (rel_i, rel_j) {
+                // Complementary pairs: exactly one holds.
+                (Rel0::Le, Rel0::Gt) | (Rel0::Gt, Rel0::Le)
+                | (Rel0::Lt, Rel0::Ge) | (Rel0::Ge, Rel0::Lt) => {
+                    clauses.push(vec![pos(a), pos(b)]);
+                    clauses.push(vec![neg(a), neg(b)]);
+                }
+                // Equivalent atoms.
+                (x, y) if x == y => {
+                    clauses.push(vec![neg(a), pos(b)]);
+                    clauses.push(vec![neg(b), pos(a)]);
+                }
+                // Strict implies non-strict.
+                (Rel0::Le, Rel0::Lt) => clauses.push(vec![neg(b), pos(a)]),
+                (Rel0::Lt, Rel0::Le) => clauses.push(vec![neg(a), pos(b)]),
+                (Rel0::Ge, Rel0::Gt) => clauses.push(vec![neg(b), pos(a)]),
+                (Rel0::Gt, Rel0::Ge) => clauses.push(vec![neg(a), pos(b)]),
+                // Totality: d ≤ 0 ∨ d ≥ 0.
+                (Rel0::Le, Rel0::Ge) | (Rel0::Ge, Rel0::Le) => {
+                    clauses.push(vec![pos(a), pos(b)]);
+                }
+                // Exclusivity: ¬(d < 0 ∧ d > 0).
+                (Rel0::Lt, Rel0::Gt) | (Rel0::Gt, Rel0::Lt) => {
+                    clauses.push(vec![neg(a), neg(b)]);
+                }
+                _ => {}
+            }
+        }
+    }
+    clauses
+}
+
+/// Tseitin-style CNF conversion of skeletons into the SAT solver.
+///
+/// Theory atoms keep their index as SAT variable; internal `And`/`Or`
+/// nodes receive fresh auxiliary variables. Since skeletons are in
+/// negation normal form, one-sided (Plaisted–Greenbaum) encoding is
+/// sufficient.
+struct Tseitin<'a> {
+    sat: &'a mut SatSolver,
+}
+
+impl<'a> Tseitin<'a> {
+    fn assert_root(&mut self, s: &Skeleton) {
+        match s {
+            Skeleton::True => {}
+            Skeleton::False => self.sat.add_clause(vec![]),
+            Skeleton::Lit(a, p) => self.sat.add_clause(vec![Lit::new(*a, *p)]),
+            Skeleton::And(items) => {
+                for i in items {
+                    self.assert_root(i);
+                }
+            }
+            Skeleton::Or(items) => {
+                let lits: Vec<Lit> = items.iter().map(|i| self.literal_for(i)).collect();
+                self.sat.add_clause(lits);
+            }
+        }
+    }
+
+    /// Returns a literal equivalent (one-sided) to the sub-skeleton.
+    fn literal_for(&mut self, s: &Skeleton) -> Lit {
+        match s {
+            Skeleton::True => {
+                let v = self.sat.new_var();
+                self.sat.add_clause(vec![Lit::pos(v)]);
+                Lit::pos(v)
+            }
+            Skeleton::False => {
+                let v = self.sat.new_var();
+                self.sat.add_clause(vec![Lit::neg(v)]);
+                Lit::pos(v)
+            }
+            Skeleton::Lit(a, p) => Lit::new(*a, *p),
+            Skeleton::And(items) => {
+                let v = self.sat.new_var();
+                let lv = Lit::pos(v);
+                for i in items {
+                    let li = self.literal_for(i);
+                    // v -> li
+                    self.sat.add_clause(vec![lv.negate(), li]);
+                }
+                lv
+            }
+            Skeleton::Or(items) => {
+                let v = self.sat.new_var();
+                let lv = Lit::pos(v);
+                let mut clause = vec![lv.negate()];
+                for i in items {
+                    clause.push(self.literal_for(i));
+                }
+                // v -> (l1 ∨ ... ∨ ln)
+                self.sat.add_clause(clause);
+                lv
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synquid_logic::{Sort, Term};
+
+    fn x() -> Term {
+        Term::var("x", Sort::Int)
+    }
+    fn y() -> Term {
+        Term::var("y", Sort::Int)
+    }
+    fn n() -> Term {
+        Term::var("n", Sort::Int)
+    }
+
+    #[test]
+    fn tautologies_are_valid() {
+        let mut smt = Smt::new();
+        assert!(smt.is_valid(&Term::tt()));
+        assert!(smt.is_valid(&x().le(y()).or(x().gt(y()))));
+        assert!(smt.is_valid(&x().eq(x())));
+        assert!(!smt.is_valid(&x().le(y())));
+    }
+
+    #[test]
+    fn linear_arithmetic_entailment() {
+        let mut smt = Smt::new();
+        // 0 <= n ∧ n <= 0  ⇒  n == 0
+        let premise = Term::int(0).le(n()).and(n().le(Term::int(0)));
+        assert!(smt.entails(&premise, &n().eq(Term::int(0))));
+        assert!(!smt.entails(&premise, &n().eq(Term::int(1))));
+    }
+
+    #[test]
+    fn replicate_nil_branch_vc() {
+        // 0 <= n ∧ n <= 0 ∧ len ν = 0  ⇒  len ν = n
+        let list = Sort::data("List", vec![Sort::var("a")]);
+        let len_v = Term::app("len", vec![Term::value_var(list)], Sort::Int);
+        let mut smt = Smt::new();
+        let premise = Term::int(0)
+            .le(n())
+            .and(n().le(Term::int(0)))
+            .and(len_v.clone().eq(Term::int(0)));
+        assert!(smt.entails(&premise, &len_v.clone().eq(n())));
+        // Without the branch condition n <= 0 the entailment fails.
+        let premise_weak = Term::int(0).le(n()).and(len_v.clone().eq(Term::int(0)));
+        assert!(!smt.entails(&premise_weak, &len_v.eq(n())));
+    }
+
+    #[test]
+    fn set_reasoning_union_singleton() {
+        // keys ν = keys t + [x]  ⇒  keys t <= keys ν  (subset)
+        let elem = Sort::var("a");
+        let keys_v = Term::var("kv", Sort::set(elem.clone()));
+        let keys_t = Term::var("kt", Sort::set(elem.clone()));
+        let xvar = Term::var("x", elem.clone());
+        let premise = keys_v
+            .clone()
+            .eq(keys_t.clone().union(Term::singleton(elem.clone(), xvar.clone())));
+        let mut smt = Smt::new();
+        assert!(smt.entails(&premise, &keys_t.clone().subset(keys_v.clone())));
+        assert!(smt.entails(&premise, &xvar.clone().member(keys_v.clone())));
+        // But not the converse subset (ν may contain x which t lacks) —
+        // indeed keys ν ⊆ keys t is not entailed.
+        assert!(!smt.entails(&premise, &keys_v.subset(keys_t)));
+    }
+
+    #[test]
+    fn set_equality_is_reflexive_and_compositional() {
+        let elem = Sort::Int;
+        let s1 = Term::var("s1", Sort::set(elem.clone()));
+        let s2 = Term::var("s2", Sort::set(elem.clone()));
+        let s3 = Term::var("s3", Sort::set(elem.clone()));
+        let mut smt = Smt::new();
+        // s1 = s2 ∧ s2 = s3 ⇒ s1 = s3 (needs witnesses to flow through
+        // positive equalities).
+        let premise = s1.clone().eq(s2.clone()).and(s2.clone().eq(s3.clone()));
+        assert!(smt.entails(&premise, &s1.clone().eq(s3.clone())));
+        assert!(!smt.entails(&premise, &s1.clone().eq(Term::empty_set(elem))));
+        // Union is commutative.
+        let u12 = s1.clone().union(s2.clone());
+        let u21 = s2.clone().union(s1.clone());
+        assert!(smt.is_valid(&u12.eq(u21)));
+    }
+
+    #[test]
+    fn uninterpreted_functions_respect_congruence() {
+        let a = Term::var("a", Sort::Int);
+        let b = Term::var("b", Sort::Int);
+        let fa = Term::app("f", vec![a.clone()], Sort::Int);
+        let fb = Term::app("f", vec![b.clone()], Sort::Int);
+        let mut smt = Smt::new();
+        assert!(smt.entails(&a.clone().eq(b.clone()), &fa.clone().eq(fb.clone())));
+        assert!(!smt.entails(&a.le(b), &fa.eq(fb)));
+    }
+
+    #[test]
+    fn boolean_structure_with_ite() {
+        let mut smt = Smt::new();
+        let t = Term::ite(x().le(y()), x(), y()).le(x());
+        // min(x, y) <= x is valid.
+        assert!(smt.is_valid(&t));
+        let t = Term::ite(x().le(y()), x(), y()).ge(x());
+        assert!(!smt.is_valid(&t));
+    }
+
+    #[test]
+    fn entailment_with_measures_and_arithmetic() {
+        // len xs = 2 ∧ len r >= 0 ∧ len ν = len xs + len r ⇒ len ν >= 2
+        let list = Sort::data("List", vec![Sort::Int]);
+        let len = |t: Term| Term::app("len", vec![t], Sort::Int);
+        let xs = Term::var("xs", list.clone());
+        let r = Term::var("r", list.clone());
+        let v = Term::value_var(list);
+        let premise = len(xs.clone())
+            .eq(Term::int(2))
+            .and(len(r.clone()).ge(Term::int(0)))
+            .and(len(v.clone()).eq(len(xs).plus(len(r))));
+        let mut smt = Smt::new();
+        assert!(smt.entails(&premise, &len(v.clone()).ge(Term::int(2))));
+        assert!(!smt.entails(&premise, &len(v).eq(Term::int(2))));
+    }
+
+    #[test]
+    fn unsat_conjunction_detected() {
+        let mut smt = Smt::new();
+        let c = x().lt(y()).and(y().lt(x()));
+        assert_eq!(smt.check_sat(&c), SmtResult::Unsat);
+        let c = x().lt(y()).and(y().lt(x().plus(Term::int(2))));
+        assert_eq!(smt.check_sat(&c), SmtResult::Sat);
+    }
+
+    #[test]
+    fn stats_are_accumulated() {
+        let mut smt = Smt::new();
+        let _ = smt.check_sat(&x().le(y()));
+        let _ = smt.check_sat(&x().gt(y()));
+        assert_eq!(smt.stats().queries, 2);
+        assert!(smt.stats().sat_calls >= 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests for the SMT substrate: the solver's verdicts are
+//! cross-checked against brute-force evaluation over a small integer
+//! domain, and core algebraic laws of the decision procedures are checked.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use synquid_logic::{BinOp, Sort, Term, UnOp};
+use synquid_solver::lia::{Constraint, LiaResult, LiaSolver, LinExpr};
+use synquid_solver::{Lit, Rational, SatResult, SatSolver, Smt, SmtResult};
+
+// ---------------------------------------------------------------------
+// SAT solver vs. brute force
+// ---------------------------------------------------------------------
+
+fn arb_cnf(num_vars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..num_vars, any::<bool>()), 1..4),
+        0..12,
+    )
+}
+
+fn brute_force_sat(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
+    (0..(1u32 << num_vars)).any(|assignment| {
+        cnf.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|(v, pos)| ((assignment >> v) & 1 == 1) == *pos)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CDCL solver agrees with brute force on small CNFs.
+    #[test]
+    fn cdcl_agrees_with_brute_force(cnf in arb_cnf(5)) {
+        let mut solver = SatSolver::new();
+        solver.reserve_vars(5);
+        for clause in &cnf {
+            solver.add_clause(clause.iter().map(|(v, p)| Lit::new(*v, *p)).collect());
+        }
+        let expected = brute_force_sat(5, &cnf);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                prop_assert!(expected, "solver said SAT on an UNSAT instance");
+                // The model must satisfy every clause.
+                for clause in &cnf {
+                    prop_assert!(clause.iter().any(|(v, p)| model[*v] == *p));
+                }
+            }
+            SatResult::Unsat(_) => prop_assert!(!expected, "solver said UNSAT on a SAT instance"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LIA solver vs. brute force over a small box
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SmallConstraint {
+    coeffs: Vec<i64>, // over three variables
+    constant: i64,
+    rel: u8, // 0: <=, 1: >=, 2: ==
+}
+
+fn arb_lia(num_constraints: usize) -> impl Strategy<Value = Vec<SmallConstraint>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(-2i64..3, 3),
+            -4i64..5,
+            0u8..3,
+        )
+            .prop_map(|(coeffs, constant, rel)| SmallConstraint {
+                coeffs,
+                constant,
+                rel,
+            }),
+        0..num_constraints,
+    )
+}
+
+fn lia_brute_force(constraints: &[SmallConstraint]) -> bool {
+    let range = -6i64..=6;
+    for x in range.clone() {
+        for y in range.clone() {
+            for z in range.clone() {
+                let point = [x, y, z];
+                if constraints.iter().all(|c| {
+                    let lhs: i64 = c
+                        .coeffs
+                        .iter()
+                        .zip(point.iter())
+                        .map(|(a, v)| a * v)
+                        .sum::<i64>()
+                        + c.constant;
+                    match c.rel {
+                        0 => lhs <= 0,
+                        1 => lhs >= 0,
+                        _ => lhs == 0,
+                    }
+                }) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// If the brute-force search over a small box finds an integer model,
+    /// the simplex + branch-and-bound solver must not report UNSAT (it
+    /// searches the unbounded integer lattice, so the converse need not
+    /// hold).
+    #[test]
+    fn lia_never_misses_box_solutions(constraints in arb_lia(5)) {
+        let solver = LiaSolver::new();
+        let lia_constraints: Vec<Constraint> = constraints
+            .iter()
+            .map(|c| {
+                let mut expr = LinExpr::constant(Rational::from_int(c.constant));
+                for (v, a) in c.coeffs.iter().enumerate() {
+                    expr.add_scaled(&LinExpr::variable(v), Rational::from_int(*a));
+                }
+                match c.rel {
+                    0 => Constraint { expr, rel: synquid_solver::lia::Rel::Le },
+                    1 => Constraint { expr, rel: synquid_solver::lia::Rel::Ge },
+                    _ => Constraint { expr, rel: synquid_solver::lia::Rel::Eq },
+                }
+            })
+            .collect();
+        let verdict = solver.check(3, &lia_constraints);
+        if lia_brute_force(&constraints) {
+            prop_assert!(verdict.possibly_sat(), "solver reported UNSAT but a model exists");
+        }
+        // When the solver returns a model, it must satisfy the constraints.
+        if let LiaResult::Sat(model) = verdict {
+            for (c, lc) in constraints.iter().zip(&lia_constraints) {
+                let val = lc.expr.eval(&model);
+                match c.rel {
+                    0 => prop_assert!(val <= Rational::ZERO),
+                    1 => prop_assert!(val >= Rational::ZERO),
+                    _ => prop_assert!(val.is_zero()),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end SMT properties
+// ---------------------------------------------------------------------
+
+fn arb_atom() -> impl Strategy<Value = Term> {
+    let var = prop_oneof![
+        Just(Term::var("x", Sort::Int)),
+        Just(Term::var("y", Sort::Int)),
+        (-3i64..4).prop_map(Term::int),
+    ];
+    (var.clone(), var, 0u8..4).prop_map(|(a, b, op)| match op {
+        0 => a.le(b),
+        1 => a.lt(b),
+        2 => a.eq(b),
+        _ => a.ge(b),
+    })
+}
+
+fn arb_smt_formula() -> impl Strategy<Value = Term> {
+    arb_atom().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+        ]
+    })
+}
+
+fn eval_formula(t: &Term, x: i64, y: i64) -> bool {
+    fn eval_int(t: &Term, x: i64, y: i64) -> i64 {
+        match t {
+            Term::IntLit(n) => *n,
+            Term::Var(n, _) if n == "x" => x,
+            Term::Var(_, _) => y,
+            _ => unreachable!(),
+        }
+    }
+    match t {
+        Term::BoolLit(b) => *b,
+        Term::Unary(UnOp::Not, inner) => !eval_formula(inner, x, y),
+        Term::Binary(op, a, b) => match op {
+            BinOp::And => eval_formula(a, x, y) && eval_formula(b, x, y),
+            BinOp::Or => eval_formula(a, x, y) || eval_formula(b, x, y),
+            BinOp::Le => eval_int(a, x, y) <= eval_int(b, x, y),
+            BinOp::Lt => eval_int(a, x, y) < eval_int(b, x, y),
+            BinOp::Ge => eval_int(a, x, y) >= eval_int(b, x, y),
+            BinOp::Gt => eval_int(a, x, y) > eval_int(b, x, y),
+            BinOp::Eq => eval_int(a, x, y) == eval_int(b, x, y),
+            BinOp::Neq => eval_int(a, x, y) != eval_int(b, x, y),
+            _ => unreachable!(),
+        },
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// If a small-domain model exists, the SMT facade must not report
+    /// UNSAT; if it reports SAT for the negation, the formula is not
+    /// valid, which must agree with a counterexample search.
+    #[test]
+    fn smt_verdicts_are_consistent_with_small_models(f in arb_smt_formula()) {
+        let mut smt = Smt::new();
+        let has_model = (-4i64..5).any(|x| (-4i64..5).any(|y| eval_formula(&f, x, y)));
+        let verdict = smt.check_sat(&f);
+        if has_model {
+            prop_assert_ne!(verdict, SmtResult::Unsat, "missed a model of {}", f);
+        }
+        // Validity is dual: if every small assignment satisfies the
+        // formula's negation, the formula cannot be valid.
+        let negation_everywhere = (-4i64..5).all(|x| (-4i64..5).all(|y| !eval_formula(&f, x, y)));
+        if negation_everywhere {
+            prop_assert!(!smt.is_valid(&f));
+        }
+    }
+
+    /// `entails` is reflexive and respects conjunction weakening.
+    #[test]
+    fn entailment_laws(f in arb_smt_formula(), g in arb_smt_formula()) {
+        let mut smt = Smt::new();
+        prop_assert!(smt.entails(&f, &f.clone()));
+        prop_assert!(smt.entails(&f.clone().and(g.clone()), &f));
+        prop_assert!(smt.entails(&f.clone(), &f.clone().or(g)));
+    }
+}

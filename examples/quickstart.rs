@@ -1,0 +1,37 @@
+//! Quickstart: synthesize the paper's Fig. 1 example, `replicate`, from its
+//! polymorphic refinement type
+//! `n: Nat → x: α → {List α | len ν = n}`.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::time::Duration;
+use synquid::lang::benchmarks::table1;
+use synquid::prelude::*;
+
+fn main() {
+    let replicate = table1()
+        .into_iter()
+        .find(|b| b.name == "replicate")
+        .expect("replicate is part of the Table 1 suite");
+    let goal = (replicate.goal.expect("replicate is transcribed"))();
+
+    println!("Goal: replicate :: {}", goal.schema);
+    println!("Synthesizing (this exercises liquid abduction and termination-aware recursion)...");
+
+    let config = Variant::Default.config(Duration::from_secs(90), replicate.bounds);
+    let result = run_goal(&goal, config);
+    if result.solved {
+        println!(
+            "Synthesized in {:.2}s ({} AST nodes):\n",
+            result.time_secs,
+            result.code_size.unwrap_or(0)
+        );
+        println!("replicate = {}", result.program.unwrap());
+    } else {
+        println!(
+            "No solution within the time budget ({:.2}s elapsed{}).",
+            result.time_secs,
+            if result.timed_out { ", timed out" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 7 workload: synthesize `max_n` (the maximum of `n` integers)
+//! for growing `n`, demonstrating condition abduction on nested
+//! conditionals without any recursion or datatypes.
+//!
+//! Run with: `cargo run --release --example sygus_max -- 3`
+
+use std::time::Duration;
+use synquid::lang::benchmarks::max_n;
+use synquid::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    for k in 2..=n {
+        let goal = max_n(k);
+        println!("== max{k} :: {}", goal.schema);
+        let result = run_goal(&goal, Variant::Default.config(Duration::from_secs(120), (1, 0)));
+        if result.solved {
+            println!(
+                "synthesized in {:.2}s:\n{}\n",
+                result.time_secs,
+                result.program.unwrap()
+            );
+        } else {
+            println!("no solution within the budget ({:.2}s)\n", result.time_secs);
+        }
+    }
+}

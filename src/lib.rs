@@ -1,0 +1,45 @@
+//! # synquid
+//!
+//! A Rust reproduction of **"Program Synthesis from Polymorphic Refinement
+//! Types"** (Polikarpova, Kuraj, Solar-Lezama — PLDI 2016): the Synquid
+//! program synthesizer, together with all the substrates it needs
+//! (refinement logic, an SMT solver, the liquid greatest-fixpoint Horn
+//! solver with MUSFIX, the refinement type system with local liquid type
+//! checking, and the evaluation benchmark suite).
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`logic`] — sorts, refinement terms, qualifiers;
+//! * [`solver`] — the SMT substrate (SAT, LIA, sets, MUS enumeration);
+//! * [`horn`] — predicate unknowns and the greatest-fixpoint solver;
+//! * [`types`] — refinement types, environments, subtyping, termination;
+//! * [`core`] — programs, round-trip checking, and the synthesizer;
+//! * [`lang`] — component libraries, the benchmark suite, and runners.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use synquid::prelude::*;
+//! use std::time::Duration;
+//!
+//! // Synthesize max of two integers from its refinement type.
+//! let goal = synquid::lang::benchmarks::max_n(2);
+//! let result = run_goal(&goal, Variant::Default.config(Duration::from_secs(30), (1, 0)));
+//! assert!(result.solved);
+//! ```
+
+pub use synquid_core as core;
+pub use synquid_horn as horn;
+pub use synquid_lang as lang;
+pub use synquid_logic as logic;
+pub use synquid_solver as solver;
+pub use synquid_types as types;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use synquid_core::{Goal, Program, SynthesisConfig, SynthesisError, Synthesizer};
+    pub use synquid_lang::runner::{run_goal, RunResult, Variant};
+    pub use synquid_logic::{Qualifier, Sort, Term};
+    pub use synquid_solver::Smt;
+    pub use synquid_types::{BaseType, Environment, RType, Schema};
+}

@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: synthesis goals exercised through the
+//! public facade, spanning the logic, solver, horn, types, core, and lang
+//! crates together.
+//!
+//! The heavier goals run in release mode via the benchmark harness
+//! (`cargo run -p synquid-bench --bin report`); here we keep budgets small
+//! and assert on a portfolio (at least a given number of goals must
+//! synthesize) plus a few individually-required fast goals. Synthesized
+//! programs are additionally re-validated with the standalone round-trip
+//! type checker and executed with the reference interpreter.
+
+use std::time::Duration;
+use synquid::core::{Evaluator, TypeChecker, Value};
+use synquid::lang::benchmarks::{max_n, table1};
+use synquid::prelude::*;
+
+fn grouped_goal(group: &str, name: &str) -> (Goal, (usize, usize)) {
+    let bench = table1()
+        .into_iter()
+        .find(|b| b.group == group && b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {group}/{name}"));
+    let goal = (bench.goal.unwrap_or_else(|| panic!("{name} is not transcribed")))();
+    (goal, bench.bounds)
+}
+
+fn named_goal(name: &str) -> (Goal, (usize, usize)) {
+    grouped_goal("List", name)
+}
+
+fn run_named(name: &str, timeout_secs: u64) -> RunResult {
+    let (goal, bounds) = named_goal(name);
+    run_goal(
+        &goal,
+        Variant::Default.config(Duration::from_secs(timeout_secs), bounds),
+    )
+}
+
+#[test]
+fn max2_synthesizes_a_conditional_that_computes_max() {
+    let goal = max_n(2);
+    let config = Variant::Default.config(Duration::from_secs(60), (1, 0));
+    let mut synthesizer = Synthesizer::new(config);
+    let result = synthesizer.synthesize(&goal).expect("max2 should synthesize");
+    let text = result.program.to_string();
+    assert!(text.contains("if"), "expected a conditional, got {text}");
+
+    // The synthesized program really computes the maximum.
+    let mut eval = Evaluator::default();
+    for (a, b) in [(1, 2), (7, -3), (0, 0), (-5, -9)] {
+        let out = eval
+            .run(&result.program, &[Value::Int(a), Value::Int(b)])
+            .expect("max2 evaluates");
+        assert_eq!(out, Value::Int(a.max(b)), "max {a} {b}");
+    }
+}
+
+#[test]
+fn is_empty_synthesizes_and_is_behaviourally_correct() {
+    let (goal, _) = named_goal("is empty");
+    let config = Variant::Default.config(Duration::from_secs(60), (1, 1));
+    let mut synthesizer = Synthesizer::new(config);
+    let result = synthesizer
+        .synthesize(&goal)
+        .expect("is empty should synthesize");
+
+    // Static check: the program round-trip type-checks against the goal.
+    let mut checker = TypeChecker::new();
+    checker
+        .check_goal(&goal, &result.program)
+        .expect("synthesized is_empty should type-check");
+
+    // Dynamic check: it agrees with the reference semantics.
+    let mut eval = Evaluator::default();
+    let empty = eval
+        .run(&result.program, &[Value::list(vec![])])
+        .expect("evaluates on []");
+    assert_eq!(empty, Value::Bool(true));
+    let mut eval = Evaluator::default();
+    let non_empty = eval
+        .run(&result.program, &[Value::list(vec![Value::Int(1)])])
+        .expect("evaluates on [1]");
+    assert_eq!(non_empty, Value::Bool(false));
+}
+
+#[test]
+fn portfolio_of_fast_benchmarks_synthesizes() {
+    // A portfolio of the quick benchmarks with a modest per-goal budget:
+    // the reproduction is considered healthy if most of these succeed
+    // (slower benchmarks are tracked in EXPERIMENTS.md, not here).
+    let names = [
+        "is empty",
+        "i-th element",
+        "insert at end",
+        "reverse",
+        "length using fold",
+    ];
+    let mut solved = 0usize;
+    for name in names {
+        let result = run_named(name, 30);
+        eprintln!(
+            "portfolio: {name}: solved={} time={:.2}s",
+            result.solved, result.time_secs
+        );
+        if result.solved {
+            solved += 1;
+        }
+    }
+    assert!(
+        solved >= 4,
+        "expected at least 4 of {} portfolio benchmarks to synthesize, got {solved}",
+        names.len()
+    );
+}
+
+#[test]
+fn report_structures_cover_the_full_paper_tables() {
+    let rows = table1();
+    assert_eq!(rows.len(), 64);
+    let transcribed = rows.iter().filter(|b| b.goal.is_some()).count();
+    assert!(
+        transcribed >= 30,
+        "expected at least 30 transcribed Table 1 rows, got {transcribed}"
+    );
+    assert_eq!(synquid::lang::benchmarks::table2().len(), 18);
+    let fam = synquid::lang::benchmarks::sygus(6);
+    assert_eq!(fam.len(), 10);
+}
+
+#[test]
+fn every_transcribed_goal_builds_a_well_formed_schema() {
+    for bench in table1() {
+        let Some(build) = bench.goal else { continue };
+        let goal = build();
+        assert!(
+            goal.schema.ty.is_function(),
+            "{} should be a function goal",
+            bench.name
+        );
+        let (args, ret) = goal.schema.ty.uncurry();
+        assert!(!args.is_empty(), "{} has no arguments", bench.name);
+        assert!(ret.is_scalar(), "{} has a non-scalar result", bench.name);
+    }
+}
+
+#[test]
+fn verification_rejects_an_incorrect_candidate_type() {
+    // End-to-end negative test through the facade: {Int | ν = 1} is not a
+    // subtype of {Int | ν = 0}.
+    let env = Environment::new();
+    let mut solver = synquid::types::ConstraintSolver::default();
+    let mut smt = Smt::new();
+    let one = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(1)));
+    let zero = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(0)));
+    assert!(solver.subtype(&env, &one, &zero, &mut smt, "neg").is_err());
+    assert!(solver.subtype(&env, &one, &RType::pos(), &mut smt, "pos").is_ok());
+}
+
+#[test]
+#[ignore = "BST-insert checking needs per-occurrence predicate-unknown instantiation (EXPERIMENTS.md, known gaps)"]
+fn hand_written_bst_insert_type_checks_against_the_paper_spec() {
+    // The Sec. 2 example program for BST insertion, validated by the
+    // standalone checker (synthesis of this goal is exercised by the
+    // benchmark harness; checking is much cheaper and belongs here).
+    use synquid::core::Program;
+    let (goal, _) = grouped_goal("BST", "insert");
+    let body = Program::Match(
+        Box::new(Program::var("t")),
+        vec![
+            synquid::core::Case {
+                constructor: "Empty".into(),
+                binders: vec![],
+                body: Program::apply(
+                    "Node",
+                    vec![Program::var("x"), Program::var("Empty"), Program::var("Empty")],
+                ),
+            },
+            synquid::core::Case {
+                constructor: "Node".into(),
+                binders: vec!["y".into(), "l".into(), "r".into()],
+                body: Program::ite(
+                    Program::apply(
+                        "and",
+                        vec![
+                            Program::apply("leqg", vec![Program::var("x"), Program::var("y")]),
+                            Program::apply("leqg", vec![Program::var("y"), Program::var("x")]),
+                        ],
+                    ),
+                    Program::var("t"),
+                    Program::ite(
+                        Program::apply("leqg", vec![Program::var("y"), Program::var("x")]),
+                        Program::apply(
+                            "Node",
+                            vec![
+                                Program::var("y"),
+                                Program::var("l"),
+                                Program::apply("insert", vec![Program::var("x"), Program::var("r")]),
+                            ],
+                        ),
+                        Program::apply(
+                            "Node",
+                            vec![
+                                Program::var("y"),
+                                Program::apply("insert", vec![Program::var("x"), Program::var("l")]),
+                                Program::var("r"),
+                            ],
+                        ),
+                    ),
+                ),
+            },
+        ],
+    );
+    let program = Program::Fix(
+        "insert".into(),
+        Box::new(Program::lambda("x", Program::lambda("t", body))),
+    );
+    let mut checker = TypeChecker::new();
+    checker
+        .check_goal(&goal, &program)
+        .expect("the paper's BST insert should type-check");
+}
