@@ -8,9 +8,7 @@
 //! ```
 
 use std::time::Duration;
-use synquid_bench::{
-    format_fig7, format_table1, format_table2, run_fig7, run_table1, run_table2,
-};
+use synquid_bench::{format_fig7, format_table1, format_table2, run_fig7, run_table1, run_table2};
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
     args.iter()

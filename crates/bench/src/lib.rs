@@ -78,7 +78,14 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         }
         out.push_str(&format!(
             "{:<22} {:<28} {:>8.2} {:>8} | {:>8} {:>8} {:>8} {:>8}\n",
-            b.group, b.name, b.paper_time, b.paper_code_size, cells[0], cells[1], cells[2], cells[3]
+            b.group,
+            b.name,
+            b.paper_time,
+            b.paper_code_size,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
         ));
     }
     out
@@ -134,8 +141,13 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
             .unwrap_or_else(|| "n/t".to_string());
         out.push_str(&format!(
             "{:<10} {:<28} {:>10} {:>10.2} {:>10} {:>10.2} {:>12}\n",
-            r.row.tool, r.row.benchmark, spec, r.row.competitor_time, r.row.synquid_spec,
-            r.row.synquid_time, ours
+            r.row.tool,
+            r.row.benchmark,
+            spec,
+            r.row.competitor_time,
+            r.row.synquid_spec,
+            r.row.synquid_time,
+            ours
         ));
     }
     out
@@ -167,7 +179,10 @@ pub fn run_fig7(max_n: usize, timeout: Duration) -> Vec<Fig7Point> {
 /// Formats the Fig. 7 series as text.
 pub fn format_fig7(points: &[Fig7Point]) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<20} {:>4} {:>10} {:>10}\n", "Benchmark", "n", "time(s)", "solved"));
+    out.push_str(&format!(
+        "{:<20} {:>4} {:>10} {:>10}\n",
+        "Benchmark", "n", "time(s)", "solved"
+    ));
     for p in points {
         out.push_str(&format!(
             "{:<20} {:>4} {:>10} {:>10}\n",

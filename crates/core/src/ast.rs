@@ -233,10 +233,7 @@ mod tests {
     fn pretty_printing_resembles_the_paper() {
         let program = Program::Fix(
             "replicate".into(),
-            Box::new(Program::lambda(
-                "n",
-                Program::lambda("x", replicate_body()),
-            )),
+            Box::new(Program::lambda("n", Program::lambda("x", replicate_body()))),
         );
         let s = program.to_string();
         assert!(s.contains("\\n . "));

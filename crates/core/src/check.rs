@@ -75,8 +75,8 @@ impl TypeChecker {
             Program::Fix(name, body) => {
                 let (args, _) = goal.schema.ty.uncurry();
                 let arg_names: Vec<String> = args.iter().map(|(n, _)| n.clone()).collect();
-                let weakened = weaken_for_recursion(&env, &goal.schema, &arg_names)
-                    .ok_or_else(|| {
+                let weakened =
+                    weaken_for_recursion(&env, &goal.schema, &arg_names).ok_or_else(|| {
                         TypeError::new(format!(
                             "recursive program {name} has no argument with a termination metric"
                         ))
@@ -151,8 +151,7 @@ impl TypeChecker {
             // Rule IF: infer the guard's strengthened type, then check the
             // branches under the corresponding path conditions.
             Program::If(cond, then_branch, else_branch) => {
-                let (cond_env, cond_ty) =
-                    self.infer(env, solver, cond, &RType::bool())?;
+                let (cond_env, cond_ty) = self.infer(env, solver, cond, &RType::bool())?;
                 let psi = cond_ty.refinement();
                 let then_fact = psi.substitute_value(&Term::tt());
                 let else_fact = psi.substitute_value(&Term::ff());
@@ -270,7 +269,8 @@ impl TypeChecker {
     ) -> Result<(Environment, RType), TypeError> {
         match eterm {
             Program::IntLit(n) => {
-                let ty = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(*n)));
+                let ty =
+                    RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(*n)));
                 solver.subtype(env, &ty, goal, &mut self.smt, &format!("literal {n}"))?;
                 Ok((env.clone(), ty))
             }
@@ -365,7 +365,13 @@ impl TypeChecker {
         let remaining: Vec<(String, RType)> = fargs.iter().skip(args.len()).cloned().collect();
         let result = RType::fun_n(remaining, fret).substitute(&subst);
         if result.is_scalar() || matches!(goal, RType::Any | RType::Bot) || goal.is_function() {
-            solver.subtype(&app_env, &result, goal, &mut self.smt, &format!("{head_name}(..)"))?;
+            solver.subtype(
+                &app_env,
+                &result,
+                goal,
+                &mut self.smt,
+                &format!("{head_name}(..)"),
+            )?;
         }
         Ok((app_env, result))
     }
@@ -456,11 +462,19 @@ mod tests {
         let mut checker = TypeChecker::new();
         let env = int_env();
         let ty = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(3)));
-        assert!(checker.check_program(&env, &Program::IntLit(3), &ty).is_ok());
-        assert!(checker.check_program(&env, &Program::IntLit(4), &ty).is_err());
+        assert!(checker
+            .check_program(&env, &Program::IntLit(3), &ty)
+            .is_ok());
+        assert!(checker
+            .check_program(&env, &Program::IntLit(4), &ty)
+            .is_err());
         let bty = RType::refined(BaseType::Bool, Term::value_var(Sort::Bool).iff(Term::tt()));
-        assert!(checker.check_program(&env, &Program::BoolLit(true), &bty).is_ok());
-        assert!(checker.check_program(&env, &Program::BoolLit(false), &bty).is_err());
+        assert!(checker
+            .check_program(&env, &Program::BoolLit(true), &bty)
+            .is_ok());
+        assert!(checker
+            .check_program(&env, &Program::BoolLit(false), &bty)
+            .is_err());
     }
 
     #[test]
@@ -504,7 +518,9 @@ mod tests {
             Program::var("n"),
             Program::var("zero"),
         );
-        assert!(checker.check_program(&env, &swapped, &RType::nat()).is_err());
+        assert!(checker
+            .check_program(&env, &swapped, &RType::nat())
+            .is_err());
     }
 
     #[test]
@@ -531,7 +547,10 @@ mod tests {
                     Program::var("x"),
                     Program::apply(
                         "replicate",
-                        vec![Program::apply("dec", vec![Program::var("n")]), Program::var("x")],
+                        vec![
+                            Program::apply("dec", vec![Program::var("n")]),
+                            Program::var("x"),
+                        ],
                     ),
                 ],
             ),
@@ -579,8 +598,9 @@ mod tests {
         );
         let goal_ty = RType::refined(
             BaseType::Bool,
-            Term::value_var(Sort::Bool)
-                .iff(Term::app("len", vec![Term::var("xs", list_sort)], Sort::Int).eq(Term::int(0))),
+            Term::value_var(Sort::Bool).iff(
+                Term::app("len", vec![Term::var("xs", list_sort)], Sort::Int).eq(Term::int(0)),
+            ),
         );
         let program = Program::Match(
             Box::new(Program::var("xs")),

@@ -42,10 +42,12 @@ pub type Bindings = BTreeMap<String, Value>;
 impl Value {
     /// Builds a `List` value (`Cons`/`Nil`) from a vector of values.
     pub fn list(items: Vec<Value>) -> Value {
-        items.into_iter().rev().fold(
-            Value::Ctor("Nil".into(), vec![]),
-            |acc, x| Value::Ctor("Cons".into(), vec![x, acc]),
-        )
+        items
+            .into_iter()
+            .rev()
+            .fold(Value::Ctor("Nil".into(), vec![]), |acc, x| {
+                Value::Ctor("Cons".into(), vec![x, acc])
+            })
     }
 
     /// Converts a `List` value back into a vector; `None` if the value is
@@ -182,8 +184,16 @@ impl Evaluator {
         });
         eval.register("and", 2, |args| bool_op2(args, |a, b| a && b));
         eval.register("or", 2, |args| bool_op2(args, |a, b| a || b));
-        for (name, generic) in [("leq", false), ("lt", false), ("eq", false), ("neq", false),
-                                ("leqg", true), ("ltg", true), ("eqg", true), ("neqg", true)] {
+        for (name, generic) in [
+            ("leq", false),
+            ("lt", false),
+            ("eq", false),
+            ("neq", false),
+            ("leqg", true),
+            ("ltg", true),
+            ("eqg", true),
+            ("neqg", true),
+        ] {
             let base = name.trim_end_matches('g').to_string();
             let _ = generic;
             eval.register(name, 2, move |args| compare(&base, args));
@@ -317,10 +327,7 @@ impl Evaluator {
             }
             Value::Fixpoint(name, body, captured) => {
                 let mut recursive = captured.clone();
-                recursive.insert(
-                    name.clone(),
-                    Value::Fixpoint(name, body.clone(), captured),
-                );
+                recursive.insert(name.clone(), Value::Fixpoint(name, body.clone(), captured));
                 let unfolded = self.eval(&body, &recursive)?;
                 self.apply(unfolded, arg)
             }
@@ -413,7 +420,10 @@ mod tests {
                     Program::var("x"),
                     Program::apply(
                         "replicate",
-                        vec![Program::apply("dec", vec![Program::var("n")]), Program::var("x")],
+                        vec![
+                            Program::apply("dec", vec![Program::var("n")]),
+                            Program::var("x"),
+                        ],
                     ),
                 ],
             ),
@@ -439,7 +449,10 @@ mod tests {
         // (\x . \y . plus x y) 2 40
         let p = Program::lambda(
             "x",
-            Program::lambda("y", Program::apply("plus", vec![Program::var("x"), Program::var("y")])),
+            Program::lambda(
+                "y",
+                Program::apply("plus", vec![Program::var("x"), Program::var("y")]),
+            ),
         );
         assert_eq!(
             eval.run(&p, &[Value::Int(2), Value::Int(40)]),
@@ -520,11 +533,13 @@ mod tests {
                 Program::apply("loop", vec![Program::var("n")]),
             )),
         );
-        let mut eval = Evaluator::default();
         // Keep the bound small: the interpreter is not tail-recursive, so a
         // large fuel budget on a divergent program would exhaust the test
         // thread's stack before it exhausts the fuel.
-        eval.fuel = 500;
+        let mut eval = Evaluator {
+            fuel: 500,
+            ..Evaluator::default()
+        };
         let err = eval.run(&looping, &[Value::Int(1)]).unwrap_err();
         assert!(err.message.contains("fuel"));
     }

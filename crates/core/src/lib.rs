@@ -25,4 +25,4 @@ pub use ast::{Case, Program};
 pub use check::TypeChecker;
 pub use eval::{EvalError, Evaluator, Value};
 pub use options::SynthesisConfig;
-pub use synthesis::{Goal, Synthesized, SynthesisError, SynthesisStats, Synthesizer};
+pub use synthesis::{Goal, SynthesisError, SynthesisStats, Synthesized, Synthesizer};

@@ -22,9 +22,7 @@ use std::time::Instant;
 use synquid_horn::{FixpointConfig, StrengthenBackend};
 use synquid_logic::{Sort, Substitution, Term};
 use synquid_solver::Smt;
-use synquid_types::{
-    weaken_for_recursion, BaseType, ConstraintSolver, Environment, RType, Schema,
-};
+use synquid_types::{weaken_for_recursion, BaseType, ConstraintSolver, Environment, RType, Schema};
 
 /// A synthesis goal: a name, an environment of components, and the goal
 /// schema.
@@ -132,13 +130,14 @@ impl Synthesizer {
     }
 
     fn fixpoint_config(&self) -> FixpointConfig {
-        let mut cfg = FixpointConfig::default();
-        cfg.backend = if self.config.use_musfix {
-            StrengthenBackend::Musfix
-        } else {
-            StrengthenBackend::NaiveBfs
-        };
-        cfg
+        FixpointConfig {
+            backend: if self.config.use_musfix {
+                StrengthenBackend::Musfix
+            } else {
+                StrengthenBackend::NaiveBfs
+            },
+            ..FixpointConfig::default()
+        }
     }
 
     fn fresh_name(&mut self, prefix: &str) -> String {
@@ -207,7 +206,9 @@ impl Synthesizer {
         match_depth: usize,
     ) -> Result<Program, SynthesisError> {
         self.check_deadline()?;
-        crate::trace!("synthesize_in goal={goal} branch_depth={branch_depth} match_depth={match_depth}");
+        crate::trace!(
+            "synthesize_in goal={goal} branch_depth={branch_depth} match_depth={match_depth}"
+        );
 
         // Function goals: introduce lambdas (rule ABS).
         if goal.is_function() {
@@ -249,8 +250,13 @@ impl Synthesizer {
                 // Synthesize the remaining branch under the negated condition.
                 let mut else_env = env.clone();
                 else_env.add_path_condition(condition.clone().not());
-                match self.synthesize_in(&else_env, goal, base_solver, branch_depth - 1, match_depth)
-                {
+                match self.synthesize_in(
+                    &else_env,
+                    goal,
+                    base_solver,
+                    branch_depth - 1,
+                    match_depth,
+                ) {
                     Ok(else_branch) => {
                         let _ = solver;
                         return Ok(Program::ite(guard, program, else_branch));
@@ -393,10 +399,7 @@ impl Synthesizer {
                 }
             }
             if cases.len() == dt.constructors.len() {
-                return Ok(Some(Program::Match(
-                    Box::new(Program::var(scrut)),
-                    cases,
-                )));
+                return Ok(Some(Program::Match(Box::new(Program::var(scrut)), cases)));
             }
         }
         Ok(None)
@@ -425,9 +428,12 @@ impl Synthesizer {
         if matches!(goal.base_type(), Some(BaseType::Int)) {
             for lit in [0i64, 1] {
                 let mut s = solver.clone();
-                let ty = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(lit)));
+                let ty =
+                    RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(lit)));
                 self.stats.eterms_checked += 1;
-                if s.subtype(env, &ty, goal, &mut self.smt, "int-literal").is_ok() {
+                if s.subtype(env, &ty, goal, &mut self.smt, "int-literal")
+                    .is_ok()
+                {
                     out.push(Candidate {
                         program: Program::IntLit(lit),
                         solver: s,
@@ -445,7 +451,9 @@ impl Synthesizer {
                     Term::value_var(Sort::Bool).iff(Term::BoolLit(lit)),
                 );
                 self.stats.eterms_checked += 1;
-                if s.subtype(env, &ty, goal, &mut self.smt, "bool-literal").is_ok() {
+                if s.subtype(env, &ty, goal, &mut self.smt, "bool-literal")
+                    .is_ok()
+                {
                     out.push(Candidate {
                         program: Program::BoolLit(lit),
                         solver: s,
@@ -473,7 +481,9 @@ impl Synthesizer {
                 // to a higher-order combinator).
                 if goal.is_function() {
                     self.stats.eterms_checked += 1;
-                    if s.subtype(env, &instantiated, goal, &mut self.smt, name).is_ok() {
+                    if s.subtype(env, &instantiated, goal, &mut self.smt, name)
+                        .is_ok()
+                    {
                         out.push(Candidate {
                             program: Program::var(name.clone()),
                             solver: s,
@@ -489,7 +499,9 @@ impl Synthesizer {
             }
             let singleton = env.singleton_type(name, &instantiated);
             self.stats.eterms_checked += 1;
-            if s.subtype(env, &singleton, goal, &mut self.smt, name).is_ok() {
+            if s.subtype(env, &singleton, goal, &mut self.smt, name)
+                .is_ok()
+            {
                 out.push(Candidate {
                     program: Program::var(name.clone()),
                     solver: s,
@@ -549,7 +561,13 @@ impl Synthesizer {
             let early_ret = fret.substitute(&subst);
             self.stats.eterms_checked += 1;
             if solver
-                .subtype(&bot_env, &early_ret, goal, &mut self.smt, &format!("{head}:early"))
+                .subtype(
+                    &bot_env,
+                    &early_ret,
+                    goal,
+                    &mut self.smt,
+                    &format!("{head}:early"),
+                )
                 .is_err()
             {
                 return Ok(Vec::new());
@@ -571,7 +589,13 @@ impl Synthesizer {
             }
             let decl_ret = fret.substitute(&subst);
             if solver
-                .consistent(&decl_env, &decl_ret, goal, &mut self.smt, &format!("{head}:cc"))
+                .consistent(
+                    &decl_env,
+                    &decl_ret,
+                    goal,
+                    &mut self.smt,
+                    &format!("{head}:cc"),
+                )
                 .is_err()
             {
                 return Ok(Vec::new());
@@ -621,7 +645,10 @@ impl Synthesizer {
                 }
                 let arg_candidates =
                     self.enumerate_eterms(&partial.env, &expected, depth - 1, &partial.solver)?;
-                for cand in arg_candidates.into_iter().take(self.config.max_arg_candidates) {
+                for cand in arg_candidates
+                    .into_iter()
+                    .take(self.config.max_arg_candidates)
+                {
                     let binder = self.fresh_name("a");
                     let mut cand_env = cand.env.clone();
                     cand_env.add_var(binder.clone(), cand.ty.clone());
@@ -652,8 +679,14 @@ impl Synthesizer {
             let mut s = partial.solver.clone();
             let ret_final = fret.substitute(&partial.subst);
             self.stats.eterms_checked += 1;
-            if s.subtype(&partial.env, &ret_final, goal, &mut self.smt, &format!("{head}:ret"))
-                .is_err()
+            if s.subtype(
+                &partial.env,
+                &ret_final,
+                goal,
+                &mut self.smt,
+                &format!("{head}:ret"),
+            )
+            .is_err()
             {
                 continue;
             }
@@ -856,9 +889,11 @@ mod tests {
                 ),
             )),
         );
-        let mut config = SynthesisConfig::default();
-        config.max_app_depth = 1;
-        config.max_match_depth = 0;
+        let config = SynthesisConfig {
+            max_app_depth: 1,
+            max_match_depth: 0,
+            ..SynthesisConfig::default()
+        };
         let mut syn = Synthesizer::new(config);
         assert!(matches!(
             syn.synthesize(&goal),

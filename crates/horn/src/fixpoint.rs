@@ -101,7 +101,11 @@ pub struct HornError {
 
 impl std::fmt::Display for HornError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "no liquid assignment satisfies constraint: {}", self.constraint)
+        write!(
+            f,
+            "no liquid assignment satisfies constraint: {}",
+            self.constraint
+        )
     }
 }
 
@@ -410,10 +414,8 @@ fn unknown_occurrences(t: &Term) -> Vec<(UnknownId, Substitution)> {
 
 fn collect_occurrences(t: &Term, out: &mut Vec<(UnknownId, Substitution)>) {
     match t {
-        Term::Unknown(id, pending) => {
-            if !out.iter().any(|(i, p)| i == id && p == pending) {
-                out.push((*id, pending.clone()));
-            }
+        Term::Unknown(id, pending) if !out.iter().any(|(i, p)| i == id && p == pending) => {
+            out.push((*id, pending.clone()));
         }
         Term::Unary(_, a) => collect_occurrences(a, out),
         Term::Binary(_, a, b) => {
@@ -581,7 +583,10 @@ mod tests {
             .expect("strengthening should succeed");
         let val = solver.apply(&Term::unknown(p0));
         // The abduced condition must entail n ≤ 0 (it may be exactly n ≤ 0).
-        assert!(smt.entails(&val, &n().le(Term::int(0))), "got valuation {val}");
+        assert!(
+            smt.entails(&val, &n().le(Term::int(0))),
+            "got valuation {val}"
+        );
         // And it must be consistent with 0 ≤ n.
         assert!(smt.check_sat_conj(&[Term::int(0).le(n()), val]) == SmtResult::Sat);
     }
@@ -644,8 +649,10 @@ mod tests {
 
     #[test]
     fn naive_backend_finds_the_same_condition() {
-        let mut config = FixpointConfig::default();
-        config.backend = StrengthenBackend::NaiveBfs;
+        let config = FixpointConfig {
+            backend: StrengthenBackend::NaiveBfs,
+            ..FixpointConfig::default()
+        };
         let mut solver = FixpointSolver::new(config);
         let mut smt = Smt::new();
         let p0 = solver.fresh_unknown("P0", replicate_qspace(), Term::int(0).le(n()));

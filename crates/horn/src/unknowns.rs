@@ -41,7 +41,12 @@ impl UnknownRegistry {
 
     /// Allocates a fresh unknown with the given qualifier space and
     /// environment assumption.
-    pub fn fresh(&mut self, name: impl Into<String>, qspace: QSpace, env_assumption: Term) -> UnknownId {
+    pub fn fresh(
+        &mut self,
+        name: impl Into<String>,
+        qspace: QSpace,
+        env_assumption: Term,
+    ) -> UnknownId {
         let id = self.next;
         self.next += 1;
         self.infos.insert(
@@ -191,7 +196,8 @@ mod tests {
         let n = Term::var("n", Sort::Int);
         assert_eq!(
             t,
-            n.le(Term::int(0)).and(Term::value_var(Sort::Int).ge(Term::int(0)))
+            n.le(Term::int(0))
+                .and(Term::value_var(Sort::Int).ge(Term::int(0)))
         );
     }
 

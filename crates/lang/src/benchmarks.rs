@@ -95,7 +95,8 @@ fn goal_is_empty() -> Goal {
     add_bool_components(&mut env);
     let ret = RType::refined(
         BaseType::Bool,
-        Term::value_var(Sort::Bool).iff(len_of(Term::var("xs", list_sort(Sort::var("a")))).eq(Term::int(0))),
+        Term::value_var(Sort::Bool)
+            .iff(len_of(Term::var("xs", list_sort(Sort::var("a")))).eq(Term::int(0))),
     );
     let ty = RType::fun("xs", list_type(RType::tyvar("a")), ret);
     Goal::new("is_empty", env, Schema::forall(vec!["a".into()], ty))
@@ -200,8 +201,8 @@ fn goal_insert_sorted() -> Goal {
     let ielems = |t: Term| Term::app("ielems", vec![t], Sort::set(es.clone()));
     let ret = RType::refined(
         BaseType::Data("IList".into(), vec![RType::tyvar("a")]),
-        ielems(Term::value_var(is.clone())).eq(ielems(Term::var("xs", is.clone()))
-            .union(Term::singleton(es.clone(), avar("x")))),
+        ielems(Term::value_var(is.clone()))
+            .eq(ielems(Term::var("xs", is.clone())).union(Term::singleton(es.clone(), avar("x")))),
     );
     let ty = RType::fun_n(
         vec![
@@ -223,8 +224,8 @@ fn goal_insertion_sort() -> Goal {
     // Component: insert :: x: α → xs: IList α → {IList α | ielems ν = ielems xs + [x]}
     let insert_ret = RType::refined(
         BaseType::Data("IList".into(), vec![RType::tyvar("a")]),
-        ielems(Term::value_var(is.clone())).eq(ielems(Term::var("xs", is.clone()))
-            .union(Term::singleton(es.clone(), avar("x")))),
+        ielems(Term::value_var(is.clone()))
+            .eq(ielems(Term::var("xs", is.clone())).union(Term::singleton(es.clone(), avar("x")))),
     );
     env.add_var(
         "insert",
@@ -276,8 +277,8 @@ fn goal_bst_insert() -> Goal {
     let keys = |t: Term| Term::app("keys", vec![t], Sort::set(es.clone()));
     let ret = RType::refined(
         BaseType::Data("BST".into(), vec![RType::tyvar("a")]),
-        keys(Term::value_var(bs.clone())).eq(keys(Term::var("t", bs))
-            .union(Term::singleton(es.clone(), avar("x")))),
+        keys(Term::value_var(bs.clone()))
+            .eq(keys(Term::var("t", bs)).union(Term::singleton(es.clone(), avar("x")))),
     );
     let ty = RType::fun_n(
         vec![
@@ -297,9 +298,7 @@ fn goal_bst_insert() -> Goal {
 pub fn max_n(n: usize) -> Goal {
     let mut env = base_environment();
     add_comparison_components(&mut env, Sort::Int);
-    let args: Vec<(String, RType)> = (1..=n)
-        .map(|i| (format!("x{i}"), RType::int()))
-        .collect();
+    let args: Vec<(String, RType)> = (1..=n).map(|i| (format!("x{i}"), RType::int())).collect();
     let nu = nu_int();
     let at_least = Term::conjunction((1..=n).map(|i| nu.clone().ge(ivar(&format!("x{i}")))));
     let is_one = Term::disjunction((1..=n).map(|i| nu.clone().eq(ivar(&format!("x{i}")))));
@@ -390,37 +389,163 @@ pub fn table1() -> Vec<Benchmark> {
     }
     vec![
         row("List", "is empty", 0.02, 6, (1, 1), Some(goal_is_empty)),
-        row("List", "is member", 0.11, 18, (2, 1), Some(goal_list_member)),
-        row("List", "duplicate each element", 0.05, 16, (3, 1), Some(goal_duplicate_each)),
+        row(
+            "List",
+            "is member",
+            0.11,
+            18,
+            (2, 1),
+            Some(goal_list_member),
+        ),
+        row(
+            "List",
+            "duplicate each element",
+            0.05,
+            16,
+            (3, 1),
+            Some(goal_duplicate_each),
+        ),
         row("List", "replicate", 0.05, 21, (3, 0), Some(goal_replicate)),
-        row("List", "append two lists", 0.15, 15, (3, 1), Some(goal_append)),
+        row(
+            "List",
+            "append two lists",
+            0.15,
+            15,
+            (3, 1),
+            Some(goal_append),
+        ),
         row("List", "concatenate list of lists", 0.05, 12, (3, 1), None),
-        row("List", "take first n elements", 0.12, 27, (2, 1), Some(goal_take)),
-        row("List", "drop first n elements", 0.10, 20, (2, 1), Some(goal_drop)),
-        row("List", "delete value", 0.10, 26, (3, 1), Some(goal_list_delete)),
+        row(
+            "List",
+            "take first n elements",
+            0.12,
+            27,
+            (2, 1),
+            Some(goal_take),
+        ),
+        row(
+            "List",
+            "drop first n elements",
+            0.10,
+            20,
+            (2, 1),
+            Some(goal_drop),
+        ),
+        row(
+            "List",
+            "delete value",
+            0.10,
+            26,
+            (3, 1),
+            Some(goal_list_delete),
+        ),
         row("List", "map", 0.03, 22, (3, 1), Some(goal_map)),
         row("List", "zip", 0.08, 22, (3, 2), None),
         row("List", "zip with function", 0.07, 33, (3, 2), None),
         row("List", "cartesian product", 0.30, 26, (3, 1), None),
-        row("List", "i-th element", 0.05, 20, (2, 1), Some(goal_stutter_head)),
+        row(
+            "List",
+            "i-th element",
+            0.05,
+            20,
+            (2, 1),
+            Some(goal_stutter_head),
+        ),
         row("List", "index of element", 0.08, 20, (3, 1), None),
-        row("List", "insert at end", 0.10, 19, (3, 1), Some(goal_insert_at_end)),
+        row(
+            "List",
+            "insert at end",
+            0.10,
+            19,
+            (3, 1),
+            Some(goal_insert_at_end),
+        ),
         row("List", "reverse", 0.09, 12, (3, 1), Some(goal_reverse)),
         row("List", "foldr", 0.10, 32, (3, 1), None),
-        row("List", "length using fold", 0.03, 17, (2, 1), Some(goal_length)),
+        row(
+            "List",
+            "length using fold",
+            0.03,
+            17,
+            (2, 1),
+            Some(goal_length),
+        ),
         row("List", "append using fold", 0.04, 20, (3, 0), None),
-        row("Unique list", "insert", 0.27, 26, (2, 1), Some(goal_unique_insert)),
-        row("Unique list", "delete", 0.18, 22, (2, 1), Some(goal_unique_delete)),
-        row("Unique list", "remove duplicates", 0.36, 47, (2, 1), Some(goal_remove_duplicates)),
-        row("Unique list", "remove adjacent dupl.", 1.33, 32, (3, 2), None),
+        row(
+            "Unique list",
+            "insert",
+            0.27,
+            26,
+            (2, 1),
+            Some(goal_unique_insert),
+        ),
+        row(
+            "Unique list",
+            "delete",
+            0.18,
+            22,
+            (2, 1),
+            Some(goal_unique_delete),
+        ),
+        row(
+            "Unique list",
+            "remove duplicates",
+            0.36,
+            47,
+            (2, 1),
+            Some(goal_remove_duplicates),
+        ),
+        row(
+            "Unique list",
+            "remove adjacent dupl.",
+            1.33,
+            32,
+            (3, 2),
+            None,
+        ),
         row("Unique list", "integer range", 2.36, 23, (3, 0), None),
-        row("Strictly sorted list", "insert", 0.18, 41, (2, 1), Some(goal_strict_insert)),
-        row("Strictly sorted list", "delete", 0.10, 29, (2, 1), Some(goal_strict_delete)),
+        row(
+            "Strictly sorted list",
+            "insert",
+            0.18,
+            41,
+            (2, 1),
+            Some(goal_strict_insert),
+        ),
+        row(
+            "Strictly sorted list",
+            "delete",
+            0.10,
+            29,
+            (2, 1),
+            Some(goal_strict_delete),
+        ),
         row("Strictly sorted list", "intersect", 0.33, 40, (3, 2), None),
-        row("Sorting", "insert (sorted)", 0.25, 34, (3, 1), Some(goal_insert_sorted)),
-        row("Sorting", "insertion sort", 0.06, 12, (2, 1), Some(goal_insertion_sort)),
+        row(
+            "Sorting",
+            "insert (sorted)",
+            0.25,
+            34,
+            (3, 1),
+            Some(goal_insert_sorted),
+        ),
+        row(
+            "Sorting",
+            "insertion sort",
+            0.06,
+            12,
+            (2, 1),
+            Some(goal_insertion_sort),
+        ),
         row("Sorting", "sort by folding", 2.14, 47, (3, 1), None),
-        row("Sorting", "extract minimum", 4.28, 40, (2, 1), Some(goal_sorted_head)),
+        row(
+            "Sorting",
+            "extract minimum",
+            4.28,
+            40,
+            (2, 1),
+            Some(goal_sorted_head),
+        ),
         row("Sorting", "selection sort", 0.49, 16, (3, 1), None),
         row("Sorting", "balanced split", 0.96, 33, (3, 2), None),
         row("Sorting", "merge", 2.19, 41, (2, 1), Some(goal_merge)),
@@ -428,19 +553,75 @@ pub fn table1() -> Vec<Benchmark> {
         row("Sorting", "partition", 2.84, 40, (3, 2), None),
         row("Sorting", "append with pivot", 0.22, 22, (3, 1), None),
         row("Sorting", "quick sort", 2.71, 22, (3, 2), None),
-        row("Tree", "is member", 0.29, 28, (2, 1), Some(goal_tree_member)),
-        row("Tree", "node count", 0.20, 18, (2, 1), Some(goal_tree_count)),
-        row("Tree", "preorder", 0.21, 18, (2, 1), Some(goal_tree_preorder)),
+        row(
+            "Tree",
+            "is member",
+            0.29,
+            28,
+            (2, 1),
+            Some(goal_tree_member),
+        ),
+        row(
+            "Tree",
+            "node count",
+            0.20,
+            18,
+            (2, 1),
+            Some(goal_tree_count),
+        ),
+        row(
+            "Tree",
+            "preorder",
+            0.21,
+            18,
+            (2, 1),
+            Some(goal_tree_preorder),
+        ),
         row("Tree", "create balanced", 0.14, 29, (3, 1), None),
         row("BST", "is member", 0.09, 37, (2, 1), Some(goal_bst_member)),
         row("BST", "insert", 0.91, 55, (3, 1), Some(goal_bst_insert)),
         row("BST", "delete", 5.68, 68, (3, 2), None),
         row("BST", "BST sort", 1.38, 115, (3, 2), None),
-        row("Binary Heap", "is member", 0.38, 43, (2, 1), Some(goal_heap_member)),
-        row("Binary Heap", "insert", 0.51, 55, (2, 1), Some(goal_heap_insert)),
-        row("Binary Heap", "1-element constructor", 0.02, 8, (1, 0), Some(goal_heap_singleton)),
-        row("Binary Heap", "2-element constructor", 0.08, 55, (2, 0), Some(goal_heap_two)),
-        row("Binary Heap", "3-element constructor", 2.10, 246, (3, 0), None),
+        row(
+            "Binary Heap",
+            "is member",
+            0.38,
+            43,
+            (2, 1),
+            Some(goal_heap_member),
+        ),
+        row(
+            "Binary Heap",
+            "insert",
+            0.51,
+            55,
+            (2, 1),
+            Some(goal_heap_insert),
+        ),
+        row(
+            "Binary Heap",
+            "1-element constructor",
+            0.02,
+            8,
+            (1, 0),
+            Some(goal_heap_singleton),
+        ),
+        row(
+            "Binary Heap",
+            "2-element constructor",
+            0.08,
+            55,
+            (2, 0),
+            Some(goal_heap_two),
+        ),
+        row(
+            "Binary Heap",
+            "3-element constructor",
+            2.10,
+            246,
+            (3, 0),
+            None,
+        ),
         row("AVL", "rotate left", 11.08, 91, (3, 1), None),
         row("AVL", "rotate right", 19.23, 91, (3, 1), None),
         row("AVL", "balance", 1.56, 119, (3, 1), None),
@@ -451,8 +632,22 @@ pub fn table1() -> Vec<Benchmark> {
         row("RBT", "balance right", 7.63, 137, (3, 1), None),
         row("RBT", "insert", 8.95, 112, (3, 1), None),
         row("User", "desugar AST", 1.17, 46, (3, 1), None),
-        row("User", "make address book", 0.62, 35, (2, 1), Some(goal_make_address_book)),
-        row("User", "merge address books", 0.35, 19, (2, 1), Some(goal_merge_address_books)),
+        row(
+            "User",
+            "make address book",
+            0.62,
+            35,
+            (2, 1),
+            Some(goal_make_address_book),
+        ),
+        row(
+            "User",
+            "merge address books",
+            0.35,
+            19,
+            (2, 1),
+            Some(goal_merge_address_books),
+        ),
     ]
 }
 
@@ -503,23 +698,111 @@ pub fn table2() -> Vec<ComparisonRow> {
         }
     }
     vec![
-        row("Leon", "strict sorted list delete", Some(14), 15.1, 8, 0.10, None),
-        row("Leon", "strict sorted list insert", Some(14), 14.1, 8, 0.18, None),
+        row(
+            "Leon",
+            "strict sorted list delete",
+            Some(14),
+            15.1,
+            8,
+            0.10,
+            None,
+        ),
+        row(
+            "Leon",
+            "strict sorted list insert",
+            Some(14),
+            14.1,
+            8,
+            0.18,
+            None,
+        ),
         row("Leon", "merge sort", Some(9), 14.3, 11, 2.1, None),
-        row("Jennisys", "BST find", Some(51), 64.8, 6, 0.09, Some("is member")),
-        row("Jennisys", "bin. heap 1-element", Some(80), 61.6, 5, 0.02, None),
+        row(
+            "Jennisys",
+            "BST find",
+            Some(51),
+            64.8,
+            6,
+            0.09,
+            Some("is member"),
+        ),
+        row(
+            "Jennisys",
+            "bin. heap 1-element",
+            Some(80),
+            61.6,
+            5,
+            0.02,
+            None,
+        ),
         row("Jennisys", "bin. heap find", Some(76), 51.9, 6, 0.38, None),
-        row("Myth", "sorted list insert", Some(12), 0.12, 8, 0.25, Some("insert (sorted)")),
-        row("Myth", "list rm adjacent dupl.", Some(13), 0.07, 5, 1.33, None),
-        row("Myth", "BST insert", Some(20), 0.37, 8, 0.91, Some("insert")),
-        row("Lambda2", "list remove duplicates", Some(7), 231.0, 13, 0.36, None),
-        row("Lambda2", "list drop", Some(6), 316.4, 11, 0.1, Some("drop first n elements")),
+        row(
+            "Myth",
+            "sorted list insert",
+            Some(12),
+            0.12,
+            8,
+            0.25,
+            Some("insert (sorted)"),
+        ),
+        row(
+            "Myth",
+            "list rm adjacent dupl.",
+            Some(13),
+            0.07,
+            5,
+            1.33,
+            None,
+        ),
+        row(
+            "Myth",
+            "BST insert",
+            Some(20),
+            0.37,
+            8,
+            0.91,
+            Some("insert"),
+        ),
+        row(
+            "Lambda2",
+            "list remove duplicates",
+            Some(7),
+            231.0,
+            13,
+            0.36,
+            None,
+        ),
+        row(
+            "Lambda2",
+            "list drop",
+            Some(6),
+            316.4,
+            11,
+            0.1,
+            Some("drop first n elements"),
+        ),
         row("Lambda2", "tree find", Some(12), 4.7, 6, 0.29, None),
         row("Escher", "list rm adjacent dupl.", None, 1.0, 5, 1.33, None),
         row("Escher", "tree create balanced", None, 0.24, 7, 0.14, None),
-        row("Escher", "list duplicate each", None, 0.16, 7, 0.05, Some("duplicate each element")),
+        row(
+            "Escher",
+            "list duplicate each",
+            None,
+            0.16,
+            7,
+            0.05,
+            Some("duplicate each element"),
+        ),
         row("Myth2", "BST insert", None, 1.81, 8, 0.91, Some("insert")),
-        row("Myth2", "sorted list insert", None, 1.02, 8, 0.25, Some("insert (sorted)")),
+        row(
+            "Myth2",
+            "sorted list insert",
+            None,
+            1.02,
+            8,
+            0.25,
+            Some("insert (sorted)"),
+        ),
         row("Myth2", "tree count nodes", None, 0.45, 4, 0.20, None),
     ]
 }
@@ -541,7 +824,11 @@ mod tests {
     #[test]
     fn a_meaningful_subset_is_transcribed() {
         let t = transcribed();
-        assert!(t.len() >= 10, "expected at least 10 transcribed goals, got {}", t.len());
+        assert!(
+            t.len() >= 10,
+            "expected at least 10 transcribed goals, got {}",
+            t.len()
+        );
         for b in &t {
             let goal = (b.goal.unwrap())();
             assert!(!goal.name.is_empty());
@@ -551,10 +838,7 @@ mod tests {
     #[test]
     fn table2_has_all_18_rows() {
         assert_eq!(table2().len(), 18);
-        assert_eq!(
-            table2().iter().filter(|r| r.tool == "Leon").count(),
-            3
-        );
+        assert_eq!(table2().iter().filter(|r| r.tool == "Leon").count(), 3);
     }
 
     #[test]

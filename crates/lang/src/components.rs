@@ -395,7 +395,10 @@ mod tests {
     fn unique_and_strict_list_environments_have_both_list_flavours() {
         let unique = unique_list_environment();
         assert!(unique.datatype("UList").is_some());
-        assert!(unique.datatype("List").is_some(), "needed by remove-duplicates");
+        assert!(
+            unique.datatype("List").is_some(),
+            "needed by remove-duplicates"
+        );
         let strict = strict_list_environment();
         assert!(strict.datatype("SList").is_some());
         assert!(strict.lookup("SCons").is_some());

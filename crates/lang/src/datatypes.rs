@@ -78,9 +78,11 @@ pub fn tree_datatype() -> Datatype {
     let r = Term::var("r", sort.clone());
     let node_refinement = tsize(nu())
         .eq(tsize(l.clone()).plus(tsize(r.clone())).plus(Term::int(1)))
-        .and(telems(nu()).eq(telems(l)
-            .union(telems(r))
-            .union(Term::singleton(elem.clone(), x))));
+        .and(
+            telems(nu()).eq(telems(l)
+                .union(telems(r))
+                .union(Term::singleton(elem.clone(), x))),
+        );
     let node = Constructor {
         name: "TNode".into(),
         schema: Schema::forall(
@@ -152,9 +154,11 @@ pub fn heap_datatype() -> Datatype {
     let r = Term::var("r", sort.clone());
     let node_refinement = hsize(nu())
         .eq(hsize(l.clone()).plus(hsize(r.clone())).plus(Term::int(1)))
-        .and(helems(nu()).eq(helems(l)
-            .union(helems(r))
-            .union(Term::singleton(elem.clone(), x))));
+        .and(
+            helems(nu()).eq(helems(l)
+                .union(helems(r))
+                .union(Term::singleton(elem.clone(), x))),
+        );
     let node = Constructor {
         name: "HNode".into(),
         schema: Schema::forall(
@@ -217,10 +221,7 @@ pub fn unique_list_datatype() -> Datatype {
     let x = Term::var("x", elem.clone());
     let xs = Term::var("xs", sort.clone());
     // The tail must not contain the head: {UList α | ¬ (x ∈ uelems ν)}.
-    let tail_ty = RType::refined(
-        base.clone(),
-        x.clone().member(uelems(nu())).not(),
-    );
+    let tail_ty = RType::refined(base.clone(), x.clone().member(uelems(nu())).not());
     let cons_refinement = ulen(nu())
         .eq(ulen(xs.clone()).plus(Term::int(1)))
         .and(uelems(nu()).eq(uelems(xs).union(Term::singleton(elem.clone(), x))));
@@ -380,15 +381,21 @@ pub fn avl_datatype() -> Datatype {
         .and(height(nu()).minus(height(l.clone())).le(Term::int(1)));
     let node_refinement = asize(nu())
         .eq(asize(l.clone()).plus(asize(r.clone())).plus(Term::int(1)))
-        .and(aelems(nu()).eq(aelems(l.clone())
-            .union(aelems(r.clone()))
-            .union(Term::singleton(elem.clone(), x))))
-        .and(height(l.clone())
-            .ge(height(r.clone()))
-            .implies(height(nu()).eq(height(l.clone()).plus(Term::int(1)))))
-        .and(height(r.clone())
-            .ge(height(l))
-            .implies(height(nu()).eq(height(r).plus(Term::int(1)))));
+        .and(
+            aelems(nu()).eq(aelems(l.clone())
+                .union(aelems(r.clone()))
+                .union(Term::singleton(elem.clone(), x))),
+        )
+        .and(
+            height(l.clone())
+                .ge(height(r.clone()))
+                .implies(height(nu()).eq(height(l.clone()).plus(Term::int(1)))),
+        )
+        .and(
+            height(r.clone())
+                .ge(height(l))
+                .implies(height(nu()).eq(height(r).plus(Term::int(1)))),
+        );
     let node = Constructor {
         name: "ANode".into(),
         schema: Schema::forall(
@@ -473,19 +480,26 @@ pub fn rbt_datatype() -> Datatype {
             .and(Term::value_var(Sort::Int).le(Term::int(1))),
     );
     let left_ok = RType::base(BaseType::Data("RBT".into(), vec![left_elem]));
-    let right_constraint = bheight(nu())
-        .eq(bheight(l.clone()))
-        .and(c.clone().eq(Term::int(1)).implies(
-            color(l.clone()).eq(Term::int(0)).and(color(nu()).eq(Term::int(0))),
-        ));
-    let right_ok = RType::refined(BaseType::Data("RBT".into(), vec![right_elem]), right_constraint);
+    let right_constraint = bheight(nu()).eq(bheight(l.clone())).and(
+        c.clone().eq(Term::int(1)).implies(
+            color(l.clone())
+                .eq(Term::int(0))
+                .and(color(nu()).eq(Term::int(0))),
+        ),
+    );
+    let right_ok = RType::refined(
+        BaseType::Data("RBT".into(), vec![right_elem]),
+        right_constraint,
+    );
     let node_refinement = rsize(nu())
         .eq(rsize(l.clone()).plus(rsize(r.clone())).plus(Term::int(1)))
         .and(color(nu()).eq(c.clone()))
         .and(bheight(nu()).eq(bheight(l.clone()).plus(c.clone().eq(Term::int(0)).ite_int())))
-        .and(relems(nu()).eq(relems(l)
-            .union(relems(r))
-            .union(Term::singleton(elem.clone(), x))));
+        .and(
+            relems(nu()).eq(relems(l)
+                .union(relems(r))
+                .union(Term::singleton(elem.clone(), x))),
+        );
     let node = Constructor {
         name: "RNode".into(),
         schema: Schema::forall(
@@ -549,16 +563,20 @@ pub fn address_book_datatype() -> Datatype {
     // BAdd :: x: α → p: Bool → xs: Book α → {Book α | … counts updated}
     let add_refinement = bsize(nu())
         .eq(bsize(xs.clone()).plus(Term::int(1)))
-        .and(p.clone().implies(
-            bpriv(nu())
-                .eq(bpriv(xs.clone()).plus(Term::int(1)))
-                .and(bbus(nu()).eq(bbus(xs.clone()))),
-        ))
-        .and(p.clone().not().implies(
-            bbus(nu())
-                .eq(bbus(xs.clone()).plus(Term::int(1)))
-                .and(bpriv(nu()).eq(bpriv(xs.clone()))),
-        ));
+        .and(
+            p.clone().implies(
+                bpriv(nu())
+                    .eq(bpriv(xs.clone()).plus(Term::int(1)))
+                    .and(bbus(nu()).eq(bbus(xs.clone()))),
+            ),
+        )
+        .and(
+            p.clone().not().implies(
+                bbus(nu())
+                    .eq(bbus(xs.clone()).plus(Term::int(1)))
+                    .and(bpriv(nu()).eq(bpriv(xs.clone()))),
+            ),
+        );
     let add = Constructor {
         name: "BAdd".into(),
         schema: Schema::forall(

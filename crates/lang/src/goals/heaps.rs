@@ -61,9 +61,11 @@ pub fn goal_heap_two() -> Goal {
     let env = heap_environment();
     let ret = RType::refined(
         BaseType::Data("Heap".into(), vec![RType::tyvar("a")]),
-        helems_of(Term::value_var(heap_sort()), elem_sort()).eq(
-            Term::singleton(elem_sort(), avar("x")).union(Term::singleton(elem_sort(), avar("y"))),
-        ),
+        helems_of(Term::value_var(heap_sort()), elem_sort()).eq(Term::singleton(
+            elem_sort(),
+            avar("x"),
+        )
+        .union(Term::singleton(elem_sort(), avar("y")))),
     );
     let ty = RType::fun_n(
         vec![
@@ -81,9 +83,8 @@ pub fn goal_heap_insert() -> Goal {
     let env = heap_environment();
     let ret = RType::refined(
         BaseType::Data("Heap".into(), vec![RType::tyvar("a")]),
-        helems_of(Term::value_var(heap_sort()), elem_sort()).eq(
-            helems_of(hvar("h"), elem_sort()).union(Term::singleton(elem_sort(), avar("x"))),
-        ),
+        helems_of(Term::value_var(heap_sort()), elem_sort())
+            .eq(helems_of(hvar("h"), elem_sort()).union(Term::singleton(elem_sort(), avar("x")))),
     );
     let ty = RType::fun_n(
         vec![

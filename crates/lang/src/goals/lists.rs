@@ -69,13 +69,13 @@ pub fn goal_take() -> Goal {
 pub fn goal_list_delete() -> Goal {
     let mut env = list_environment();
     add_comparison_components(&mut env, elem_sort());
-    let ret = RType::refined(
-        BaseType::Data("List".into(), vec![RType::tyvar("a")]),
-        elems_of(nu_list(), elem_sort()).eq(
-            elems_of(lvar("xs"), elem_sort())
-                .set_diff(Term::singleton(elem_sort(), avar("x"))),
-        ),
-    );
+    let ret =
+        RType::refined(
+            BaseType::Data("List".into(), vec![RType::tyvar("a")]),
+            elems_of(nu_list(), elem_sort())
+                .eq(elems_of(lvar("xs"), elem_sort())
+                    .set_diff(Term::singleton(elem_sort(), avar("x")))),
+        );
     let ty = RType::fun_n(
         vec![
             ("x".into(), RType::tyvar("a")),
@@ -96,8 +96,7 @@ pub fn goal_map() -> Goal {
     let b_list_sort = Sort::Data("List".into(), vec![Sort::var("b")]);
     let ret = RType::refined(
         BaseType::Data("List".into(), vec![RType::tyvar("b")]),
-        Term::app("len", vec![Term::value_var(b_list_sort)], Sort::Int)
-            .eq(len_of(lvar("xs"))),
+        Term::app("len", vec![Term::value_var(b_list_sort)], Sort::Int).eq(len_of(lvar("xs"))),
     );
     let f_ty = RType::fun("y", RType::tyvar("a"), RType::tyvar("b"));
     let ty = RType::fun_n(
@@ -107,11 +106,7 @@ pub fn goal_map() -> Goal {
         ],
         ret,
     );
-    Goal::new(
-        "map",
-        env,
-        Schema::forall(vec!["a".into(), "b".into()], ty),
-    )
+    Goal::new("map", env, Schema::forall(vec!["a".into(), "b".into()], ty))
 }
 
 /// `insert at end :: xs: List α → x: α →
@@ -124,8 +119,7 @@ pub fn goal_insert_at_end() -> Goal {
         len_of(nu_list())
             .eq(len_of(lvar("xs")).plus(Term::int(1)))
             .and(elems_of(nu_list(), elem_sort()).eq(
-                elems_of(lvar("xs"), elem_sort())
-                    .union(Term::singleton(elem_sort(), avar("x"))),
+                elems_of(lvar("xs"), elem_sort()).union(Term::singleton(elem_sort(), avar("x"))),
             )),
     );
     let ty = RType::fun_n(
@@ -146,8 +140,7 @@ fn snoc_schema() -> Schema {
         len_of(nu_list())
             .eq(len_of(lvar("xs")).plus(Term::int(1)))
             .and(elems_of(nu_list(), elem_sort()).eq(
-                elems_of(lvar("xs"), elem_sort())
-                    .union(Term::singleton(elem_sort(), avar("x"))),
+                elems_of(lvar("xs"), elem_sort()).union(Term::singleton(elem_sort(), avar("x"))),
             )),
     );
     Schema::forall(
@@ -197,7 +190,11 @@ mod tests {
             goal_reverse(),
         ] {
             assert!(!goal.name.is_empty());
-            assert!(goal.schema.ty.is_function(), "{} should be a function goal", goal.name);
+            assert!(
+                goal.schema.ty.is_function(),
+                "{} should be a function goal",
+                goal.name
+            );
             let (args, ret) = goal.schema.ty.uncurry();
             assert!(!args.is_empty());
             assert!(ret.is_scalar());
@@ -209,7 +206,10 @@ mod tests {
         let goal = goal_map();
         assert_eq!(goal.schema.type_vars.len(), 2);
         let (args, _) = goal.schema.ty.uncurry();
-        assert!(args[0].1.is_function(), "first argument of map is higher-order");
+        assert!(
+            args[0].1.is_function(),
+            "first argument of map is higher-order"
+        );
     }
 
     #[test]

@@ -33,9 +33,8 @@ pub fn goal_merge() -> Goal {
     let env = sorting_environment();
     let ret = RType::refined(
         BaseType::Data("IList".into(), vec![RType::tyvar("a")]),
-        ielems(Term::value_var(ilist_sort())).eq(
-            ielems(Term::var("xs", ilist_sort())).union(ielems(Term::var("ys", ilist_sort()))),
-        ),
+        ielems(Term::value_var(ilist_sort()))
+            .eq(ielems(Term::var("xs", ilist_sort())).union(ielems(Term::var("ys", ilist_sort())))),
     );
     let ty = RType::fun_n(
         vec![

@@ -46,7 +46,10 @@ pub fn goal_tree_member() -> Goal {
 pub fn goal_tree_count() -> Goal {
     let mut env = tree_environment();
     add_arith_components(&mut env);
-    let ret = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(tsize_of(tvar("t"))));
+    let ret = RType::refined(
+        BaseType::Int,
+        Term::value_var(Sort::Int).eq(tsize_of(tvar("t"))),
+    );
     let ty = RType::fun("t", tree_type(RType::tyvar("a")), ret);
     Goal::new("tree_count", env, Schema::forall(vec!["a".into()], ty))
 }
@@ -64,10 +67,13 @@ pub fn goal_tree_preorder() -> Goal {
         BaseType::Data("List".into(), vec![RType::tyvar("a")]),
         len_of(nu.clone())
             .eq(len_of(Term::var("xs", ls.clone())).plus(len_of(Term::var("ys", ls.clone()))))
-            .and(elems_of(nu.clone(), elem_sort()).eq(
-                elems_of(Term::var("xs", ls.clone()), elem_sort())
-                    .union(elems_of(Term::var("ys", ls.clone()), elem_sort())),
-            )),
+            .and(
+                elems_of(nu.clone(), elem_sort()).eq(elems_of(
+                    Term::var("xs", ls.clone()),
+                    elem_sort(),
+                )
+                .union(elems_of(Term::var("ys", ls.clone()), elem_sort()))),
+            ),
     );
     env.add_var(
         "append",

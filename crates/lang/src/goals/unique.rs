@@ -30,10 +30,11 @@ pub fn goal_unique_insert() -> Goal {
     let env = unique_list_environment();
     let ret = RType::refined(
         BaseType::Data("UList".into(), vec![RType::tyvar("a")]),
-        uelems_of(Term::value_var(ulist_sort()), elem_sort()).eq(
-            uelems_of(Term::var("xs", ulist_sort()), elem_sort())
-                .union(Term::singleton(elem_sort(), avar("x"))),
-        ),
+        uelems_of(Term::value_var(ulist_sort()), elem_sort()).eq(uelems_of(
+            Term::var("xs", ulist_sort()),
+            elem_sort(),
+        )
+        .union(Term::singleton(elem_sort(), avar("x")))),
     );
     let ty = RType::fun_n(
         vec![
@@ -51,10 +52,11 @@ pub fn goal_unique_delete() -> Goal {
     let env = unique_list_environment();
     let ret = RType::refined(
         BaseType::Data("UList".into(), vec![RType::tyvar("a")]),
-        uelems_of(Term::value_var(ulist_sort()), elem_sort()).eq(
-            uelems_of(Term::var("xs", ulist_sort()), elem_sort())
-                .set_diff(Term::singleton(elem_sort(), avar("x"))),
-        ),
+        uelems_of(Term::value_var(ulist_sort()), elem_sort()).eq(uelems_of(
+            Term::var("xs", ulist_sort()),
+            elem_sort(),
+        )
+        .set_diff(Term::singleton(elem_sort(), avar("x")))),
     );
     let ty = RType::fun_n(
         vec![
@@ -98,7 +100,11 @@ pub fn goal_remove_duplicates() -> Goal {
             .eq(elems_of(Term::var("xs", list_sort), elem_sort())),
     );
     let ty = RType::fun("xs", list_type(RType::tyvar("a")), ret);
-    Goal::new("remove_duplicates", env, Schema::forall(vec!["a".into()], ty))
+    Goal::new(
+        "remove_duplicates",
+        env,
+        Schema::forall(vec!["a".into()], ty),
+    )
 }
 
 /// `strictly sorted insert :: x: α → xs: SList α →
@@ -107,10 +113,11 @@ pub fn goal_strict_insert() -> Goal {
     let env = strict_list_environment();
     let ret = RType::refined(
         BaseType::Data("SList".into(), vec![RType::tyvar("a")]),
-        selems_of(Term::value_var(slist_sort()), elem_sort()).eq(
-            selems_of(Term::var("xs", slist_sort()), elem_sort())
-                .union(Term::singleton(elem_sort(), avar("x"))),
-        ),
+        selems_of(Term::value_var(slist_sort()), elem_sort()).eq(selems_of(
+            Term::var("xs", slist_sort()),
+            elem_sort(),
+        )
+        .union(Term::singleton(elem_sort(), avar("x")))),
     );
     let ty = RType::fun_n(
         vec![
@@ -128,10 +135,11 @@ pub fn goal_strict_delete() -> Goal {
     let env = strict_list_environment();
     let ret = RType::refined(
         BaseType::Data("SList".into(), vec![RType::tyvar("a")]),
-        selems_of(Term::value_var(slist_sort()), elem_sort()).eq(
-            selems_of(Term::var("xs", slist_sort()), elem_sort())
-                .set_diff(Term::singleton(elem_sort(), avar("x"))),
-        ),
+        selems_of(Term::value_var(slist_sort()), elem_sort()).eq(selems_of(
+            Term::var("xs", slist_sort()),
+            elem_sort(),
+        )
+        .set_diff(Term::singleton(elem_sort(), avar("x")))),
     );
     let ty = RType::fun_n(
         vec![
@@ -159,7 +167,11 @@ mod tests {
             assert!(goal.schema.ty.is_function());
             let (_, ret) = goal.schema.ty.uncurry();
             assert!(ret.is_scalar());
-            assert!(!ret.refinement().is_true(), "{} has a trivial goal", goal.name);
+            assert!(
+                !ret.refinement().is_true(),
+                "{} has a trivial goal",
+                goal.name
+            );
         }
     }
 

@@ -42,7 +42,11 @@ pub fn goal_make_address_book() -> Goal {
         ))),
     );
     let ty = RType::fun("xs", list_type(RType::tyvar("a")), ret);
-    Goal::new("make_address_book", env, Schema::forall(vec!["a".into()], ty))
+    Goal::new(
+        "make_address_book",
+        env,
+        Schema::forall(vec!["a".into()], ty),
+    )
 }
 
 /// `merge address books :: b1: Book α → b2: Book α →

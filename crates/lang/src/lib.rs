@@ -23,6 +23,7 @@ pub mod components;
 pub mod datatypes;
 pub mod goals;
 pub mod runner;
+pub mod spec;
 
 pub use benchmarks::{array_search_n, max_n, sygus, table1, table2, transcribed, Benchmark};
 pub use runner::{run_goal, RunResult, Variant};

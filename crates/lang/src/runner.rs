@@ -135,7 +135,10 @@ mod tests {
             Environment::new(),
             Schema::monotype(RType::fun("x", RType::int(), RType::int())),
         );
-        let result = run_goal(&goal, SynthesisConfig::with_timeout(Duration::from_secs(10)));
+        let result = run_goal(
+            &goal,
+            SynthesisConfig::with_timeout(Duration::from_secs(10)),
+        );
         assert!(result.solved);
         // The goal type is unrefined, so any well-typed integer body is a
         // valid solution; the enumerator currently prefers the literal 0.

@@ -1,0 +1,101 @@
+//! Parity between the textual and the programmatic specification paths:
+//! every single-goal `.sq` file in the `specs/` corpus must desugar to a
+//! [`Goal`] that is *structurally identical* to the one built by the
+//! corresponding programmatic builder in `synquid_lang::benchmarks` /
+//! `synquid_lang::goals` — same schema (compared with `PartialEq`) and
+//! same environment (compared through the `Debug` rendering, since
+//! `Environment` intentionally does not implement `PartialEq`).
+
+use synquid_core::Goal;
+use synquid_lang::benchmarks::table1;
+use synquid_lang::spec::load_corpus_file;
+
+/// (spec file stem, Table 1 group, Table 1 benchmark name).
+const PARITY: &[(&str, &str, &str)] = &[
+    ("replicate", "List", "replicate"),
+    ("is_empty", "List", "is empty"),
+    ("append", "List", "append two lists"),
+    ("double", "List", "duplicate each element"),
+    ("drop", "List", "drop first n elements"),
+    ("take", "List", "take first n elements"),
+    ("length", "List", "length using fold"),
+    ("insert_sorted", "Sorting", "insert (sorted)"),
+    ("tree_count", "Tree", "node count"),
+    ("heap_singleton", "Binary Heap", "1-element constructor"),
+];
+
+fn programmatic_goal(group: &str, name: &str) -> Goal {
+    let bench = table1()
+        .into_iter()
+        .find(|b| b.group == group && b.name == name)
+        .unwrap_or_else(|| panic!("unknown Table 1 row {group}/{name}"));
+    (bench
+        .goal
+        .unwrap_or_else(|| panic!("{group}/{name} is not transcribed")))()
+}
+
+fn assert_goal_parity(stem: &str, parsed: &Goal, built: &Goal) {
+    assert_eq!(parsed.name, built.name, "{stem}: goal name differs");
+    assert_eq!(
+        parsed.schema, built.schema,
+        "{stem}: goal schema differs\n  parsed: {}\n  built:  {}",
+        parsed.schema, built.schema
+    );
+    let parsed_env = format!("{:#?}", parsed.env);
+    let built_env = format!("{:#?}", built.env);
+    if parsed_env != built_env {
+        // Point at the first differing line to keep failures readable.
+        let diff = parsed_env
+            .lines()
+            .zip(built_env.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        panic!(
+            "{stem}: environment differs from the programmatic builder\nfirst differing line: {:?}",
+            diff
+        );
+    }
+}
+
+#[test]
+fn corpus_goals_match_their_programmatic_builders() {
+    assert!(
+        PARITY.len() >= 5,
+        "the parity table must cover at least five Table 1 goals"
+    );
+    for (stem, group, name) in PARITY {
+        let out = load_corpus_file(stem)
+            .unwrap_or_else(|e| panic!("specs/{stem}.sq failed to load:\n{e}"));
+        let built = programmatic_goal(group, name);
+        let parsed = out
+            .goals
+            .iter()
+            .find(|g| g.name == built.name)
+            .unwrap_or_else(|| panic!("specs/{stem}.sq declares no goal named {}", built.name));
+        assert_goal_parity(stem, parsed, &built);
+    }
+}
+
+#[test]
+fn parity_covers_list_sorting_tree_and_heap_groups() {
+    let groups: std::collections::BTreeSet<&str> = PARITY.iter().map(|(_, g, _)| *g).collect();
+    for required in ["List", "Sorting", "Tree", "Binary Heap"] {
+        assert!(
+            groups.contains(required),
+            "no parity coverage for {required}"
+        );
+    }
+}
+
+#[test]
+fn showcase_file_reuses_the_same_component_library() {
+    // specs/list.sq is the CLI demo: two goals over one shared library.
+    let out = load_corpus_file("list").expect("specs/list.sq loads");
+    assert_eq!(out.goals.len(), 2);
+    let names: Vec<&str> = out.goals.iter().map(|g| g.name.as_str()).collect();
+    assert_eq!(names, ["is_empty", "length"]);
+    for goal in &out.goals {
+        assert!(goal.env.datatype("List").is_some());
+        assert!(goal.env.lookup("zero").is_some());
+    }
+}

@@ -43,7 +43,10 @@ impl fmt::Display for BinOp {
 }
 
 fn needs_parens(t: &Term) -> bool {
-    matches!(t, Term::Binary(_, _, _) | Term::Ite(_, _, _) | Term::App(_, _, _))
+    matches!(
+        t,
+        Term::Binary(_, _, _) | Term::Ite(_, _, _) | Term::App(_, _, _)
+    )
 }
 
 fn fmt_atom(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {

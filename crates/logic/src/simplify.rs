@@ -155,11 +155,9 @@ fn nnf_neg(t: &Term) -> Term {
 /// `(c ∧ A[t]) ∨ (¬c ∧ A[e])`.
 pub fn eliminate_ite(t: &Term) -> Term {
     match t {
-        Term::Binary(op, a, b) if op.is_boolean_connective() => Term::Binary(
-            *op,
-            Box::new(eliminate_ite(a)),
-            Box::new(eliminate_ite(b)),
-        ),
+        Term::Binary(op, a, b) if op.is_boolean_connective() => {
+            Term::Binary(*op, Box::new(eliminate_ite(a)), Box::new(eliminate_ite(b)))
+        }
         Term::Unary(UnOp::Not, inner) => eliminate_ite(inner).not(),
         Term::Ite(c, th, el) if th.sort() == crate::Sort::Bool => {
             let c = eliminate_ite(c);
@@ -285,8 +283,7 @@ mod tests {
         let e = eliminate_ite(&t);
         assert_eq!(
             e,
-            (x().le(y()).and(x().eq(Term::int(0))))
-                .or(x().le(y()).not().and(y().eq(Term::int(0))))
+            (x().le(y()).and(x().eq(Term::int(0)))).or(x().le(y()).not().and(y().eq(Term::int(0))))
         );
     }
 
@@ -298,8 +295,7 @@ mod tests {
         let e = eliminate_ite(&t);
         assert_eq!(
             e,
-            (x().le(y()).and(x().ge(Term::int(0))))
-                .or(x().le(y()).not().and(y().ge(Term::int(0))))
+            (x().le(y()).and(x().ge(Term::int(0)))).or(x().le(y()).not().and(y().ge(Term::int(0))))
         );
     }
 }

@@ -67,9 +67,7 @@ impl Sort {
             (Sort::Unknown, _) | (_, Sort::Unknown) => true,
             (Sort::Set(a), Sort::Set(b)) => a.compatible(b),
             (Sort::Data(n1, a1), Sort::Data(n2, a2)) => {
-                n1 == n2
-                    && a1.len() == a2.len()
-                    && a1.iter().zip(a2).all(|(x, y)| x.compatible(y))
+                n1 == n2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| x.compatible(y))
             }
             _ => self == other,
         }

@@ -248,6 +248,7 @@ impl Term {
     }
 
     /// Boolean negation with double-negation elimination.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Term {
         match self {
             Term::BoolLit(b) => Term::BoolLit(!b),
@@ -257,6 +258,7 @@ impl Term {
     }
 
     /// Integer negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Term {
         match self {
             Term::IntLit(n) => Term::IntLit(-n),
@@ -482,9 +484,11 @@ impl Term {
                 Term::Unknown(*id, new_pending)
             }
             Term::Unary(op, t) => Term::Unary(*op, Box::new(t.substitute(subst))),
-            Term::Binary(op, a, b) => {
-                Term::Binary(*op, Box::new(a.substitute(subst)), Box::new(b.substitute(subst)))
-            }
+            Term::Binary(op, a, b) => Term::Binary(
+                *op,
+                Box::new(a.substitute(subst)),
+                Box::new(b.substitute(subst)),
+            ),
             Term::Ite(c, t, e) => Term::Ite(
                 Box::new(c.substitute(subst)),
                 Box::new(t.substitute(subst)),
@@ -650,7 +654,10 @@ mod tests {
         let lst = Term::var("xs", Sort::data("List", vec![Sort::var("a")]));
         let t = Term::app("len", vec![lst.clone()], Sort::Int)
             .eq(Term::int(0))
-            .and(Term::app("elems", vec![lst], Sort::set(Sort::var("a"))).eq(Term::empty_set(Sort::var("a"))));
+            .and(
+                Term::app("elems", vec![lst], Sort::set(Sort::var("a")))
+                    .eq(Term::empty_set(Sort::var("a"))),
+            );
         let ms = t.measures();
         assert!(ms.contains("len"));
         assert!(ms.contains("elems"));
@@ -670,9 +677,6 @@ mod tests {
         map.insert("a".to_string(), Sort::Int);
         let t = Term::var("v", Sort::var("a")).eq(Term::var("w", Sort::var("a")));
         let t2 = t.substitute_sorts(&map);
-        assert_eq!(
-            t2,
-            Term::var("v", Sort::Int).eq(Term::var("w", Sort::Int))
-        );
+        assert_eq!(t2, Term::var("v", Sort::Int).eq(Term::var("w", Sort::Int)));
     }
 }

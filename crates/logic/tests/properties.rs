@@ -1,4 +1,10 @@
 //! Property-based tests for the refinement-term algebra.
+//!
+//! Gated behind the `proptest` feature: the external `proptest` crate is
+//! not vendored, so these tests only compile where it can be fetched —
+//! enabling the feature also requires uncommenting the `proptest`
+//! dev-dependency in this crate's Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;

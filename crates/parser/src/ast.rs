@@ -1,0 +1,271 @@
+//! The surface abstract syntax of `.sq` specification files.
+//!
+//! The surface AST is deliberately close to the concrete syntax: operators
+//! are kept surface-level (`+` is not yet resolved to integer addition
+//! versus set union; that requires sorts and happens in
+//! [`crate::desugar`]), and every node carries its [`Span`] so the
+//! desugarer can report precise diagnostics.
+
+use crate::span::Span;
+
+/// A surface sort (used in `measure` signatures and qualifier binders).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortAst {
+    /// `Int`.
+    Int,
+    /// `Bool`.
+    Bool,
+    /// `Nat` — `Int` plus the non-negativity promise; only meaningful as a
+    /// measure result sort.
+    Nat,
+    /// A lowercase sort/type variable.
+    Var(String),
+    /// `Set s`.
+    Set(Box<SortAst>),
+    /// A datatype sort `D s₁ … sₙ`.
+    Data(String, Vec<SortAst>),
+}
+
+/// Surface unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOpAst {
+    /// Integer negation `-`.
+    Neg,
+    /// Boolean negation `!` / `¬`.
+    Not,
+}
+
+/// Surface binary operators. Arithmetic/comparison operators are
+/// overloaded on sets (`+` is union, `-` difference, `*` intersection,
+/// `<=` subset); the desugarer resolves the overloading from operand
+/// sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpAst {
+    /// `+` / `∪`.
+    Plus,
+    /// `-` (set difference on sets).
+    Minus,
+    /// `*` / `∩`.
+    Times,
+    /// `==`.
+    Eq,
+    /// `!=` / `≠`.
+    Neq,
+    /// `<=` / `≤` (subset on sets).
+    Le,
+    /// `<`.
+    Lt,
+    /// `>=` / `≥`.
+    Ge,
+    /// `>`.
+    Gt,
+    /// `&&` / `∧`.
+    And,
+    /// `||` / `∨`.
+    Or,
+    /// `==>` / `⇒`.
+    Implies,
+    /// `<==>` / `⇔`.
+    Iff,
+    /// `in` / `∈`.
+    In,
+}
+
+/// A surface refinement term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermAst {
+    /// Integer literal.
+    Int(i64, Span),
+    /// `True` / `False`.
+    Bool(bool, Span),
+    /// The value variable `_v` / `ν`.
+    ValueVar(Span),
+    /// A program variable.
+    Var(String, Span),
+    /// A set literal `[e₁, …, eₙ]` (empty = `∅`).
+    Set(Vec<TermAst>, Span),
+    /// Application of a measure to arguments: `len xs`.
+    App(String, Vec<TermAst>, Span),
+    /// Unary operator application.
+    Unary(UnOpAst, Box<TermAst>, Span),
+    /// Binary operator application.
+    Binary(BinOpAst, Box<TermAst>, Box<TermAst>, Span),
+    /// `if c then t else e`.
+    Ite(Box<TermAst>, Box<TermAst>, Box<TermAst>, Span),
+}
+
+impl TermAst {
+    /// The source span of the term.
+    pub fn span(&self) -> Span {
+        match self {
+            TermAst::Int(_, s)
+            | TermAst::Bool(_, s)
+            | TermAst::ValueVar(s)
+            | TermAst::Var(_, s)
+            | TermAst::Set(_, s)
+            | TermAst::App(_, _, s)
+            | TermAst::Unary(_, _, s)
+            | TermAst::Binary(_, _, _, s)
+            | TermAst::Ite(_, _, _, s) => *s,
+        }
+    }
+}
+
+/// A surface base type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseAst {
+    /// `Int`.
+    Int,
+    /// `Bool`.
+    Bool,
+    /// `Nat` — sugar for `{Int | _v >= 0}`.
+    Nat,
+    /// `Pos` — sugar for `{Int | _v > 0}`.
+    Pos,
+    /// A lowercase type variable.
+    Var(String),
+    /// A datatype applied to (possibly refined) type arguments.
+    Data(String, Vec<TypeAst>),
+}
+
+/// A surface refinement type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeAst {
+    /// A scalar type, optionally refined: `Int`, `{Int | _v >= 0}`.
+    Scalar {
+        /// The base type.
+        base: BaseAst,
+        /// The refinement, if written.
+        refinement: Option<TermAst>,
+        /// Source span.
+        span: Span,
+    },
+    /// A (dependent) function type `x: T -> T'`.
+    Fun {
+        /// The binder name, if written (`T -> T'` leaves it out).
+        arg_name: Option<String>,
+        /// Argument type.
+        arg: Box<TypeAst>,
+        /// Result type.
+        ret: Box<TypeAst>,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl TypeAst {
+    /// The source span of the type.
+    pub fn span(&self) -> Span {
+        match self {
+            TypeAst::Scalar { span, .. } | TypeAst::Fun { span, .. } => *span,
+        }
+    }
+}
+
+/// A surface type schema: an optional explicit quantifier prefix
+/// `<a, b> .` followed by a type. Signatures without a prefix elaborate
+/// to *monomorphic* schemas whose type variables stay free (the
+/// convention the component libraries use); goal signatures normally
+/// quantify explicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaAst {
+    /// The explicitly bound type variables, if a `<…> .` prefix was
+    /// written.
+    pub type_vars: Option<Vec<String>>,
+    /// The body type.
+    pub ty: TypeAst,
+}
+
+/// One constructor inside a `data … where` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtorAst {
+    /// Constructor name.
+    pub name: String,
+    /// Its (curried, refined) type; the result must be the datatype.
+    pub ty: TypeAst,
+    /// Source span of the declaration.
+    pub span: Span,
+}
+
+/// A `data D a₁ … aₙ where …` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataAst {
+    /// Datatype name.
+    pub name: String,
+    /// Type parameter names.
+    pub params: Vec<String>,
+    /// Constructor declarations, in order.
+    pub ctors: Vec<CtorAst>,
+    /// Source span of the header.
+    pub span: Span,
+}
+
+/// A `measure m :: D a → S` declaration (optionally prefixed with
+/// `termination`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureAst {
+    /// True if declared `termination measure`.
+    pub termination: bool,
+    /// Measure name.
+    pub name: String,
+    /// The argument sort (must be a datatype sort).
+    pub arg: SortAst,
+    /// The result sort (`Nat` marks the measure non-negative).
+    pub result: SortAst,
+    /// Source span of the declaration.
+    pub span: Span,
+}
+
+/// A `qualifier [x: S, …] {q₁, …, qₙ}` declaration: each atom becomes a
+/// logical qualifier with the binders abstracted into placeholder holes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualifierAst {
+    /// The metavariable binders with their sorts.
+    pub binders: Vec<(String, SortAst)>,
+    /// The qualifier atoms.
+    pub atoms: Vec<TermAst>,
+    /// Source span of the declaration.
+    pub span: Span,
+}
+
+/// A component or goal signature `name :: schema`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigAst {
+    /// The declared name.
+    pub name: String,
+    /// Its schema.
+    pub schema: SchemaAst,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// A goal definition `name = ??`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplAst {
+    /// The goal name (must have a preceding signature).
+    pub name: String,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One top-level declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclAst {
+    /// `data … where …`.
+    Data(DataAst),
+    /// `[termination] measure …`.
+    Measure(MeasureAst),
+    /// `qualifier …`.
+    Qualifier(QualifierAst),
+    /// `name :: schema`.
+    Sig(SigAst),
+    /// `name = ??`.
+    Impl(ImplAst),
+}
+
+/// A parsed specification file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpecAst {
+    /// Top-level declarations, in source order.
+    pub decls: Vec<DeclAst>,
+}

@@ -1,0 +1,1013 @@
+//! The resolver/desugarer: elaborates a parsed [`SpecAst`] into the
+//! semantic objects of the rest of the system — `synquid_logic::{Sort,
+//! Term, Qualifier}`, `synquid_types::{RType, Schema, Environment,
+//! Datatype, Measure}`, and `synquid_core::Goal`.
+//!
+//! Elaboration is *sort-directed*: every surface term is desugared
+//! together with an optional expected sort, which is how overloaded
+//! operators (`+` as addition vs. union, `<=` as ordering vs. subset) and
+//! the empty set literal `[]` are resolved. Errors (unbound names, sort
+//! mismatches, arity errors, unknown measures or datatypes) are collected
+//! as source-located [`Diagnostic`]s rather than failing fast, so one run
+//! reports every problem in the file.
+
+use crate::ast::*;
+use crate::span::{Diagnostic, Span};
+use std::collections::BTreeMap;
+use synquid_core::Goal;
+use synquid_logic::{Qualifier, Sort, Term};
+use synquid_types::{BaseType, Constructor, Datatype, Environment, Measure, RType, Schema};
+
+/// The result of elaborating a specification file.
+#[derive(Debug, Clone)]
+pub struct SpecOutput {
+    /// The component environment shared by all goals: every datatype,
+    /// qualifier, and component signature in the file.
+    pub env: Environment,
+    /// The synthesis goals (`name = ??` definitions), in source order.
+    /// Each goal carries its own clone of the environment.
+    pub goals: Vec<Goal>,
+    /// Names of the plain components (signatures without a `= ??`
+    /// definition), in declaration order.
+    pub components: Vec<String>,
+}
+
+/// Elaborates a parsed spec into an environment and goals.
+pub fn desugar(spec: &SpecAst) -> Result<SpecOutput, Vec<Diagnostic>> {
+    let mut d = Desugarer::default();
+    let out = d.run(spec);
+    if d.diags.is_empty() {
+        Ok(out)
+    } else {
+        Err(d.diags)
+    }
+}
+
+/// A measure signature as declared in the surface syntax.
+#[derive(Debug, Clone)]
+struct MeasureSig {
+    datatype: String,
+    arg_sort: Sort,
+    result_sort: Sort,
+    non_negative: bool,
+    termination: bool,
+    span: Span,
+}
+
+#[derive(Default)]
+struct Desugarer {
+    diags: Vec<Diagnostic>,
+    /// Datatype name → type parameters (collected up front so measures may
+    /// reference datatypes declared later in the file).
+    headers: BTreeMap<String, Vec<String>>,
+    /// Measure name → signature.
+    measures: BTreeMap<String, MeasureSig>,
+    /// Measures not yet attached to their `data` declaration, in
+    /// declaration order.
+    pending_measures: Vec<String>,
+    /// Datatypes already elaborated.
+    done_datatypes: Vec<String>,
+    /// Counter for unnamed function binders.
+    fresh_args: usize,
+    /// User-written binder names of the signature currently being
+    /// elaborated; fresh names must not collide with these.
+    reserved_binders: std::collections::BTreeSet<String>,
+}
+
+/// Collects every explicitly written binder name in a surface type.
+fn collect_binder_names(t: &TypeAst, out: &mut std::collections::BTreeSet<String>) {
+    match t {
+        TypeAst::Fun {
+            arg_name, arg, ret, ..
+        } => {
+            if let Some(n) = arg_name {
+                out.insert(n.clone());
+            }
+            collect_binder_names(arg, out);
+            collect_binder_names(ret, out);
+        }
+        TypeAst::Scalar { base, .. } => {
+            if let BaseAst::Data(_, args) = base {
+                for a in args {
+                    collect_binder_names(a, out);
+                }
+            }
+        }
+    }
+}
+
+impl Desugarer {
+    fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.diags.push(Diagnostic::error(span, message));
+    }
+
+    fn run(&mut self, spec: &SpecAst) -> SpecOutput {
+        // Pass 1: datatype headers and the set of goal names.
+        let mut goal_names: Vec<String> = Vec::new();
+        for decl in &spec.decls {
+            match decl {
+                DeclAst::Data(data)
+                    if self
+                        .headers
+                        .insert(data.name.clone(), data.params.clone())
+                        .is_some() =>
+                {
+                    self.error(data.span, format!("duplicate datatype `{}`", data.name));
+                }
+                DeclAst::Impl(i) => goal_names.push(i.name.clone()),
+                _ => {}
+            }
+        }
+
+        // Pass 2: elaborate declarations in order.
+        let mut env = Environment::new();
+        let mut components = Vec::new();
+        let mut sigs: BTreeMap<String, (Schema, Span)> = BTreeMap::new();
+        let mut goals: Vec<(String, Schema)> = Vec::new();
+        for decl in &spec.decls {
+            match decl {
+                DeclAst::Measure(m) => self.measure_decl(m),
+                DeclAst::Data(data) => {
+                    if let Some(dt) = self.data_decl(data) {
+                        env.add_datatype(dt);
+                    }
+                }
+                DeclAst::Qualifier(q) => {
+                    let qs = self.qualifier_decl(q);
+                    env.add_qualifiers(qs);
+                }
+                DeclAst::Sig(sig) => {
+                    if sigs.contains_key(&sig.name) {
+                        self.error(sig.span, format!("duplicate signature for `{}`", sig.name));
+                        continue;
+                    }
+                    let Some(schema) = self.schema(&sig.schema) else {
+                        continue;
+                    };
+                    if goal_names.iter().any(|g| g == &sig.name) {
+                        sigs.insert(sig.name.clone(), (schema, sig.span));
+                    } else {
+                        sigs.insert(sig.name.clone(), (schema.clone(), sig.span));
+                        env.add_var(sig.name.clone(), schema);
+                        components.push(sig.name.clone());
+                    }
+                }
+                DeclAst::Impl(i) => {
+                    if goals.iter().any(|(n, _)| n == &i.name) {
+                        self.error(i.span, format!("duplicate definition of goal `{}`", i.name));
+                        continue;
+                    }
+                    match sigs.get(&i.name) {
+                        Some((schema, _)) => goals.push((i.name.clone(), schema.clone())),
+                        None => self.error(
+                            i.span,
+                            format!(
+                                "no signature for `{}`: declare `{} :: <type>` first",
+                                i.name, i.name
+                            ),
+                        ),
+                    }
+                }
+            }
+        }
+
+        // Measures whose datatype was never declared as `data`.
+        for name in &self.pending_measures {
+            let sig = &self.measures[name];
+            if !self.done_datatypes.contains(&sig.datatype) {
+                let (span, message) = (
+                    sig.span,
+                    format!(
+                        "measure `{}` refers to datatype `{}`, which has no `data` declaration",
+                        name, sig.datatype
+                    ),
+                );
+                self.diags.push(Diagnostic::error(span, message));
+            }
+        }
+
+        let goals = goals
+            .into_iter()
+            .map(|(name, schema)| Goal::new(name, env.clone(), schema))
+            .collect();
+        SpecOutput {
+            env,
+            goals,
+            components,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Declarations
+    // -----------------------------------------------------------------
+
+    fn measure_decl(&mut self, m: &MeasureAst) {
+        if self.measures.contains_key(&m.name) {
+            self.error(m.span, format!("duplicate measure `{}`", m.name));
+            return;
+        }
+        let Some(arg_sort) = self.sort(&m.arg, false, m.span) else {
+            return;
+        };
+        let datatype = match &arg_sort {
+            Sort::Data(name, _) => name.clone(),
+            other => {
+                self.error(
+                    m.span,
+                    format!("a measure's argument must be a datatype, not `{other}`"),
+                );
+                return;
+            }
+        };
+        if self.done_datatypes.contains(&datatype) {
+            self.error(
+                m.span,
+                format!(
+                    "measure `{}` must be declared before `data {}` (measures are registered with their datatype)",
+                    m.name, datatype
+                ),
+            );
+            return;
+        }
+        let non_negative = m.termination || m.result == SortAst::Nat;
+        let Some(result_sort) = self.sort(&m.result, true, m.span) else {
+            return;
+        };
+        self.measures.insert(
+            m.name.clone(),
+            MeasureSig {
+                datatype,
+                arg_sort,
+                result_sort,
+                non_negative,
+                termination: m.termination,
+                span: m.span,
+            },
+        );
+        self.pending_measures.push(m.name.clone());
+    }
+
+    fn data_decl(&mut self, data: &DataAst) -> Option<Datatype> {
+        // Collect this datatype's measures, in declaration order.
+        let mut measures = Vec::new();
+        let mut termination_measure = None;
+        for name in &self.pending_measures {
+            let sig = &self.measures[name];
+            if sig.datatype != data.name {
+                continue;
+            }
+            if sig.termination {
+                if termination_measure.is_some() {
+                    let span = sig.span;
+                    let message = format!(
+                        "datatype `{}` declares more than one termination measure",
+                        data.name
+                    );
+                    self.diags.push(Diagnostic::error(span, message));
+                } else {
+                    termination_measure = Some(name.clone());
+                }
+            }
+            measures.push(Measure {
+                name: name.clone(),
+                datatype: sig.datatype.clone(),
+                result: sig.result_sort.clone(),
+                non_negative: sig.non_negative,
+            });
+        }
+
+        let mut constructors = Vec::new();
+        for ctor in &data.ctors {
+            let mut scope = Vec::new();
+            self.reserved_binders.clear();
+            collect_binder_names(&ctor.ty, &mut self.reserved_binders);
+            let ty = self.rtype(&ctor.ty, &mut scope)?;
+            // The constructor's result must be the datatype itself.
+            let (_, ret) = ty.uncurry();
+            match ret.base_type() {
+                Some(BaseType::Data(name, _)) if name == &data.name => {}
+                _ => {
+                    self.error(
+                        ctor.span,
+                        format!(
+                            "constructor `{}` must return `{}`, but its result type is `{ret}`",
+                            ctor.name, data.name
+                        ),
+                    );
+                    continue;
+                }
+            }
+            constructors.push(Constructor {
+                name: ctor.name.clone(),
+                schema: Schema::forall(data.params.clone(), ty),
+            });
+        }
+
+        self.done_datatypes.push(data.name.clone());
+        Some(Datatype {
+            name: data.name.clone(),
+            type_params: data.params.clone(),
+            constructors,
+            measures,
+            termination_measure,
+        })
+    }
+
+    fn qualifier_decl(&mut self, q: &QualifierAst) -> Vec<Qualifier> {
+        let mut scope: Vec<(String, Sort)> = Vec::new();
+        for (name, sort_ast) in &q.binders {
+            if let Some(sort) = self.sort(sort_ast, false, q.span) {
+                scope.push((name.clone(), sort));
+            }
+        }
+        let mut out = Vec::new();
+        for atom in &q.atoms {
+            let Some(term) = self.term(atom, &scope, None, Some(&Sort::Bool)) else {
+                continue;
+            };
+            if term.sort() != Sort::Bool {
+                self.error(atom.span(), "a qualifier must be a boolean formula");
+                continue;
+            }
+            // Abstract the binders into placeholder holes, numbered by
+            // first occurrence within this atom (the convention of
+            // `Qualifier::standard`).
+            let mut order: Vec<(String, Sort)> = Vec::new();
+            term.walk(&mut |t| {
+                if let Term::Var(name, sort) = t {
+                    if scope.iter().any(|(b, _)| b == name) && !order.iter().any(|(n, _)| n == name)
+                    {
+                        order.push((name.clone(), sort.clone()));
+                    }
+                }
+            });
+            let mut subst = synquid_logic::Substitution::new();
+            for (i, (name, sort)) in order.iter().enumerate() {
+                subst.insert(name.clone(), Qualifier::hole(i, sort.clone()));
+            }
+            out.push(Qualifier::new(term.substitute(&subst)));
+        }
+        out
+    }
+
+    /// Picks a fresh name for an unnamed binder, avoiding every binder
+    /// the user wrote in the signature being elaborated.
+    fn fresh_arg_name(&mut self) -> String {
+        loop {
+            let candidate = format!("arg{}", self.fresh_args);
+            self.fresh_args += 1;
+            if !self.reserved_binders.contains(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    fn schema(&mut self, s: &SchemaAst) -> Option<Schema> {
+        let mut scope = Vec::new();
+        self.reserved_binders.clear();
+        collect_binder_names(&s.ty, &mut self.reserved_binders);
+        let ty = self.rtype(&s.ty, &mut scope)?;
+        Some(match &s.type_vars {
+            Some(vars) => Schema::forall(vars.clone(), ty),
+            None => Schema::monotype(ty),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Types
+    // -----------------------------------------------------------------
+
+    fn rtype(&mut self, t: &TypeAst, scope: &mut Vec<(String, Sort)>) -> Option<RType> {
+        match t {
+            TypeAst::Scalar {
+                base,
+                refinement,
+                span,
+            } => {
+                match base {
+                    BaseAst::Nat | BaseAst::Pos => {
+                        if refinement.is_some() {
+                            self.error(
+                                *span,
+                                "`Nat` and `Pos` are abbreviations and cannot carry an extra refinement; use `{Int | …}`",
+                            );
+                            return None;
+                        }
+                        return Some(if matches!(base, BaseAst::Nat) {
+                            RType::nat()
+                        } else {
+                            RType::pos()
+                        });
+                    }
+                    _ => {}
+                }
+                let base = self.base_type(base, *span, scope)?;
+                match refinement {
+                    None => Some(RType::base(base)),
+                    Some(term_ast) => {
+                        let value_sort = base.sort();
+                        let term =
+                            self.term(term_ast, scope, Some(&value_sort), Some(&Sort::Bool))?;
+                        if term.sort() != Sort::Bool {
+                            self.error(
+                                term_ast.span(),
+                                format!(
+                                    "a refinement must be boolean, but this term has sort `{}`",
+                                    term.sort()
+                                ),
+                            );
+                            return None;
+                        }
+                        Some(RType::refined(base, term))
+                    }
+                }
+            }
+            TypeAst::Fun {
+                arg_name, arg, ret, ..
+            } => {
+                let arg_ty = self.rtype(arg, scope)?;
+                let name = match arg_name {
+                    Some(n) => n.clone(),
+                    None => self.fresh_arg_name(),
+                };
+                let pushed = if arg_ty.is_scalar() {
+                    scope.push((name.clone(), arg_ty.sort()));
+                    true
+                } else {
+                    false
+                };
+                let ret_ty = self.rtype(ret, scope);
+                if pushed {
+                    scope.pop();
+                }
+                Some(RType::fun(name, arg_ty, ret_ty?))
+            }
+        }
+    }
+
+    fn base_type(
+        &mut self,
+        base: &BaseAst,
+        span: Span,
+        scope: &mut Vec<(String, Sort)>,
+    ) -> Option<BaseType> {
+        match base {
+            BaseAst::Int => Some(BaseType::Int),
+            BaseAst::Bool => Some(BaseType::Bool),
+            BaseAst::Var(name) => Some(BaseType::TypeVar(name.clone())),
+            BaseAst::Data(name, args) => {
+                let Some(params) = self.headers.get(name).cloned() else {
+                    self.error(span, format!("unknown datatype `{name}`"));
+                    return None;
+                };
+                if params.len() != args.len() {
+                    self.error(
+                        span,
+                        format!(
+                            "datatype `{name}` expects {} type argument{}, found {}",
+                            params.len(),
+                            if params.len() == 1 { "" } else { "s" },
+                            args.len()
+                        ),
+                    );
+                    return None;
+                }
+                let mut targs = Vec::new();
+                for a in args {
+                    targs.push(self.rtype(a, scope)?);
+                }
+                Some(BaseType::Data(name.clone(), targs))
+            }
+            BaseAst::Nat | BaseAst::Pos => {
+                // Handled by the caller; reaching here means `Nat` was used
+                // where a plain base type is required (e.g. a measure arg).
+                self.error(span, "`Nat`/`Pos` cannot be used here");
+                None
+            }
+        }
+    }
+
+    fn sort(&mut self, s: &SortAst, allow_nat: bool, span: Span) -> Option<Sort> {
+        match s {
+            SortAst::Int => Some(Sort::Int),
+            SortAst::Bool => Some(Sort::Bool),
+            SortAst::Nat => {
+                if allow_nat {
+                    Some(Sort::Int)
+                } else {
+                    self.error(span, "`Nat` is only meaningful as a measure result sort");
+                    None
+                }
+            }
+            SortAst::Var(v) => Some(Sort::var(v.clone())),
+            SortAst::Set(e) => Some(Sort::set(self.sort(e, false, span)?)),
+            SortAst::Data(name, args) => {
+                if let Some(params) = self.headers.get(name) {
+                    if params.len() != args.len() {
+                        self.error(
+                            span,
+                            format!(
+                                "datatype `{name}` expects {} sort argument{}, found {}",
+                                params.len(),
+                                if params.len() == 1 { "" } else { "s" },
+                                args.len()
+                            ),
+                        );
+                        return None;
+                    }
+                } else {
+                    self.error(span, format!("unknown datatype `{name}`"));
+                    return None;
+                }
+                let mut sargs = Vec::new();
+                for a in args {
+                    sargs.push(self.sort(a, false, span)?);
+                }
+                Some(Sort::Data(name.clone(), sargs))
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Terms
+    // -----------------------------------------------------------------
+
+    /// Desugars a surface term. `scope` holds the scalar binders in scope
+    /// (innermost last), `value_sort` the sort of `_v` if available, and
+    /// `expected` an optional expected sort used to resolve empty set
+    /// literals.
+    fn term(
+        &mut self,
+        t: &TermAst,
+        scope: &[(String, Sort)],
+        value_sort: Option<&Sort>,
+        expected: Option<&Sort>,
+    ) -> Option<Term> {
+        match t {
+            TermAst::Int(n, _) => Some(Term::int(*n)),
+            TermAst::Bool(b, _) => Some(Term::BoolLit(*b)),
+            TermAst::ValueVar(span) => match value_sort {
+                Some(s) => Some(Term::value_var(s.clone())),
+                None => {
+                    self.error(*span, "the value variable `_v` cannot be used here");
+                    None
+                }
+            },
+            TermAst::Var(name, span) => match scope.iter().rev().find(|(n, _)| n == name) {
+                Some((_, sort)) => Some(Term::var(name.clone(), sort.clone())),
+                None => {
+                    let hint = if self.measures.contains_key(name) {
+                        format!("; did you mean to apply the measure, e.g. `{name} xs`?")
+                    } else {
+                        String::new()
+                    };
+                    self.error(*span, format!("unbound variable `{name}`{hint}"));
+                    None
+                }
+            },
+            TermAst::Set(elems, span) => {
+                if elems.is_empty() {
+                    match expected {
+                        Some(Sort::Set(elem)) => Some(Term::empty_set((**elem).clone())),
+                        _ => {
+                            self.error(
+                                *span,
+                                "cannot infer the element sort of `[]` here; write it on the other side of the comparison first",
+                            );
+                            None
+                        }
+                    }
+                } else {
+                    let expected_elem = match expected {
+                        Some(Sort::Set(e)) => Some((**e).clone()),
+                        _ => None,
+                    };
+                    let first = self.term(&elems[0], scope, value_sort, expected_elem.as_ref())?;
+                    let elem_sort = first.sort();
+                    let mut out = vec![first];
+                    for e in &elems[1..] {
+                        out.push(self.term(e, scope, value_sort, Some(&elem_sort))?);
+                    }
+                    Some(Term::SetLit(elem_sort, out))
+                }
+            }
+            TermAst::App(head, args, span) => {
+                let Some(sig) = self.measures.get(head).cloned() else {
+                    let hint = if scope.iter().any(|(n, _)| n == head) {
+                        "; only measures can be applied inside refinements"
+                    } else {
+                        ""
+                    };
+                    self.error(*span, format!("unknown measure `{head}`{hint}"));
+                    return None;
+                };
+                if args.len() != 1 {
+                    self.error(
+                        *span,
+                        format!("measure `{head}` takes 1 argument, found {}", args.len()),
+                    );
+                    return None;
+                }
+                let arg = self.term(&args[0], scope, value_sort, None)?;
+                let mut map = BTreeMap::new();
+                if !match_sorts(&sig.arg_sort, &arg.sort(), &mut map) {
+                    self.error(
+                        args[0].span(),
+                        format!(
+                            "measure `{head}` expects an argument of sort `{}`, found `{}`",
+                            sig.arg_sort,
+                            arg.sort()
+                        ),
+                    );
+                    return None;
+                }
+                let result = sig.result_sort.substitute(&map);
+                Some(Term::app(head.clone(), vec![arg], result))
+            }
+            TermAst::Unary(op, inner, span) => {
+                let inner_t = self.term(inner, scope, value_sort, None)?;
+                match op {
+                    UnOpAst::Neg => {
+                        if !inner_t.sort().compatible(&Sort::Int) {
+                            self.error(
+                                *span,
+                                format!("`-` needs an integer operand, found `{}`", inner_t.sort()),
+                            );
+                            return None;
+                        }
+                        Some(inner_t.neg())
+                    }
+                    UnOpAst::Not => {
+                        if inner_t.sort() != Sort::Bool {
+                            self.error(
+                                *span,
+                                format!("`!` needs a boolean operand, found `{}`", inner_t.sort()),
+                            );
+                            return None;
+                        }
+                        Some(inner_t.not())
+                    }
+                }
+            }
+            TermAst::Binary(op, l, r, span) => {
+                self.binary(*op, l, r, *span, scope, value_sort, expected)
+            }
+            TermAst::Ite(c, then, els, _) => {
+                let cond = self.term(c, scope, value_sort, Some(&Sort::Bool))?;
+                if cond.sort() != Sort::Bool {
+                    self.error(
+                        c.span(),
+                        format!(
+                            "the condition of `if` must be boolean, found `{}`",
+                            cond.sort()
+                        ),
+                    );
+                    return None;
+                }
+                let then_t = self.term(then, scope, value_sort, expected)?;
+                let then_sort = then_t.sort();
+                let else_t = self.term(els, scope, value_sort, Some(&then_sort))?;
+                if !then_sort.compatible(&else_t.sort()) {
+                    self.error(
+                        els.span(),
+                        format!(
+                            "the branches of `if` disagree: `{then_sort}` versus `{}`",
+                            else_t.sort()
+                        ),
+                    );
+                    return None;
+                }
+                Some(Term::ite(cond, then_t, else_t))
+            }
+        }
+    }
+
+    /// Desugars the two operands of a binary operator. The side that is an
+    /// empty set literal (whose element sort is not inferable on its own)
+    /// is elaborated second, with the other side's sort as its expectation.
+    fn operand_pair(
+        &mut self,
+        l: &TermAst,
+        r: &TermAst,
+        scope: &[(String, Sort)],
+        value_sort: Option<&Sort>,
+        expected: Option<&Sort>,
+    ) -> Option<(Term, Term)> {
+        let l_is_empty_set = matches!(l, TermAst::Set(elems, _) if elems.is_empty());
+        if l_is_empty_set {
+            let rt = self.term(r, scope, value_sort, expected)?;
+            let r_sort = rt.sort();
+            let lt = self.term(l, scope, value_sort, Some(&r_sort))?;
+            Some((lt, rt))
+        } else {
+            let lt = self.term(l, scope, value_sort, expected)?;
+            let l_sort = lt.sort();
+            let rt = self.term(r, scope, value_sort, Some(&l_sort))?;
+            Some((lt, rt))
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn binary(
+        &mut self,
+        op: BinOpAst,
+        l: &TermAst,
+        r: &TermAst,
+        span: Span,
+        scope: &[(String, Sort)],
+        value_sort: Option<&Sort>,
+        expected: Option<&Sort>,
+    ) -> Option<Term> {
+        use BinOpAst::*;
+        match op {
+            And | Or | Implies | Iff => {
+                let lt = self.term(l, scope, value_sort, Some(&Sort::Bool))?;
+                let rt = self.term(r, scope, value_sort, Some(&Sort::Bool))?;
+                for (t, ast) in [(&lt, l), (&rt, r)] {
+                    if t.sort() != Sort::Bool {
+                        self.error(
+                            ast.span(),
+                            format!(
+                                "logical connectives need boolean operands, found `{}`",
+                                t.sort()
+                            ),
+                        );
+                        return None;
+                    }
+                }
+                Some(match op {
+                    And => lt.and(rt),
+                    Or => lt.or(rt),
+                    Implies => lt.implies(rt),
+                    _ => lt.iff(rt),
+                })
+            }
+            In => {
+                let set = self.term(r, scope, value_sort, None)?;
+                let Some(elem_sort) = set.sort().elem_sort().cloned() else {
+                    self.error(
+                        r.span(),
+                        format!(
+                            "the right operand of `in` must be a set, found `{}`",
+                            set.sort()
+                        ),
+                    );
+                    return None;
+                };
+                let elem = self.term(l, scope, value_sort, Some(&elem_sort))?;
+                if !elem.sort().compatible(&elem_sort) {
+                    self.error(
+                        span,
+                        format!(
+                            "sort mismatch in `in`: element `{}` versus set of `{elem_sort}`",
+                            elem.sort()
+                        ),
+                    );
+                    return None;
+                }
+                Some(elem.member(set))
+            }
+            Eq | Neq | Le | Lt | Ge | Gt | Plus | Minus | Times => {
+                let (lt, rt) = self.operand_pair(l, r, scope, value_sort, expected)?;
+                if !lt.sort().compatible(&rt.sort()) {
+                    self.error(
+                        span,
+                        format!("sort mismatch: `{}` versus `{}`", lt.sort(), rt.sort()),
+                    );
+                    return None;
+                }
+                let on_sets =
+                    matches!(lt.sort(), Sort::Set(_)) || matches!(rt.sort(), Sort::Set(_));
+                match op {
+                    Eq => Some(lt.eq(rt)),
+                    Neq => Some(lt.neq(rt)),
+                    Le if on_sets => Some(lt.subset(rt)),
+                    Le => Some(lt.le(rt)),
+                    Lt | Ge | Gt => {
+                        if on_sets {
+                            self.error(
+                                span,
+                                "only `<=` (subset) compares sets; `<`, `>`, `>=` are not defined on sets",
+                            );
+                            return None;
+                        }
+                        Some(match op {
+                            Lt => lt.lt(rt),
+                            Ge => lt.ge(rt),
+                            _ => lt.gt(rt),
+                        })
+                    }
+                    Plus if on_sets => Some(lt.union(rt)),
+                    Plus => Some(lt.plus(rt)),
+                    Minus if on_sets => Some(lt.set_diff(rt)),
+                    Minus => Some(lt.minus(rt)),
+                    Times if on_sets => Some(lt.intersect(rt)),
+                    Times => Some(lt.times(rt)),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// Matches a measure's declared argument sort against an actual argument
+/// sort, binding the declared sort variables. Returns false on a genuine
+/// mismatch.
+fn match_sorts(declared: &Sort, actual: &Sort, map: &mut BTreeMap<String, Sort>) -> bool {
+    match (declared, actual) {
+        (Sort::Unknown, _) | (_, Sort::Unknown) => true,
+        (Sort::Var(v), _) => match map.get(v) {
+            Some(bound) => bound.compatible(actual),
+            None => {
+                map.insert(v.clone(), actual.clone());
+                true
+            }
+        },
+        (Sort::Set(a), Sort::Set(b)) => match_sorts(a, b, map),
+        (Sort::Data(n1, a1), Sort::Data(n2, a2)) => {
+            n1 == n2
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| match_sorts(x, y, map))
+        }
+        _ => declared == actual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn elaborate(src: &str) -> SpecOutput {
+        match desugar(&parse(src).expect("parses")) {
+            Ok(out) => out,
+            Err(diags) => panic!("desugar failed: {diags:#?}"),
+        }
+    }
+
+    fn elaborate_err(src: &str) -> Vec<Diagnostic> {
+        desugar(&parse(src).expect("parses")).expect_err("expected diagnostics")
+    }
+
+    const LIST_PRELUDE: &str = "\
+termination measure len :: List b -> Int
+measure elems :: List b -> Set b
+data List b where
+  Nil :: {List b | len _v == 0 && elems _v == []}
+  Cons :: x: b -> xs: List b -> {List b | len _v == len xs + 1 && elems _v == elems xs + [x]}
+";
+
+    #[test]
+    fn list_datatype_matches_the_programmatic_builder() {
+        let out = elaborate(LIST_PRELUDE);
+        let built = synquid_types::list_datatype();
+        let parsed = out.env.datatype("List").expect("List registered");
+        assert_eq!(parsed, &built);
+    }
+
+    #[test]
+    fn components_without_quantifiers_are_monomorphic() {
+        let out = elaborate("zero :: {Int | _v == 0}");
+        let schema = out.env.lookup("zero").unwrap();
+        assert!(schema.is_monomorphic());
+        assert_eq!(
+            schema.ty,
+            RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(0)))
+        );
+    }
+
+    #[test]
+    fn goals_take_the_declared_quantifier() {
+        let src = format!(
+            "{LIST_PRELUDE}\nlength :: <a> . xs: List a -> {{Int | _v == len xs}}\nlength = ??\n"
+        );
+        let out = elaborate(&src);
+        assert_eq!(out.goals.len(), 1);
+        let goal = &out.goals[0];
+        assert_eq!(goal.name, "length");
+        assert_eq!(goal.schema.type_vars, vec!["a".to_string()]);
+        // The measure result sort is instantiated at the argument's sort.
+        let (_, ret) = goal.schema.ty.uncurry();
+        assert!(ret.refinement().to_string().contains("len xs"));
+    }
+
+    #[test]
+    fn qualifier_binders_become_holes_in_occurrence_order() {
+        let out = elaborate("qualifier [x: Int, y: Int] {x <= y, x != y, x < y}");
+        assert_eq!(out.env.qualifiers(), &Qualifier::standard(Sort::Int)[..]);
+    }
+
+    #[test]
+    fn nat_abbreviation_desugars_exactly() {
+        let out = elaborate("f :: n: Nat -> {Int | _v == n}\n");
+        let schema = out.env.lookup("f").unwrap();
+        let (args, _) = schema.ty.uncurry();
+        assert_eq!(args[0].1, RType::nat());
+    }
+
+    #[test]
+    fn unbound_variables_are_reported_with_position() {
+        let diags = elaborate_err("inc :: x: Int -> {Int | _v == m + 1}");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unbound variable `m`"));
+    }
+
+    #[test]
+    fn sort_mismatches_are_reported() {
+        let diags = elaborate_err(&format!(
+            "{LIST_PRELUDE}\nf :: xs: List Int -> {{Int | _v == elems xs}}"
+        ));
+        assert!(
+            diags[0].message.contains("sort mismatch"),
+            "unexpected message: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn measure_arity_errors_are_reported() {
+        let diags = elaborate_err(&format!(
+            "{LIST_PRELUDE}\nf :: xs: List Int -> {{Int | _v == len xs xs}}"
+        ));
+        assert!(diags[0].message.contains("takes 1 argument"));
+    }
+
+    #[test]
+    fn unknown_measures_are_reported() {
+        let diags = elaborate_err(&format!(
+            "{LIST_PRELUDE}\nf :: xs: List Int -> {{Int | _v == size xs}}"
+        ));
+        assert!(diags[0].message.contains("unknown measure `size`"));
+    }
+
+    #[test]
+    fn unknown_datatypes_are_reported() {
+        let diags = elaborate_err("f :: t: Tree a -> Int");
+        assert!(diags[0].message.contains("unknown datatype `Tree`"));
+    }
+
+    #[test]
+    fn datatype_arity_is_checked() {
+        let diags = elaborate_err(&format!("{LIST_PRELUDE}\nf :: xs: List a b -> Int"));
+        assert!(diags[0].message.contains("expects 1 type argument"));
+    }
+
+    #[test]
+    fn goal_without_signature_is_reported() {
+        let diags = elaborate_err("mystery = ??");
+        assert!(diags[0].message.contains("no signature for `mystery`"));
+    }
+
+    #[test]
+    fn empty_set_against_a_measure_infers_its_element_sort() {
+        let out = elaborate(&format!(
+            "{LIST_PRELUDE}\nf :: <a> . xs: List a -> {{Bool | _v <==> elems xs == []}}"
+        ));
+        let schema = out.env.lookup("f").unwrap();
+        let (_, ret) = schema.ty.uncurry();
+        // [] was elaborated at Set a, matching the lhs measure.
+        let mut found = false;
+        ret.refinement().walk(&mut |t| {
+            if let Term::SetLit(elem, elems) = t {
+                assert_eq!(elem, &Sort::var("a"));
+                assert!(elems.is_empty());
+                found = true;
+            }
+        });
+        assert!(found, "expected an empty set literal at Set a");
+    }
+
+    #[test]
+    fn fresh_binder_names_avoid_user_binders() {
+        // The unnamed second argument must not be named `arg0`, which the
+        // user already used — otherwise the refinement would silently
+        // rebind to the wrong argument.
+        let out = elaborate("f :: arg0: Int -> Int -> {Int | _v == arg0}");
+        let schema = out.env.lookup("f").unwrap();
+        let (args, ret) = schema.ty.uncurry();
+        assert_eq!(args[0].0, "arg0");
+        assert_ne!(args[1].0, "arg0", "fresh name shadows the user's binder");
+        assert_eq!(
+            ret.refinement(),
+            Term::value_var(Sort::Int).eq(Term::var("arg0", Sort::Int))
+        );
+    }
+
+    #[test]
+    fn duplicate_goal_definitions_are_rejected() {
+        let diags = elaborate_err("f :: Int -> Int\nf = ??\nf = ??");
+        assert!(
+            diags[0]
+                .message
+                .contains("duplicate definition of goal `f`"),
+            "unexpected message: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn uninferable_empty_set_is_a_diagnostic() {
+        let diags = elaborate_err("f :: {Bool | _v <==> [] == []}");
+        assert!(diags[0].message.contains("cannot infer the element sort"));
+    }
+}

@@ -1,0 +1,511 @@
+//! The hand-written lexer for the `.sq` surface language.
+//!
+//! Tokens cover the Synquid-style declaration syntax (`data`, `measure`,
+//! `termination`, `qualifier`, `where`), refinement-term operators in both
+//! their ASCII and Unicode spellings (`<=`/`≤`, `!=`/`≠`, `in`/`∈`,
+//! `+`/`∪`, `&&`/`∧`, `==>`/`⇒`, `<==>`/`⇔`), the value variable
+//! `_v`/`ν`, and the synthesis hole `??`.
+
+use crate::span::{Diagnostic, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Lowercase identifier (variables, type variables, measure names).
+    LowerId(String),
+    /// Uppercase identifier (datatype names, constructors, `Int`, …).
+    UpperId(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// The value variable `_v` / `ν`.
+    ValueVar,
+    /// `data` keyword.
+    Data,
+    /// `where` keyword.
+    Where,
+    /// `measure` keyword.
+    Measure,
+    /// `termination` keyword.
+    Termination,
+    /// `qualifier` keyword.
+    Qualifier,
+    /// `if` keyword.
+    If,
+    /// `then` keyword.
+    Then,
+    /// `else` keyword.
+    Else,
+    /// `in` keyword / set-membership operator (`∈`).
+    In,
+    /// `::`
+    DoubleColon,
+    /// `:`
+    Colon,
+    /// `->` / `→`
+    Arrow,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `=` (definition)
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=` / `≠`
+    Neq,
+    /// `<=` / `≤` (less-or-equal; also subset on set operands)
+    Le,
+    /// `<`
+    Lt,
+    /// `>=` / `≥`
+    Ge,
+    /// `>`
+    Gt,
+    /// `+` / `∪` (addition; union on set operands)
+    Plus,
+    /// `-` (subtraction; difference on set operands)
+    Minus,
+    /// `*` / `∩` (multiplication; intersection on set operands)
+    Star,
+    /// `&&` / `∧`
+    AndAnd,
+    /// `||` / `∨`
+    OrOr,
+    /// `==>` / `⇒`
+    Implies,
+    /// `<==>` / `⇔`
+    Iff,
+    /// `!` / `¬`
+    Bang,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `∅` — the empty-set literal (sugar for `[]`).
+    EmptySet,
+    /// `??` — the synthesis hole.
+    Hole,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::LowerId(s) | Tok::UpperId(s) => format!("`{s}`"),
+            Tok::IntLit(n) => format!("`{n}`"),
+            Tok::ValueVar => "`_v`".into(),
+            Tok::Data => "`data`".into(),
+            Tok::Where => "`where`".into(),
+            Tok::Measure => "`measure`".into(),
+            Tok::Termination => "`termination`".into(),
+            Tok::Qualifier => "`qualifier`".into(),
+            Tok::If => "`if`".into(),
+            Tok::Then => "`then`".into(),
+            Tok::Else => "`else`".into(),
+            Tok::In => "`in`".into(),
+            Tok::DoubleColon => "`::`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Arrow => "`->`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Neq => "`!=`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::AndAnd => "`&&`".into(),
+            Tok::OrOr => "`||`".into(),
+            Tok::Implies => "`==>`".into(),
+            Tok::Iff => "`<==>`".into(),
+            Tok::Bang => "`!`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::EmptySet => "`[]`".into(),
+            Tok::Hole => "`??`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Its source location.
+    pub span: Span,
+}
+
+/// Lexes a full `.sq` source into tokens (always ending with [`Tok::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    let mut diags = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+
+    let push = |tok: Tok, start: usize, end: usize, out: &mut Vec<SpannedTok>| {
+        out.push(SpannedTok {
+            tok,
+            span: Span::new(start, end),
+        });
+    };
+
+    while i < src.len() {
+        let rest = &src[i..];
+        let c = rest.chars().next().unwrap();
+        let cl = c.len_utf8();
+
+        // Whitespace.
+        if c.is_whitespace() {
+            i += cl;
+            continue;
+        }
+        // Line comments: `--` to end of line.
+        if rest.starts_with("--") {
+            i += rest.find('\n').unwrap_or(rest.len());
+            continue;
+        }
+        // Block comments: `{-` … `-}` (non-nesting). `{-` opens a comment
+        // only when followed by whitespace, another `-`, or end of input,
+        // so `{-x <= 0}` still lexes as `{`, `-`, `x`, … (a refined type
+        // or qualifier set whose first term starts with unary minus).
+        if rest.starts_with("{-")
+            && rest[2..]
+                .chars()
+                .next()
+                .is_none_or(|c| c.is_whitespace() || c == '-')
+        {
+            match rest.find("-}") {
+                Some(end) => {
+                    i += end + 2;
+                    continue;
+                }
+                None => {
+                    diags.push(Diagnostic::error(
+                        Span::new(i, src.len()),
+                        "unterminated block comment (expected a closing `-}`)",
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // Multi-character operators, longest first.
+        const MULTI: &[(&str, Tok)] = &[
+            ("<==>", Tok::Iff),
+            ("==>", Tok::Implies),
+            ("::", Tok::DoubleColon),
+            ("->", Tok::Arrow),
+            ("==", Tok::EqEq),
+            ("!=", Tok::Neq),
+            ("<=", Tok::Le),
+            (">=", Tok::Ge),
+            ("&&", Tok::AndAnd),
+            ("||", Tok::OrOr),
+            ("??", Tok::Hole),
+        ];
+        if let Some((text, tok)) = MULTI.iter().find(|(text, _)| rest.starts_with(text)) {
+            push(tok.clone(), i, i + text.len(), &mut out);
+            i += text.len();
+            continue;
+        }
+
+        // Unicode aliases.
+        let unicode = match c {
+            '→' => Some(Tok::Arrow),
+            'ν' => Some(Tok::ValueVar),
+            '∧' => Some(Tok::AndAnd),
+            '∨' => Some(Tok::OrOr),
+            '¬' => Some(Tok::Bang),
+            '≤' => Some(Tok::Le),
+            '≥' => Some(Tok::Ge),
+            '≠' => Some(Tok::Neq),
+            '∈' => Some(Tok::In),
+            '∪' => Some(Tok::Plus),
+            '∩' => Some(Tok::Star),
+            '⇒' | '⟹' => Some(Tok::Implies),
+            '⇔' | '⟺' => Some(Tok::Iff),
+            '∅' => Some(Tok::EmptySet),
+            _ => None,
+        };
+        if let Some(tok) = unicode {
+            push(tok, i, i + cl, &mut out);
+            i += cl;
+            continue;
+        }
+
+        // Single-character punctuation.
+        let single = match c {
+            ':' => Some(Tok::Colon),
+            '.' => Some(Tok::Dot),
+            ',' => Some(Tok::Comma),
+            '|' => Some(Tok::Pipe),
+            '=' => Some(Tok::Assign),
+            '<' => Some(Tok::Lt),
+            '>' => Some(Tok::Gt),
+            '+' => Some(Tok::Plus),
+            '-' => Some(Tok::Minus),
+            '*' => Some(Tok::Star),
+            '!' => Some(Tok::Bang),
+            '(' => Some(Tok::LParen),
+            ')' => Some(Tok::RParen),
+            '{' => Some(Tok::LBrace),
+            '}' => Some(Tok::RBrace),
+            '[' => Some(Tok::LBracket),
+            ']' => Some(Tok::RBracket),
+            _ => None,
+        };
+        if let Some(tok) = single {
+            push(tok, i, i + 1, &mut out);
+            i += 1;
+            continue;
+        }
+
+        // Integer literals.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            match src[i..j].parse::<i64>() {
+                Ok(n) => push(Tok::IntLit(n), i, j, &mut out),
+                Err(_) => diags.push(Diagnostic::error(
+                    Span::new(i, j),
+                    format!("integer literal `{}` is out of range", &src[i..j]),
+                )),
+            }
+            i = j;
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            for ch in rest.chars() {
+                if ch.is_alphanumeric() || ch == '_' || ch == '\'' {
+                    j += ch.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            let word = &src[i..j];
+            let tok = match word {
+                "_v" => Tok::ValueVar,
+                "data" => Tok::Data,
+                "where" => Tok::Where,
+                "measure" => Tok::Measure,
+                "termination" => Tok::Termination,
+                "qualifier" => Tok::Qualifier,
+                "if" => Tok::If,
+                "then" => Tok::Then,
+                "else" => Tok::Else,
+                "in" => Tok::In,
+                _ => {
+                    if word.chars().next().unwrap().is_uppercase() {
+                        Tok::UpperId(word.to_string())
+                    } else {
+                        Tok::LowerId(word.to_string())
+                    }
+                }
+            };
+            push(tok, i, j, &mut out);
+            i = j;
+            continue;
+        }
+
+        diags.push(Diagnostic::error(
+            Span::new(i, i + cl),
+            format!("unexpected character `{c}`"),
+        ));
+        i += cl;
+    }
+
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        span: Span::point(src.len()),
+    });
+    if diags.is_empty() {
+        Ok(out)
+    } else {
+        Err(diags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn comparison_operators_ascii_and_unicode() {
+        assert_eq!(
+            toks("<= ≤ != ≠ >= ≥ < >"),
+            vec![
+                Tok::Le,
+                Tok::Le,
+                Tok::Neq,
+                Tok::Neq,
+                Tok::Ge,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn membership_and_union_operators() {
+        // `in` and `∈` lex identically, as do `+` and `∪`.
+        assert_eq!(toks("x in s"), toks("x ∈ s"));
+        assert_eq!(toks("a + b"), toks("a ∪ b"));
+        assert_eq!(toks("a * b"), toks("a ∩ b"));
+        assert_eq!(
+            toks("x in s + t"),
+            vec![
+                Tok::LowerId("x".into()),
+                Tok::In,
+                Tok::LowerId("s".into()),
+                Tok::Plus,
+                Tok::LowerId("t".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_for_arrows_and_connectives() {
+        assert_eq!(
+            toks("<==> ==> == = -> - :: :"),
+            vec![
+                Tok::Iff,
+                Tok::Implies,
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::Arrow,
+                Tok::Minus,
+                Tok::DoubleColon,
+                Tok::Colon,
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("&& ∧ || ∨"),
+            vec![Tok::AndAnd, Tok::AndAnd, Tok::OrOr, Tok::OrOr, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn value_variable_spellings() {
+        assert_eq!(toks("_v"), vec![Tok::ValueVar, Tok::Eof]);
+        assert_eq!(toks("ν"), vec![Tok::ValueVar, Tok::Eof]);
+        // `_value` is an ordinary identifier, not the value variable.
+        assert_eq!(
+            toks("_value"),
+            vec![Tok::LowerId("_value".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_versus_identifiers() {
+        assert_eq!(
+            toks("data where measure termination qualifier in datax"),
+            vec![
+                Tok::Data,
+                Tok::Where,
+                Tok::Measure,
+                Tok::Termination,
+                Tok::Qualifier,
+                Tok::In,
+                Tok::LowerId("datax".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn holes_and_comments() {
+        assert_eq!(
+            toks("f = ?? -- trailing comment\n{- block\ncomment -} g"),
+            vec![
+                Tok::LowerId("f".into()),
+                Tok::Assign,
+                Tok::Hole,
+                Tok::LowerId("g".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn brace_minus_is_not_a_comment_when_a_term_follows() {
+        // `{-x <= 0}` is a qualifier/refinement whose first term starts
+        // with unary minus, not a block comment.
+        assert_eq!(
+            toks("{-x <= 0}"),
+            vec![
+                Tok::LBrace,
+                Tok::Minus,
+                Tok::LowerId("x".into()),
+                Tok::Le,
+                Tok::IntLit(0),
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+        // Conventional block comments (space or `-` after `{-`) still work.
+        assert_eq!(
+            toks("{- comment -} x"),
+            vec![Tok::LowerId("x".into()), Tok::Eof]
+        );
+        assert_eq!(
+            toks("{-- banner --} x"),
+            vec![Tok::LowerId("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_cover_tokens_exactly() {
+        let lexed = lex("ab <= 12").unwrap();
+        assert_eq!(lexed[0].span, Span::new(0, 2));
+        assert_eq!(lexed[1].span, Span::new(3, 5));
+        assert_eq!(lexed[2].span, Span::new(6, 8));
+    }
+
+    #[test]
+    fn unexpected_characters_are_reported_with_spans() {
+        let err = lex("x # y").unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].message.contains('#'));
+        assert_eq!(err[0].span, Span::new(2, 3));
+    }
+}

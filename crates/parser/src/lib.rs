@@ -1,0 +1,115 @@
+//! # synquid-parser
+//!
+//! The surface-language frontend of the Synquid reproduction: a
+//! hand-written lexer and recursive-descent parser for Synquid-style
+//! `.sq` specification files, plus a resolver/desugarer that elaborates
+//! the surface syntax into the semantic objects of the rest of the
+//! system (`synquid_logic::{Sort, Term, Qualifier}`,
+//! `synquid_types::{RType, Schema, Environment, Datatype}`, and
+//! `synquid_core::Goal`).
+//!
+//! A `.sq` file contains, in any order that respects use-before-`data`
+//! for measures:
+//!
+//! * **qualifier sets** — `qualifier [x: Int, y: Int] {x <= y, x != y}`;
+//! * **measure declarations** — `measure elems :: List b -> Set b`, with
+//!   `termination measure len :: List b -> Int` marking the measure used
+//!   by the termination check (and implying non-negativity, as does a
+//!   `Nat` result sort);
+//! * **datatype declarations** — `data List b where` followed by refined
+//!   constructor signatures;
+//! * **component signatures** — `inc :: x: Int -> {Int | _v == x + 1}`
+//!   (monomorphic; type variables stay free, matching the component
+//!   libraries), or explicitly quantified `snoc :: <a> . …`;
+//! * **goals** — a signature followed by `name = ??`.
+//!
+//! Refinement terms support the full operator set of the paper in both
+//! ASCII and Unicode spellings (`<=`/`≤`, `!=`/`≠`, `in`/`∈`, `&&`/`∧`,
+//! `==>`/`⇒`, `<==>`/`⇔`, `_v`/`ν`), with `+`, `-`, `*`, and `<=`
+//! overloaded on set-sorted operands as union, difference, intersection,
+//! and subset — resolved during sort-directed desugaring.
+//!
+//! ## Example
+//!
+//! ```
+//! let src = r#"
+//!     termination measure len :: List b -> Int
+//!     measure elems :: List b -> Set b
+//!     data List b where
+//!       Nil  :: {List b | len _v == 0 && elems _v == []}
+//!       Cons :: x: b -> xs: List b ->
+//!               {List b | len _v == len xs + 1 && elems _v == elems xs + [x]}
+//!
+//!     length :: <a> . xs: List a -> {Int | _v == len xs}
+//!     length = ??
+//! "#;
+//! let spec = synquid_parser::load_str(src).expect("valid spec");
+//! assert_eq!(spec.goals.len(), 1);
+//! assert_eq!(spec.goals[0].name, "length");
+//! ```
+
+pub mod ast;
+pub mod desugar;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+
+pub use ast::SpecAst;
+pub use desugar::{desugar, SpecOutput};
+pub use parser::parse;
+pub use span::{render_diagnostics, Diagnostic, Severity, Span};
+
+/// An error from loading a spec: the diagnostics plus the source they
+/// refer to, so the error can render itself.
+#[derive(Debug, Clone)]
+pub struct SpecError {
+    /// The file name used in rendered diagnostics.
+    pub file: String,
+    /// The source text.
+    pub src: String,
+    /// What went wrong.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}",
+            render_diagnostics(&self.file, &self.src, &self.diagnostics)
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses and elaborates a `.sq` source string.
+pub fn load_str(src: &str) -> Result<SpecOutput, SpecError> {
+    load_named_str("<string>", src)
+}
+
+/// Parses and elaborates a `.sq` source string, naming the source for
+/// diagnostics.
+pub fn load_named_str(file: &str, src: &str) -> Result<SpecOutput, SpecError> {
+    let spec = parse(src).map_err(|diagnostics| SpecError {
+        file: file.to_string(),
+        src: src.to_string(),
+        diagnostics,
+    })?;
+    desugar(&spec).map_err(|diagnostics| SpecError {
+        file: file.to_string(),
+        src: src.to_string(),
+        diagnostics,
+    })
+}
+
+/// Loads and elaborates a `.sq` file from disk.
+pub fn load_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<SpecOutput, Box<dyn std::error::Error>> {
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    load_named_str(&path.display().to_string(), &src)
+        .map_err(|e| Box::new(e) as Box<dyn std::error::Error>)
+}

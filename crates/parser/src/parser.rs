@@ -1,0 +1,953 @@
+//! The recursive-descent parser for `.sq` specification files.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! spec      ::= decl*
+//! decl      ::= ["termination"] "measure" lid "::" sort "->" sort
+//!             | "data" uid lid* "where" (uid "::" type)*
+//!             | "qualifier" "[" (lid ":" sort),* "]" "{" term,* "}"
+//!             | lid "::" schema            -- component or goal signature
+//!             | lid "=" "??"               -- goal definition
+//! schema    ::= ["<" lid,* ">" "."] type
+//! type      ::= [lid ":"] appty ("->" type)?
+//! appty     ::= "{" base "|" term "}" | base
+//! base      ::= uid tyatom* | lid | "(" type ")"
+//! tyatom    ::= uid | lid | "{" base "|" term "}" | "(" type ")"
+//! sort      ::= "Set" sortatom | uid sortatom* | lid | "(" sort ")"
+//! term      ::= precedence-climbing over
+//!               <==> , ==> , || , && , (== != <= < >= > in) , (+ -) , * ,
+//!               prefix (- !), application `lid atom*`
+//! atom      ::= int | "True" | "False" | _v | lid | "(" term ")"
+//!             | "[" term,* "]" | "if" term "then" term "else" term
+//! ```
+//!
+//! The parser is error-tolerant at declaration granularity: a malformed
+//! declaration is reported and skipped, and parsing resumes at the next
+//! plausible declaration start, so a single pass can report several
+//! errors.
+
+use crate::ast::*;
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::span::{Diagnostic, Span};
+
+/// Parses a `.sq` source into a surface AST, or reports all diagnostics.
+pub fn parse(src: &str) -> Result<SpecAst, Vec<Diagnostic>> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        diags: Vec::new(),
+    };
+    let spec = p.spec();
+    if p.diags.is_empty() {
+        Ok(spec)
+    } else {
+        Err(p.diags)
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+}
+
+/// Raised internally to abort the current declaration; the parser then
+/// resynchronizes at the next declaration start.
+struct Abort;
+
+type PResult<T> = Result<T, Abort>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        let idx = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[idx].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, context: &str) -> PResult<Span> {
+        if self.peek() == &tok {
+            let s = self.span();
+            self.bump();
+            Ok(s)
+        } else {
+            self.error_here(format!(
+                "expected {} {context}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            ));
+            Err(Abort)
+        }
+    }
+
+    fn error_here(&mut self, message: String) {
+        let span = self.span();
+        self.diags.push(Diagnostic::error(span, message));
+    }
+
+    fn lower_id(&mut self, context: &str) -> PResult<(String, Span)> {
+        match self.peek().clone() {
+            Tok::LowerId(name) => {
+                let s = self.span();
+                self.bump();
+                Ok((name, s))
+            }
+            other => {
+                self.error_here(format!(
+                    "expected an identifier {context}, found {}",
+                    other.describe()
+                ));
+                Err(Abort)
+            }
+        }
+    }
+
+    fn upper_id(&mut self, context: &str) -> PResult<(String, Span)> {
+        match self.peek().clone() {
+            Tok::UpperId(name) => {
+                let s = self.span();
+                self.bump();
+                Ok((name, s))
+            }
+            other => {
+                self.error_here(format!(
+                    "expected a capitalized name {context}, found {}",
+                    other.describe()
+                ));
+                Err(Abort)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Declarations
+    // -----------------------------------------------------------------
+
+    fn spec(&mut self) -> SpecAst {
+        let mut decls = Vec::new();
+        while self.peek() != &Tok::Eof {
+            match self.decl() {
+                Ok(d) => decls.push(d),
+                Err(Abort) => self.synchronize(),
+            }
+        }
+        SpecAst { decls }
+    }
+
+    /// Skips tokens until the next plausible declaration start.
+    fn synchronize(&mut self) {
+        // Always make progress.
+        if self.peek() != &Tok::Eof {
+            self.bump();
+        }
+        loop {
+            match self.peek() {
+                Tok::Eof | Tok::Data | Tok::Measure | Tok::Termination | Tok::Qualifier => return,
+                Tok::LowerId(_) => {
+                    if matches!(self.peek_at(1), Tok::DoubleColon | Tok::Assign) {
+                        return;
+                    }
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn decl(&mut self) -> PResult<DeclAst> {
+        match self.peek().clone() {
+            Tok::Termination => {
+                let start = self.span();
+                self.bump();
+                self.expect(Tok::Measure, "after `termination`")?;
+                self.measure_decl(true, start).map(DeclAst::Measure)
+            }
+            Tok::Measure => {
+                let start = self.span();
+                self.bump();
+                self.measure_decl(false, start).map(DeclAst::Measure)
+            }
+            Tok::Data => self.data_decl().map(DeclAst::Data),
+            Tok::Qualifier => self.qualifier_decl().map(DeclAst::Qualifier),
+            Tok::LowerId(name) => {
+                let span = self.span();
+                self.bump();
+                match self.peek() {
+                    Tok::DoubleColon => {
+                        self.bump();
+                        let schema = self.schema()?;
+                        Ok(DeclAst::Sig(SigAst { name, schema, span }))
+                    }
+                    Tok::Assign => {
+                        self.bump();
+                        let hole =
+                            self.expect(Tok::Hole, "after `=` (only `??` bodies are supported)")?;
+                        Ok(DeclAst::Impl(ImplAst {
+                            name,
+                            span: span.merge(hole),
+                        }))
+                    }
+                    other => {
+                        let msg = format!(
+                            "expected `::` or `= ??` after `{name}`, found {}",
+                            other.describe()
+                        );
+                        self.error_here(msg);
+                        Err(Abort)
+                    }
+                }
+            }
+            other => {
+                let msg = format!(
+                    "expected a declaration (`data`, `measure`, `qualifier`, or a signature), found {}",
+                    other.describe()
+                );
+                self.error_here(msg);
+                Err(Abort)
+            }
+        }
+    }
+
+    fn measure_decl(&mut self, termination: bool, start: Span) -> PResult<MeasureAst> {
+        let (name, _) = self.lower_id("as the measure name")?;
+        self.expect(Tok::DoubleColon, "in the measure signature")?;
+        let arg = self.sort()?;
+        self.expect(
+            Tok::Arrow,
+            "between the measure's argument and result sorts",
+        )?;
+        let result = self.sort()?;
+        Ok(MeasureAst {
+            termination,
+            name,
+            arg,
+            result,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn data_decl(&mut self) -> PResult<DataAst> {
+        let start = self.span();
+        self.bump(); // `data`
+        let (name, _) = self.upper_id("as the datatype name")?;
+        let mut params = Vec::new();
+        while let Tok::LowerId(p) = self.peek().clone() {
+            params.push(p);
+            self.bump();
+        }
+        self.expect(Tok::Where, "before the constructor list")?;
+        let mut ctors = Vec::new();
+        while let Tok::UpperId(_) = self.peek() {
+            if self.peek_at(1) != &Tok::DoubleColon {
+                break;
+            }
+            let (cname, cspan) = self.upper_id("as the constructor name")?;
+            self.bump(); // `::`
+            let ty = self.ty()?;
+            ctors.push(CtorAst {
+                name: cname,
+                ty,
+                span: cspan,
+            });
+        }
+        if ctors.is_empty() {
+            self.error_here(format!("datatype `{name}` declares no constructors"));
+            return Err(Abort);
+        }
+        Ok(DataAst {
+            name,
+            params,
+            ctors,
+            span: start,
+        })
+    }
+
+    fn qualifier_decl(&mut self) -> PResult<QualifierAst> {
+        let start = self.span();
+        self.bump(); // `qualifier`
+        self.expect(Tok::LBracket, "to open the qualifier binder list")?;
+        let mut binders = Vec::new();
+        if self.peek() != &Tok::RBracket {
+            loop {
+                let (name, _) = self.lower_id("as a qualifier metavariable")?;
+                self.expect(Tok::Colon, "after the qualifier metavariable")?;
+                let sort = self.sort()?;
+                binders.push((name, sort));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RBracket, "to close the qualifier binder list")?;
+        self.expect(Tok::LBrace, "to open the qualifier atoms")?;
+        let mut atoms = Vec::new();
+        if self.peek() != &Tok::RBrace {
+            loop {
+                atoms.push(self.term()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RBrace, "to close the qualifier atoms")?;
+        Ok(QualifierAst {
+            binders,
+            atoms,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Schemas, types, sorts
+    // -----------------------------------------------------------------
+
+    fn schema(&mut self) -> PResult<SchemaAst> {
+        let type_vars = if self.peek() == &Tok::Lt {
+            self.bump();
+            let mut vars = Vec::new();
+            loop {
+                let (v, _) = self.lower_id("as a quantified type variable")?;
+                vars.push(v);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt, "to close the type-variable quantifier")?;
+            self.expect(Tok::Dot, "after the type-variable quantifier")?;
+            Some(vars)
+        } else {
+            None
+        };
+        let ty = self.ty()?;
+        Ok(SchemaAst { type_vars, ty })
+    }
+
+    fn ty(&mut self) -> PResult<TypeAst> {
+        let start = self.span();
+        // Optional binder: `x :` (a single colon; `::` starts the next
+        // declaration and is never consumed here).
+        let arg_name = if matches!(self.peek(), Tok::LowerId(_)) && self.peek_at(1) == &Tok::Colon {
+            let (n, _) = self.lower_id("as a binder")?;
+            self.bump(); // `:`
+            Some(n)
+        } else {
+            None
+        };
+        let arg = self.app_ty()?;
+        if self.eat(&Tok::Arrow) {
+            let ret = self.ty()?;
+            let span = start.merge(ret.span());
+            Ok(TypeAst::Fun {
+                arg_name,
+                arg: Box::new(arg),
+                ret: Box::new(ret),
+                span,
+            })
+        } else {
+            if let Some(name) = arg_name {
+                self.diags.push(Diagnostic::error(
+                    start,
+                    format!("binder `{name}` must be followed by `->`"),
+                ));
+                return Err(Abort);
+            }
+            Ok(arg)
+        }
+    }
+
+    /// A type without a top-level arrow: either a refined scalar
+    /// `{B | ψ}`, a base type (datatype application, type variable), or a
+    /// parenthesized type.
+    fn app_ty(&mut self) -> PResult<TypeAst> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::LBrace => {
+                self.bump();
+                let base = self.base_ty()?;
+                self.expect(Tok::Pipe, "between the base type and its refinement")?;
+                let refinement = self.term()?;
+                let end = self.expect(Tok::RBrace, "to close the refined type")?;
+                Ok(TypeAst::Scalar {
+                    base,
+                    refinement: Some(refinement),
+                    span: start.merge(end),
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.ty()?;
+                self.expect(Tok::RParen, "to close the parenthesized type")?;
+                Ok(inner)
+            }
+            _ => {
+                let base = self.base_ty()?;
+                Ok(TypeAst::Scalar {
+                    base,
+                    refinement: None,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+        }
+    }
+
+    fn base_ty(&mut self) -> PResult<BaseAst> {
+        match self.peek().clone() {
+            Tok::UpperId(name) => {
+                self.bump();
+                match name.as_str() {
+                    "Int" => Ok(BaseAst::Int),
+                    "Bool" => Ok(BaseAst::Bool),
+                    "Nat" => Ok(BaseAst::Nat),
+                    "Pos" => Ok(BaseAst::Pos),
+                    _ => {
+                        let mut args = Vec::new();
+                        while matches!(
+                            self.peek(),
+                            Tok::UpperId(_) | Tok::LowerId(_) | Tok::LBrace | Tok::LParen
+                        ) {
+                            // A lowercase id followed by `:` is the next
+                            // binder, not a type argument.
+                            if matches!(self.peek(), Tok::LowerId(_))
+                                && self.peek_at(1) == &Tok::Colon
+                            {
+                                break;
+                            }
+                            args.push(self.ty_atom()?);
+                        }
+                        Ok(BaseAst::Data(name, args))
+                    }
+                }
+            }
+            Tok::LowerId(name) => {
+                self.bump();
+                Ok(BaseAst::Var(name))
+            }
+            other => {
+                self.error_here(format!("expected a type, found {}", other.describe()));
+                Err(Abort)
+            }
+        }
+    }
+
+    /// A type-argument atom: datatype arguments bind tighter than
+    /// application, so `List List a` is ill-formed but `List (List a)`
+    /// and `List {a | _v < x}` work.
+    fn ty_atom(&mut self) -> PResult<TypeAst> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::UpperId(name) => {
+                self.bump();
+                let base = match name.as_str() {
+                    "Int" => BaseAst::Int,
+                    "Bool" => BaseAst::Bool,
+                    "Nat" => BaseAst::Nat,
+                    "Pos" => BaseAst::Pos,
+                    _ => BaseAst::Data(name, Vec::new()),
+                };
+                Ok(TypeAst::Scalar {
+                    base,
+                    refinement: None,
+                    span: start,
+                })
+            }
+            Tok::LowerId(name) => {
+                self.bump();
+                Ok(TypeAst::Scalar {
+                    base: BaseAst::Var(name),
+                    refinement: None,
+                    span: start,
+                })
+            }
+            Tok::LBrace | Tok::LParen => self.app_ty(),
+            other => {
+                self.error_here(format!(
+                    "expected a type argument, found {}",
+                    other.describe()
+                ));
+                Err(Abort)
+            }
+        }
+    }
+
+    fn sort(&mut self) -> PResult<SortAst> {
+        match self.peek().clone() {
+            Tok::UpperId(name) => {
+                self.bump();
+                match name.as_str() {
+                    "Int" => Ok(SortAst::Int),
+                    "Bool" => Ok(SortAst::Bool),
+                    "Nat" => Ok(SortAst::Nat),
+                    "Set" => {
+                        let elem = self.sort_atom()?;
+                        Ok(SortAst::Set(Box::new(elem)))
+                    }
+                    _ => {
+                        let mut args = Vec::new();
+                        while matches!(self.peek(), Tok::UpperId(_) | Tok::LowerId(_) | Tok::LParen)
+                        {
+                            args.push(self.sort_atom()?);
+                        }
+                        Ok(SortAst::Data(name, args))
+                    }
+                }
+            }
+            Tok::LowerId(name) => {
+                self.bump();
+                Ok(SortAst::Var(name))
+            }
+            Tok::LParen => {
+                self.bump();
+                let s = self.sort()?;
+                self.expect(Tok::RParen, "to close the parenthesized sort")?;
+                Ok(s)
+            }
+            other => {
+                self.error_here(format!("expected a sort, found {}", other.describe()));
+                Err(Abort)
+            }
+        }
+    }
+
+    fn sort_atom(&mut self) -> PResult<SortAst> {
+        match self.peek().clone() {
+            Tok::UpperId(name) => {
+                self.bump();
+                match name.as_str() {
+                    "Int" => Ok(SortAst::Int),
+                    "Bool" => Ok(SortAst::Bool),
+                    "Nat" => Ok(SortAst::Nat),
+                    _ => Ok(SortAst::Data(name, Vec::new())),
+                }
+            }
+            Tok::LowerId(name) => {
+                self.bump();
+                Ok(SortAst::Var(name))
+            }
+            Tok::LParen => {
+                self.bump();
+                let s = self.sort()?;
+                self.expect(Tok::RParen, "to close the parenthesized sort")?;
+                Ok(s)
+            }
+            other => {
+                self.error_here(format!(
+                    "expected a sort argument, found {}",
+                    other.describe()
+                ));
+                Err(Abort)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Terms
+    // -----------------------------------------------------------------
+
+    fn term(&mut self) -> PResult<TermAst> {
+        self.iff_term()
+    }
+
+    fn iff_term(&mut self) -> PResult<TermAst> {
+        let mut lhs = self.implies_term()?;
+        while self.peek() == &Tok::Iff {
+            self.bump();
+            let rhs = self.implies_term()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = TermAst::Binary(BinOpAst::Iff, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn implies_term(&mut self) -> PResult<TermAst> {
+        let lhs = self.or_term()?;
+        if self.peek() == &Tok::Implies {
+            self.bump();
+            // Right-associative.
+            let rhs = self.implies_term()?;
+            let span = lhs.span().merge(rhs.span());
+            Ok(TermAst::Binary(
+                BinOpAst::Implies,
+                Box::new(lhs),
+                Box::new(rhs),
+                span,
+            ))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_term(&mut self) -> PResult<TermAst> {
+        let mut lhs = self.and_term()?;
+        while self.peek() == &Tok::OrOr {
+            self.bump();
+            let rhs = self.and_term()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = TermAst::Binary(BinOpAst::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_term(&mut self) -> PResult<TermAst> {
+        let mut lhs = self.cmp_term()?;
+        while self.peek() == &Tok::AndAnd {
+            self.bump();
+            let rhs = self.cmp_term()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = TermAst::Binary(BinOpAst::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_term(&mut self) -> PResult<TermAst> {
+        let lhs = self.add_term()?;
+        let op = match self.peek() {
+            Tok::EqEq => Some(BinOpAst::Eq),
+            Tok::Neq => Some(BinOpAst::Neq),
+            Tok::Le => Some(BinOpAst::Le),
+            Tok::Lt => Some(BinOpAst::Lt),
+            Tok::Ge => Some(BinOpAst::Ge),
+            Tok::Gt => Some(BinOpAst::Gt),
+            Tok::In => Some(BinOpAst::In),
+            _ => None,
+        };
+        match op {
+            None => Ok(lhs),
+            Some(op) => {
+                self.bump();
+                let rhs = self.add_term()?;
+                let span = lhs.span().merge(rhs.span());
+                Ok(TermAst::Binary(op, Box::new(lhs), Box::new(rhs), span))
+            }
+        }
+    }
+
+    fn add_term(&mut self) -> PResult<TermAst> {
+        let mut lhs = self.mul_term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOpAst::Plus,
+                Tok::Minus => BinOpAst::Minus,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_term()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = TermAst::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_term(&mut self) -> PResult<TermAst> {
+        let mut lhs = self.unary_term()?;
+        while self.peek() == &Tok::Star {
+            self.bump();
+            let rhs = self.unary_term()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = TermAst::Binary(BinOpAst::Times, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_term(&mut self) -> PResult<TermAst> {
+        let start = self.span();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let inner = self.unary_term()?;
+                let span = start.merge(inner.span());
+                Ok(TermAst::Unary(UnOpAst::Neg, Box::new(inner), span))
+            }
+            Tok::Bang => {
+                self.bump();
+                let inner = self.unary_term()?;
+                let span = start.merge(inner.span());
+                Ok(TermAst::Unary(UnOpAst::Not, Box::new(inner), span))
+            }
+            _ => self.app_term(),
+        }
+    }
+
+    fn app_term(&mut self) -> PResult<TermAst> {
+        // Measure application: a lowercase head followed by atoms.
+        if let Tok::LowerId(head) = self.peek().clone() {
+            // `x :` would be a binder inside a type; terms never contain
+            // colons, so no lookahead is needed beyond the atom check.
+            let head_span = self.span();
+            self.bump();
+            let mut args = Vec::new();
+            while self.starts_atom() {
+                args.push(self.atom_term()?);
+            }
+            if args.is_empty() {
+                return Ok(TermAst::Var(head, head_span));
+            }
+            let span = head_span.merge(args.last().unwrap().span());
+            return Ok(TermAst::App(head, args, span));
+        }
+        self.atom_term()
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::IntLit(_)
+                | Tok::LowerId(_)
+                | Tok::ValueVar
+                | Tok::LParen
+                | Tok::LBracket
+                | Tok::EmptySet
+        ) || matches!(self.peek(), Tok::UpperId(n) if n == "True" || n == "False")
+    }
+
+    fn atom_term(&mut self) -> PResult<TermAst> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::IntLit(n) => {
+                self.bump();
+                Ok(TermAst::Int(n, start))
+            }
+            Tok::ValueVar => {
+                self.bump();
+                Ok(TermAst::ValueVar(start))
+            }
+            Tok::LowerId(name) => {
+                self.bump();
+                Ok(TermAst::Var(name, start))
+            }
+            Tok::UpperId(name) if name == "True" => {
+                self.bump();
+                Ok(TermAst::Bool(true, start))
+            }
+            Tok::UpperId(name) if name == "False" => {
+                self.bump();
+                Ok(TermAst::Bool(false, start))
+            }
+            Tok::UpperId(name) => {
+                self.error_here(format!(
+                    "constructor `{name}` cannot appear in a refinement (datatype values are only observable through measures)"
+                ));
+                Err(Abort)
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.term()?;
+                self.expect(Tok::RParen, "to close the parenthesized term")?;
+                Ok(inner)
+            }
+            Tok::EmptySet => {
+                self.bump();
+                Ok(TermAst::Set(Vec::new(), start))
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    loop {
+                        elems.push(self.term()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let end = self.expect(Tok::RBracket, "to close the set literal")?;
+                Ok(TermAst::Set(elems, start.merge(end)))
+            }
+            Tok::If => {
+                self.bump();
+                let cond = self.term()?;
+                self.expect(Tok::Then, "in the conditional term")?;
+                let then = self.term()?;
+                self.expect(Tok::Else, "in the conditional term")?;
+                let els = self.term()?;
+                let span = start.merge(els.span());
+                Ok(TermAst::Ite(
+                    Box::new(cond),
+                    Box::new(then),
+                    Box::new(els),
+                    span,
+                ))
+            }
+            other => {
+                self.error_here(format!("expected a term, found {}", other.describe()));
+                Err(Abort)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> SpecAst {
+        match parse(src) {
+            Ok(s) => s,
+            Err(diags) => panic!("parse failed: {diags:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_component_signature() {
+        let spec = parse_ok("inc :: x: Int -> {Int | _v == x + 1}");
+        assert_eq!(spec.decls.len(), 1);
+        let DeclAst::Sig(sig) = &spec.decls[0] else {
+            panic!("expected a signature");
+        };
+        assert_eq!(sig.name, "inc");
+        assert!(sig.schema.type_vars.is_none());
+        let TypeAst::Fun { arg_name, .. } = &sig.schema.ty else {
+            panic!("expected a function type");
+        };
+        assert_eq!(arg_name.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn parses_an_explicitly_quantified_goal() {
+        let spec = parse_ok("id :: <a> . x: a -> {a | _v == x}\nid = ??");
+        assert_eq!(spec.decls.len(), 2);
+        let DeclAst::Sig(sig) = &spec.decls[0] else {
+            panic!("expected a signature");
+        };
+        assert_eq!(
+            sig.schema.type_vars.as_deref(),
+            Some(&["a".to_string()][..])
+        );
+        assert!(matches!(&spec.decls[1], DeclAst::Impl(i) if i.name == "id"));
+    }
+
+    #[test]
+    fn parses_a_datatype_with_refined_constructors() {
+        let spec = parse_ok(
+            "data List b where\n  Nil :: {List b | len _v == 0}\n  Cons :: x: b -> xs: List b -> {List b | len _v == len xs + 1}",
+        );
+        let DeclAst::Data(data) = &spec.decls[0] else {
+            panic!("expected a data declaration");
+        };
+        assert_eq!(data.name, "List");
+        assert_eq!(data.params, vec!["b".to_string()]);
+        assert_eq!(data.ctors.len(), 2);
+        assert_eq!(data.ctors[0].name, "Nil");
+        assert_eq!(data.ctors[1].name, "Cons");
+    }
+
+    #[test]
+    fn parses_measures_and_termination_measures() {
+        let spec =
+            parse_ok("termination measure len :: List b -> Int\nmeasure elems :: List b -> Set b");
+        let DeclAst::Measure(len) = &spec.decls[0] else {
+            panic!("expected a measure");
+        };
+        assert!(len.termination);
+        assert_eq!(
+            len.arg,
+            SortAst::Data("List".into(), vec![SortAst::Var("b".into())])
+        );
+        let DeclAst::Measure(elems) = &spec.decls[1] else {
+            panic!("expected a measure");
+        };
+        assert!(!elems.termination);
+        assert_eq!(
+            elems.result,
+            SortAst::Set(Box::new(SortAst::Var("b".into())))
+        );
+    }
+
+    #[test]
+    fn parses_qualifiers_with_typed_binders() {
+        let spec = parse_ok("qualifier [x: Int, y: Int] {x <= y, x != y, x < y}");
+        let DeclAst::Qualifier(q) = &spec.decls[0] else {
+            panic!("expected a qualifier declaration");
+        };
+        assert_eq!(q.binders.len(), 2);
+        assert_eq!(q.atoms.len(), 3);
+    }
+
+    #[test]
+    fn operator_precedence_groups_comparisons_under_connectives() {
+        let spec = parse_ok("q :: {Bool | _v <==> x <= y && y != z}");
+        let DeclAst::Sig(sig) = &spec.decls[0] else {
+            panic!()
+        };
+        let TypeAst::Scalar {
+            refinement: Some(r),
+            ..
+        } = &sig.schema.ty
+        else {
+            panic!("expected a refined scalar")
+        };
+        // iff(_v, and(le(x,y), neq(y,z)))
+        let TermAst::Binary(BinOpAst::Iff, _, rhs, _) = r else {
+            panic!("expected <==> at the top, got {r:?}")
+        };
+        assert!(matches!(**rhs, TermAst::Binary(BinOpAst::And, _, _, _)));
+    }
+
+    #[test]
+    fn refined_datatype_arguments_parse() {
+        let spec = parse_ok("x :: t: BST {a | _v < y} -> Int");
+        let DeclAst::Sig(sig) = &spec.decls[0] else {
+            panic!()
+        };
+        let TypeAst::Fun { arg, .. } = &sig.schema.ty else {
+            panic!()
+        };
+        let TypeAst::Scalar {
+            base: BaseAst::Data(name, args),
+            ..
+        } = &**arg
+        else {
+            panic!("expected a datatype argument")
+        };
+        assert_eq!(name, "BST");
+        assert!(matches!(
+            &args[0],
+            TypeAst::Scalar {
+                refinement: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reports_multiple_errors_with_recovery() {
+        let err = parse("foo ?? bar\nbaz :: Int\nqux = 5").unwrap_err();
+        assert!(err.len() >= 2, "expected at least two diagnostics: {err:?}");
+    }
+
+    #[test]
+    fn bodies_other_than_holes_are_rejected() {
+        let err = parse("f :: Int\nf = 5").unwrap_err();
+        assert!(err[0].message.contains("??"));
+    }
+}

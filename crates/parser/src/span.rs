@@ -1,0 +1,197 @@
+//! Source locations and human-readable diagnostics.
+//!
+//! Every token and surface-AST node carries a byte-offset [`Span`] into the
+//! original `.sq` source. Errors from the lexer, the parser, and the
+//! desugarer are reported as [`Diagnostic`]s; [`render_diagnostics`] turns
+//! them into the familiar `file:line:col` + source-excerpt + caret format.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a byte offset.
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A 1-based line/column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters, not bytes).
+    pub col: usize,
+}
+
+/// Computes the line/column of a byte offset in `src`.
+pub fn line_col(src: &str, offset: usize) -> LineCol {
+    let offset = offset.min(src.len());
+    let before = &src[..offset];
+    let line = before.bytes().filter(|b| *b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let col = src[line_start..offset].chars().count() + 1;
+    LineCol { line, col }
+}
+
+/// Severity of a diagnostic. Everything the frontend reports today is an
+/// error; the level exists so later passes can add warnings without
+/// changing the rendering pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A hard error: the spec cannot be elaborated.
+    Error,
+    /// A warning: the spec is usable but suspicious.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One source-located message from the frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity level.
+    pub severity: Severity,
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+/// Renders diagnostics against their source text, one block per
+/// diagnostic:
+///
+/// ```text
+/// error: unbound variable `m`
+///   --> spec.sq:3:25
+///    |
+///  3 | inc :: x: Int -> {Int | _v == m + 1}
+///    |                               ^
+/// ```
+pub fn render_diagnostics(file: &str, src: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let lc = line_col(src, d.span.start);
+        out.push_str(&format!("{}: {}\n", d.severity, d.message));
+        out.push_str(&format!("  --> {}:{}:{}\n", file, lc.line, lc.col));
+        let line_start = src[..d.span.start.min(src.len())]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let line_end = src[line_start..]
+            .find('\n')
+            .map(|i| line_start + i)
+            .unwrap_or(src.len());
+        let line_text = &src[line_start..line_end];
+        let gutter = lc.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!(" {pad} |\n"));
+        out.push_str(&format!(" {gutter} | {line_text}\n"));
+        let caret_col = src[line_start..d.span.start.min(src.len())].chars().count();
+        // Clamp the caret row to the excerpted line: a span that continues
+        // onto later lines is marked only up to the end of its first line.
+        let span_end_on_line = d.span.end.min(line_end).min(src.len());
+        let width = if span_end_on_line > d.span.start {
+            src[d.span.start.min(src.len())..span_end_on_line]
+                .chars()
+                .count()
+                .max(1)
+        } else {
+            1
+        };
+        out.push_str(&format!(
+            " {pad} | {}{}\n",
+            " ".repeat(caret_col),
+            "^".repeat(width)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "abc\ndef\n";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 2), LineCol { line: 1, col: 3 });
+        assert_eq!(line_col(src, 4), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 6), LineCol { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        let src = "νx = 1";
+        // ν is two bytes; the x starts at byte 2 but is column 2.
+        assert_eq!(line_col(src, 2), LineCol { line: 1, col: 2 });
+    }
+
+    #[test]
+    fn render_points_at_the_offending_token() {
+        let src = "foo :: Int\nbar = ??\n";
+        let d = Diagnostic::error(Span::new(11, 14), "no signature for `bar`");
+        let rendered = render_diagnostics("test.sq", src, &[d]);
+        assert!(rendered.contains("error: no signature for `bar`"));
+        assert!(rendered.contains("test.sq:2:1"));
+        assert!(rendered.contains("bar = ??"));
+        assert!(rendered.contains("^^^"));
+    }
+
+    #[test]
+    fn caret_width_is_clamped_to_the_excerpted_line() {
+        let src = "short line\nmuch longer second line of the span\n";
+        // Span covers from column 7 of line 1 to deep into line 2.
+        let d = Diagnostic::error(Span::new(6, 40), "spans two lines");
+        let rendered = render_diagnostics("t.sq", src, &[d]);
+        assert!(rendered.contains("short line"));
+        // Only the remainder of line 1 is caret-marked: "line" = 4 chars.
+        assert!(rendered.contains("       ^^^^\n"), "got:\n{rendered}");
+        assert!(!rendered.contains("^^^^^"), "caret overflowed:\n{rendered}");
+    }
+
+    #[test]
+    fn spans_merge_to_cover_both() {
+        assert_eq!(Span::new(3, 5).merge(Span::new(9, 12)), Span::new(3, 12));
+    }
+}

@@ -1,0 +1,66 @@
+//! Golden-file tests for frontend diagnostics: each `tests/golden/*.sq`
+//! input has a `*.stderr` snapshot of the rendered diagnostics. Run with
+//! `UPDATE_GOLDEN=1 cargo test -p synquid-parser --test diagnostics` to
+//! regenerate the snapshots after intentionally changing a message.
+
+use std::path::PathBuf;
+use synquid_parser::{load_named_str, render_diagnostics};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn rendered_diagnostics(name: &str, src: &str) -> String {
+    match load_named_str(name, src) {
+        Ok(_) => panic!("{name}: expected diagnostics, but the spec loaded cleanly"),
+        Err(e) => render_diagnostics(&e.file, &e.src, &e.diagnostics),
+    }
+}
+
+#[test]
+fn golden_diagnostics_are_stable() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    let mut cases = 0usize;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(golden_dir())
+        .expect("golden dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "sq"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no golden inputs found");
+    for input in entries {
+        cases += 1;
+        let name = format!("golden/{}", input.file_name().unwrap().to_string_lossy());
+        let src = std::fs::read_to_string(&input).unwrap();
+        let actual = rendered_diagnostics(&name, &src);
+        let snapshot = input.with_extension("stderr");
+        if update {
+            std::fs::write(&snapshot, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&snapshot).unwrap_or_else(|_| {
+            panic!(
+                "missing snapshot {}; run with UPDATE_GOLDEN=1 to create it",
+                snapshot.display()
+            )
+        });
+        assert_eq!(
+            actual,
+            expected,
+            "diagnostics for {} changed; run with UPDATE_GOLDEN=1 to accept",
+            input.display()
+        );
+    }
+    assert!(
+        cases >= 4,
+        "expected at least four golden cases, got {cases}"
+    );
+}
+
+#[test]
+fn every_diagnostic_names_the_file_line_and_column() {
+    let rendered = rendered_diagnostics("probe.sq", "inc :: x: Int -> {Int | _v == m + 1}");
+    assert!(rendered.contains("probe.sq:1:31"), "got:\n{rendered}");
+    assert!(rendered.contains('^'), "got:\n{rendered}");
+}

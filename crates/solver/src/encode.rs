@@ -268,14 +268,12 @@ impl Encoder {
                     }
                 } else {
                     // ∃ witness w distinguishing the two sides.
-                    let w = witness
-                        .cloned()
-                        .unwrap_or_else(|| {
-                            let s = set_operand_elem_sort(atom).unwrap_or(Sort::Int);
-                            let w = Term::var(format!("$w{}", self.fresh_counter), s);
-                            self.fresh_counter += 1;
-                            w
-                        });
+                    let w = witness.cloned().unwrap_or_else(|| {
+                        let s = set_operand_elem_sort(atom).unwrap_or(Sort::Int);
+                        let w = Term::var(format!("$w{}", self.fresh_counter), s);
+                        self.fresh_counter += 1;
+                        w
+                    });
                     let ma = self.membership(&w, a);
                     let mb = self.membership(&w, b);
                     if is_equality {
@@ -303,15 +301,13 @@ impl Encoder {
             Term::SetLit(_, elems) => {
                 Term::disjunction(elems.iter().map(|x| e.clone().eq(x.clone())))
             }
-            Term::Binary(BinOp::Union, a, b) => {
-                self.membership(e, a).or(self.membership(e, b))
-            }
+            Term::Binary(BinOp::Union, a, b) => self.membership(e, a).or(self.membership(e, b)),
             Term::Binary(BinOp::Intersect, a, b) => {
                 self.membership(e, a).and(self.membership(e, b))
             }
-            Term::Binary(BinOp::Diff, a, b) => self
-                .membership(e, a)
-                .and(self.membership(e, b).not()),
+            Term::Binary(BinOp::Diff, a, b) => {
+                self.membership(e, a).and(self.membership(e, b).not())
+            }
             Term::Ite(c, a, b) => {
                 let ma = self.membership(e, a);
                 let mb = self.membership(e, b);
@@ -328,6 +324,7 @@ impl Encoder {
     // Skeleton construction & purification
     // -----------------------------------------------------------------
 
+    #[allow(clippy::wrong_self_convention)]
     fn to_skeleton(&mut self, t: &Term) -> Skeleton {
         match t {
             Term::BoolLit(true) => Skeleton::True,
@@ -484,9 +481,11 @@ impl Encoder {
                         antecedent.push(Skeleton::Lit(le, true));
                         antecedent.push(Skeleton::Lit(ge, true));
                     }
-                    if args_i.iter().zip(args_j.iter()).any(|(a, b)| {
-                        a != b && a.sort() == Sort::Bool
-                    }) {
+                    if args_i
+                        .iter()
+                        .zip(args_j.iter())
+                        .any(|(a, b)| a != b && a.sort() == Sort::Bool)
+                    {
                         continue;
                     }
                     let consequent = self.result_equality(result_sort, key_i, key_j);
@@ -568,9 +567,11 @@ fn bool_eq_to_iff(t: &Term) -> Term {
         Term::Binary(BinOp::Neq, a, b) if a.sort() == Sort::Bool || b.sort() == Sort::Bool => {
             bool_eq_to_iff(a).iff(bool_eq_to_iff(b)).not()
         }
-        Term::Binary(op, a, b) => {
-            Term::Binary(*op, Box::new(bool_eq_to_iff(a)), Box::new(bool_eq_to_iff(b)))
-        }
+        Term::Binary(op, a, b) => Term::Binary(
+            *op,
+            Box::new(bool_eq_to_iff(a)),
+            Box::new(bool_eq_to_iff(b)),
+        ),
         Term::Unary(op, a) => Term::Unary(*op, Box::new(bool_eq_to_iff(a))),
         Term::Ite(c, a, b) => Term::Ite(
             Box::new(bool_eq_to_iff(c)),
@@ -605,7 +606,10 @@ fn atomize(t: &Term) -> Term {
 }
 
 fn is_int_modelled(sort: &Sort) -> bool {
-    matches!(sort, Sort::Int | Sort::Var(_) | Sort::Data(_, _) | Sort::Unknown)
+    matches!(
+        sort,
+        Sort::Int | Sort::Var(_) | Sort::Data(_, _) | Sort::Unknown
+    )
 }
 
 fn set_operand_elem_sort(atom: &Term) -> Option<Sort> {
@@ -657,7 +661,10 @@ mod tests {
 
     #[test]
     fn skeleton_flattens_boolean_constants() {
-        assert_eq!(Skeleton::and(vec![Skeleton::True, Skeleton::True]), Skeleton::True);
+        assert_eq!(
+            Skeleton::and(vec![Skeleton::True, Skeleton::True]),
+            Skeleton::True
+        );
         assert_eq!(
             Skeleton::and(vec![Skeleton::False, Skeleton::Lit(0, true)]),
             Skeleton::False
@@ -675,7 +682,10 @@ mod tests {
         let sk = enc.encode(&x().le(y()));
         let problem = enc.finish(sk.clone());
         assert!(matches!(sk, Skeleton::Lit(0, true)));
-        assert!(matches!(problem.atoms[0], TheoryAtom::Compare(BinOp::Le, _, _)));
+        assert!(matches!(
+            problem.atoms[0],
+            TheoryAtom::Compare(BinOp::Le, _, _)
+        ));
     }
 
     #[test]
@@ -731,7 +741,11 @@ mod tests {
             .iter()
             .filter(|a| matches!(a, TheoryAtom::Opaque(_)))
             .collect();
-        assert!(opaque.len() >= 2, "expected membership atoms, got {:?}", problem.atoms);
+        assert!(
+            opaque.len() >= 2,
+            "expected membership atoms, got {:?}",
+            problem.atoms
+        );
     }
 
     #[test]

@@ -356,15 +356,11 @@ impl Simplex {
         for _ in 0..max_iters {
             // Find a basic variable violating one of its bounds (Bland's
             // rule: smallest id first, to guarantee termination).
-            let violated = self
-                .rows
-                .keys()
-                .copied()
-                .find(|b| {
-                    let v = self.beta(*b);
-                    self.lower.get(b).is_some_and(|l| v < *l)
-                        || self.upper.get(b).is_some_and(|u| v > *u)
-                });
+            let violated = self.rows.keys().copied().find(|b| {
+                let v = self.beta(*b);
+                self.lower.get(b).is_some_and(|l| v < *l)
+                    || self.upper.get(b).is_some_and(|u| v > *u)
+            });
             let Some(b) = violated else {
                 return true;
             };
@@ -581,16 +577,10 @@ mod tests {
     fn integrality_matters() {
         let solver = LiaSolver::new();
         // 2x = 1 has a rational solution but no integer one.
-        let cs = vec![Constraint::eq(
-            var(0).scaled(Rational::from_int(2)),
-            num(1),
-        )];
+        let cs = vec![Constraint::eq(var(0).scaled(Rational::from_int(2)), num(1))];
         assert_eq!(solver.check(1, &cs), LiaResult::Unsat);
         // 2x = 4 is fine.
-        let cs = vec![Constraint::eq(
-            var(0).scaled(Rational::from_int(2)),
-            num(4),
-        )];
+        let cs = vec![Constraint::eq(var(0).scaled(Rational::from_int(2)), num(4))];
         assert!(matches!(solver.check(1, &cs), LiaResult::Sat(_)));
     }
 

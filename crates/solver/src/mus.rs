@@ -66,7 +66,9 @@ pub fn enumerate_mus(
             SatResult::Unsat(_) => break,
             SatResult::Sat(model) => model,
         };
-        let mut seed: BTreeSet<usize> = (0..n).filter(|i| model.get(*i).copied().unwrap_or(false)).collect();
+        let mut seed: BTreeSet<usize> = (0..n)
+            .filter(|i| model.get(*i).copied().unwrap_or(false))
+            .collect();
         seed.extend(required.iter().copied());
 
         // Grow the seed towards a maximal set first: MARCO works correctly

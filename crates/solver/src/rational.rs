@@ -145,14 +145,19 @@ impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
         Rational::new(
-            self.num.checked_mul(rhs.num).expect("rational overflow in mul"),
-            self.den.checked_mul(rhs.den).expect("rational overflow in mul"),
+            self.num
+                .checked_mul(rhs.num)
+                .expect("rational overflow in mul"),
+            self.den
+                .checked_mul(rhs.den)
+                .expect("rational overflow in mul"),
         )
     }
 }
 
 impl Div for Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }
@@ -176,8 +181,14 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        let lhs = self.num.checked_mul(other.den).expect("rational overflow in cmp");
-        let rhs = other.num.checked_mul(self.den).expect("rational overflow in cmp");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational overflow in cmp");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational overflow in cmp");
         lhs.cmp(&rhs)
     }
 }

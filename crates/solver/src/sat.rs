@@ -189,7 +189,11 @@ impl SatSolver {
             Value::False => false,
             Value::True => true,
             Value::Unassigned => {
-                self.assignment[l.var()] = if l.is_pos() { Value::True } else { Value::False };
+                self.assignment[l.var()] = if l.is_pos() {
+                    Value::True
+                } else {
+                    Value::False
+                };
                 self.level[l.var()] = self.decision_level();
                 self.reason[l.var()] = reason;
                 self.trail.push(l);
@@ -359,7 +363,9 @@ impl SatSolver {
 
     fn backtrack(&mut self, level: usize) {
         while let Some(&l) = self.trail.last() {
-            if self.level[l.var()] <= level && self.reason[l.var()].is_none() && self.level[l.var()] != 0
+            if self.level[l.var()] <= level
+                && self.reason[l.var()].is_none()
+                && self.level[l.var()] != 0
             {
                 // Decision at or below the target level stays only if below.
             }

@@ -134,9 +134,7 @@ impl Smt {
         // One SAT variable per theory atom, allocated up front so atom index
         // and SAT variable coincide.
         sat.reserve_vars(problem.atoms.len());
-        let mut tseitin = Tseitin {
-            sat: &mut sat,
-        };
+        let mut tseitin = Tseitin { sat: &mut sat };
         for root in roots
             .iter()
             .chain(std::iter::once(&problem.skeleton))
@@ -274,8 +272,10 @@ fn order_axioms(problem: &Encoded) -> Vec<Vec<Lit>> {
             let (a, b) = (*ai, *aj);
             match (rel_i, rel_j) {
                 // Complementary pairs: exactly one holds.
-                (Rel0::Le, Rel0::Gt) | (Rel0::Gt, Rel0::Le)
-                | (Rel0::Lt, Rel0::Ge) | (Rel0::Ge, Rel0::Lt) => {
+                (Rel0::Le, Rel0::Gt)
+                | (Rel0::Gt, Rel0::Le)
+                | (Rel0::Lt, Rel0::Ge)
+                | (Rel0::Ge, Rel0::Lt) => {
                     clauses.push(vec![pos(a), pos(b)]);
                     clauses.push(vec![neg(a), neg(b)]);
                 }
@@ -427,9 +427,9 @@ mod tests {
         let keys_v = Term::var("kv", Sort::set(elem.clone()));
         let keys_t = Term::var("kt", Sort::set(elem.clone()));
         let xvar = Term::var("x", elem.clone());
-        let premise = keys_v
+        let premise = keys_v.clone().eq(keys_t
             .clone()
-            .eq(keys_t.clone().union(Term::singleton(elem.clone(), xvar.clone())));
+            .union(Term::singleton(elem.clone(), xvar.clone())));
         let mut smt = Smt::new();
         assert!(smt.entails(&premise, &keys_t.clone().subset(keys_v.clone())));
         assert!(smt.entails(&premise, &xvar.clone().member(keys_v.clone())));

@@ -1,6 +1,12 @@
 //! Property-based tests for the SMT substrate: the solver's verdicts are
 //! cross-checked against brute-force evaluation over a small integer
 //! domain, and core algebraic laws of the decision procedures are checked.
+//!
+//! Gated behind the `proptest` feature: the external `proptest` crate is
+//! not vendored, so these tests only compile where it can be fetched —
+//! enabling the feature also requires uncommenting the `proptest`
+//! dev-dependency in this crate's Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -67,16 +73,13 @@ struct SmallConstraint {
 
 fn arb_lia(num_constraints: usize) -> impl Strategy<Value = Vec<SmallConstraint>> {
     prop::collection::vec(
-        (
-            prop::collection::vec(-2i64..3, 3),
-            -4i64..5,
-            0u8..3,
-        )
-            .prop_map(|(coeffs, constant, rel)| SmallConstraint {
+        (prop::collection::vec(-2i64..3, 3), -4i64..5, 0u8..3).prop_map(
+            |(coeffs, constant, rel)| SmallConstraint {
                 coeffs,
                 constant,
                 rel,
-            }),
+            },
+        ),
         0..num_constraints,
     )
 }

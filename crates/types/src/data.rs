@@ -175,7 +175,7 @@ pub fn list_datatype() -> Datatype {
                 name: "elems".into(),
                 datatype: "List".into(),
                 result: Sort::set(elem_sort),
-            non_negative: false,
+                non_negative: false,
             },
         ],
         termination_measure: Some("len".into()),
@@ -219,9 +219,11 @@ pub fn bst_datatype() -> Datatype {
     );
     let node_refinement = size(nu())
         .eq(size(l.clone()).plus(size(r.clone())).plus(Term::int(1)))
-        .and(keys(nu()).eq(keys(l)
-            .union(keys(r))
-            .union(Term::singleton(elem_sort.clone(), x))));
+        .and(
+            keys(nu()).eq(keys(l)
+                .union(keys(r))
+                .union(Term::singleton(elem_sort.clone(), x))),
+        );
     let node = Constructor {
         name: "Node".into(),
         schema: Schema::forall(

@@ -29,7 +29,9 @@ pub mod solve;
 pub mod termination;
 pub mod ty;
 
-pub use data::{bst_datatype, increasing_list_datatype, list_datatype, Constructor, Datatype, Measure};
+pub use data::{
+    bst_datatype, increasing_list_datatype, list_datatype, Constructor, Datatype, Measure,
+};
 pub use env::Environment;
 pub use solve::{ConstraintSolver, TypeError};
 pub use termination::{terminating_argument, termination_metric, weaken_for_recursion};

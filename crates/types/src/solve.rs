@@ -11,8 +11,8 @@
 use crate::env::Environment;
 use crate::ty::{is_free_type_var, BaseType, RType, FREE_TYPE_VAR_PREFIX};
 use std::collections::BTreeMap;
-use synquid_logic::{Sort, Term};
 use synquid_horn::{FixpointConfig, FixpointSolver, HornConstraint};
+use synquid_logic::{Sort, Term};
 use synquid_solver::{Smt, SmtResult};
 
 /// A type error detected while solving constraints.
@@ -93,7 +93,10 @@ impl ConstraintSolver {
     ) -> Term {
         let qspace = env.build_qspace(value_sort);
         let assumption = env.all_assumptions();
-        let assumption = self.fixpoint.assignment().apply(&self.fixpoint.registry, &assumption);
+        let assumption = self
+            .fixpoint
+            .assignment()
+            .apply(&self.fixpoint.registry, &assumption);
         let id = self.fixpoint.fresh_unknown(provenance, qspace, assumption);
         Term::unknown(id)
     }
@@ -137,13 +140,17 @@ impl ConstraintSolver {
         match ty {
             RType::Scalar { base, refinement } => match base {
                 BaseType::TypeVar(name) => match self.type_assignment.get(name) {
-                    Some(assigned) => self.resolve_guarded(&assigned.refine_with(refinement), depth + 1),
+                    Some(assigned) => {
+                        self.resolve_guarded(&assigned.refine_with(refinement), depth + 1)
+                    }
                     None => ty.clone(),
                 },
                 BaseType::Data(n, args) => RType::Scalar {
                     base: BaseType::Data(
                         n.clone(),
-                        args.iter().map(|a| self.resolve_guarded(a, depth + 1)).collect(),
+                        args.iter()
+                            .map(|a| self.resolve_guarded(a, depth + 1))
+                            .collect(),
                     ),
                     refinement: refinement.clone(),
                 },
@@ -275,9 +282,16 @@ impl ConstraintSolver {
                 let renamed_ret = t1.substitute_var(x, &Term::var(y.clone(), ty_.sort()));
                 self.subtype(&inner_env, &renamed_ret, t2, smt, label)
             }
-            (RType::Scalar { base: bl, refinement: rl }, RType::Scalar { base: br, refinement: rr }) => {
-                self.subtype_scalar(env, bl, rl, br, rr, smt, label)
-            }
+            (
+                RType::Scalar {
+                    base: bl,
+                    refinement: rl,
+                },
+                RType::Scalar {
+                    base: br,
+                    refinement: rr,
+                },
+            ) => self.subtype_scalar(env, bl, rl, br, rr, smt, label),
             _ => Err(TypeError::new(format!(
                 "{label}: shape mismatch between {lhs} and {rhs}"
             ))),
@@ -383,7 +397,13 @@ impl ConstraintSolver {
 
     /// Assigns a free type variable to a fresh liquid type with the shape
     /// of `target` (incremental unification).
-    fn unify(&mut self, env: &Environment, var: &str, target: &RType, label: &str) -> Result<(), TypeError> {
+    fn unify(
+        &mut self,
+        env: &Environment,
+        var: &str,
+        target: &RType,
+        label: &str,
+    ) -> Result<(), TypeError> {
         if self.type_assignment.contains_key(var) {
             return Ok(());
         }
@@ -456,7 +476,16 @@ impl ConstraintSolver {
                 let renamed = ret2.substitute_var(y, &Term::var(arg_name.clone(), arg.sort()));
                 self.consistent(&inner, ret, &renamed, smt, label)
             }
-            (RType::Scalar { base: b1, refinement: r1 }, RType::Scalar { base: b2, refinement: r2 }) => {
+            (
+                RType::Scalar {
+                    base: b1,
+                    refinement: r1,
+                },
+                RType::Scalar {
+                    base: b2,
+                    refinement: r2,
+                },
+            ) => {
                 // Shapes that are still being unified are vacuously
                 // consistent.
                 if !b1.sort().compatible(&b2.sort()) {
@@ -530,7 +559,9 @@ mod tests {
             BaseType::Int,
             Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int)),
         );
-        assert!(solver.subtype(&env, &lhs, &rhs, &mut smt, "zero<:n").is_ok());
+        assert!(solver
+            .subtype(&env, &lhs, &rhs, &mut smt, "zero<:n")
+            .is_ok());
     }
 
     #[test]
@@ -551,10 +582,22 @@ mod tests {
         let mut smt = Smt::new();
         let mut solver = ConstraintSolver::default();
         assert!(solver
-            .subtype(&env, &list_of(RType::pos()), &list_of(RType::nat()), &mut smt, "list")
+            .subtype(
+                &env,
+                &list_of(RType::pos()),
+                &list_of(RType::nat()),
+                &mut smt,
+                "list"
+            )
             .is_ok());
         assert!(solver
-            .subtype(&env, &list_of(RType::int()), &list_of(RType::nat()), &mut smt, "list-rev")
+            .subtype(
+                &env,
+                &list_of(RType::int()),
+                &list_of(RType::nat()),
+                &mut smt,
+                "list-rev"
+            )
             .is_err());
     }
 
@@ -618,18 +661,29 @@ mod tests {
     #[test]
     fn consistency_check_rejects_contradictory_scalars() {
         let mut env = base_env();
-        env.add_var("xs", RType::refined(
-            BaseType::Data("List".into(), vec![RType::int()]),
-            Term::app("len", vec![Term::value_var(Sort::data("List", vec![Sort::Int]))], Sort::Int)
+        env.add_var(
+            "xs",
+            RType::refined(
+                BaseType::Data("List".into(), vec![RType::int()]),
+                Term::app(
+                    "len",
+                    vec![Term::value_var(Sort::data("List", vec![Sort::Int]))],
+                    Sort::Int,
+                )
                 .eq(Term::int(6)),
-        ));
+            ),
+        );
         let mut smt = Smt::new();
         let mut solver = ConstraintSolver::default();
         // {Int | ν = 1} is consistent with {Int | ν ≥ 0} but not with {Int | ν < 0}.
         let one = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(1)));
-        assert!(solver.consistent(&env, &one, &RType::nat(), &mut smt, "ok").is_ok());
+        assert!(solver
+            .consistent(&env, &one, &RType::nat(), &mut smt, "ok")
+            .is_ok());
         let neg = RType::refined(BaseType::Int, Term::value_var(Sort::Int).lt(Term::int(0)));
-        assert!(solver.consistent(&env, &one, &neg, &mut smt, "bad").is_err());
+        assert!(solver
+            .consistent(&env, &one, &neg, &mut smt, "bad")
+            .is_err());
         // Disabling the check (T-ncc ablation) accepts everything.
         solver.consistency_enabled = false;
         assert!(solver.consistent(&env, &one, &neg, &mut smt, "bad").is_ok());
@@ -640,9 +694,15 @@ mod tests {
         let env = base_env();
         let mut smt = Smt::new();
         let mut solver = ConstraintSolver::default();
-        assert!(solver.subtype(&env, &RType::Bot, &RType::nat(), &mut smt, "bot").is_ok());
-        assert!(solver.subtype(&env, &RType::nat(), &RType::Any, &mut smt, "top").is_ok());
-        assert!(solver.subtype(&env, &RType::Any, &RType::nat(), &mut smt, "top-l").is_err());
+        assert!(solver
+            .subtype(&env, &RType::Bot, &RType::nat(), &mut smt, "bot")
+            .is_ok());
+        assert!(solver
+            .subtype(&env, &RType::nat(), &RType::Any, &mut smt, "top")
+            .is_ok());
+        assert!(solver
+            .subtype(&env, &RType::Any, &RType::nat(), &mut smt, "top-l")
+            .is_err());
     }
 
     #[test]

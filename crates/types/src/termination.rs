@@ -63,7 +63,10 @@ pub fn weaken_for_recursion(
             let metric = termination_metric(env, ty).expect("metric exists at idx");
             let sort = ty.sort();
             let nu = Term::value_var(sort.clone());
-            let outer_name = outer_arg_names.get(i).cloned().unwrap_or_else(|| name.clone());
+            let outer_name = outer_arg_names
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| name.clone());
             let outer = Term::var(outer_name, sort);
             let decreasing = Term::int(0)
                 .le(metric(nu.clone()))

@@ -540,7 +540,10 @@ mod tests {
         let ty = RType::fun(
             "n",
             RType::int(),
-            RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int))),
+            RType::refined(
+                BaseType::Int,
+                Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int)),
+            ),
         );
         let substituted = ty.substitute_var("n", &Term::int(5));
         assert_eq!(substituted, ty);

@@ -47,9 +47,15 @@ fn main() {
     );
 
     println!("Goal: abs :: {}", goal.schema);
-    let result = run_goal(&goal, Variant::Default.config(Duration::from_secs(60), (1, 0)));
+    let result = run_goal(
+        &goal,
+        Variant::Default.config(Duration::from_secs(60), (1, 0)),
+    );
     match result.program {
-        Some(program) => println!("Synthesized in {:.2}s:\nabs = {}", result.time_secs, program),
+        Some(program) => println!(
+            "Synthesized in {:.2}s:\nabs = {}",
+            result.time_secs, program
+        ),
         None => println!("No solution within the budget ({:.2}s).", result.time_secs),
     }
 }

@@ -1,0 +1,59 @@
+//! The recommended entry point: write the specification *as text* and let
+//! the frontend elaborate it — no hand-built ASTs required.
+//!
+//! The spec below is the `is_empty` benchmark of Table 1 in Synquid's
+//! surface syntax: a refined `List` datatype with its `len`/`elems`
+//! measures, a few components, and a goal signature followed by
+//! `is_empty = ??`.
+//!
+//! Run with: `cargo run --release --example from_spec`
+
+use std::time::Duration;
+use synquid::lang::runner::{run_goal, Variant};
+
+const SPEC: &str = r#"
+qualifier [x: Int, y: Int] {x <= y, x != y, x < y}
+qualifier [x: a, y: a] {x <= y, x != y, x < y}
+
+termination measure len :: List b -> Int
+measure elems :: List b -> Set b
+
+data List b where
+  Nil  :: {List b | len _v == 0 && elems _v == []}
+  Cons :: x: b -> xs: List b ->
+          {List b | len _v == len xs + 1 && elems _v == elems xs + [x]}
+
+true :: {Bool | _v <==> True}
+false :: {Bool | _v <==> False}
+
+is_empty :: <a> . xs: List a -> {Bool | _v <==> len xs == 0}
+is_empty = ??
+"#;
+
+fn main() {
+    let spec = match synquid::parser::load_named_str("from_spec.sq", SPEC) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprint!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Parsed {} component(s) and {} goal(s) from the inline spec.",
+        spec.components.len(),
+        spec.goals.len()
+    );
+
+    for goal in &spec.goals {
+        println!("\nGoal: {} :: {}", goal.name, goal.schema);
+        let config = Variant::Default.config(Duration::from_secs(60), (1, 1));
+        let result = run_goal(goal, config);
+        match result.program {
+            Some(program) => println!(
+                "Synthesized in {:.2}s:\n{} = {program}",
+                result.time_secs, goal.name
+            ),
+            None => println!("No solution within the budget."),
+        }
+    }
+}

@@ -2,6 +2,13 @@
 //! polymorphic refinement type
 //! `n: Nat → x: α → {List α | len ν = n}`.
 //!
+//! This example drives the *programmatic* benchmark suite. For new
+//! specifications prefer the textual path — write a `.sq` file and run it
+//! through the `synquid` CLI (`cargo run --release --bin synquid --
+//! specs/list.sq`), or see `examples/from_spec.rs` for parsing a spec
+//! string inline; the two paths produce identical goals (see
+//! `crates/lang/tests/spec_parity.rs`).
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use std::time::Duration;

@@ -16,7 +16,10 @@ fn main() {
     for k in 2..=n {
         let goal = max_n(k);
         println!("== max{k} :: {}", goal.schema);
-        let result = run_goal(&goal, Variant::Default.config(Duration::from_secs(120), (1, 0)));
+        let result = run_goal(
+            &goal,
+            Variant::Default.config(Duration::from_secs(120), (1, 0)),
+        );
         if result.solved {
             println!(
                 "synthesized in {:.2}s:\n{}\n",

@@ -5,7 +5,8 @@
 //! program synthesizer, together with all the substrates it needs
 //! (refinement logic, an SMT solver, the liquid greatest-fixpoint Horn
 //! solver with MUSFIX, the refinement type system with local liquid type
-//! checking, and the evaluation benchmark suite).
+//! checking, a surface-syntax frontend, and the evaluation benchmark
+//! suite).
 //!
 //! This facade crate re-exports the public API of the workspace crates:
 //!
@@ -14,13 +15,62 @@
 //! * [`horn`] — predicate unknowns and the greatest-fixpoint solver;
 //! * [`types`] — refinement types, environments, subtyping, termination;
 //! * [`core`] — programs, round-trip checking, and the synthesizer;
-//! * [`lang`] — component libraries, the benchmark suite, and runners.
+//! * [`parser`] — the `.sq` surface language: lexer, parser, and the
+//!   desugarer that elaborates textual specs into [`core`] goals;
+//! * [`lang`] — component libraries, the benchmark suite, spec-corpus
+//!   helpers, and runners.
 //!
-//! ## Quickstart
+//! ## Quickstart: synthesize from a textual spec
+//!
+//! The recommended way to pose a synthesis problem is a Synquid-style
+//! `.sq` specification — datatypes with refined constructors, measures,
+//! qualifiers, components, and goal signatures:
 //!
 //! ```
-//! use synquid::prelude::*;
 //! use std::time::Duration;
+//! use synquid::prelude::*;
+//!
+//! let spec = synquid::parser::load_str(
+//!     r#"
+//!     termination measure len :: List b -> Int
+//!     data List b where
+//!       Nil  :: {List b | len _v == 0}
+//!       Cons :: x: b -> xs: List b -> {List b | len _v == len xs + 1}
+//!
+//!     true :: {Bool | _v <==> True}
+//!     false :: {Bool | _v <==> False}
+//!
+//!     is_empty :: <a> . xs: List a -> {Bool | _v <==> len xs == 0}
+//!     is_empty = ??
+//!     "#,
+//! )
+//! .expect("a well-formed spec");
+//! let result = run_goal(
+//!     &spec.goals[0],
+//!     Variant::Default.config(Duration::from_secs(30), (1, 1)),
+//! );
+//! assert!(result.solved);
+//! ```
+//!
+//! The same pipeline is available from the command line — the `synquid`
+//! binary loads `.sq` files, synthesizes every `name = ??` goal with
+//! iteratively deepened exploration bounds, and pretty-prints the
+//! solutions:
+//!
+//! ```text
+//! cargo run --release --bin synquid -- specs/list.sq
+//! ```
+//!
+//! ## Programmatic goals
+//!
+//! The benchmark suite of the paper's evaluation is also available as
+//! programmatic builders (no parsing involved); the two paths produce
+//! structurally identical goals, which `crates/lang/tests/spec_parity.rs`
+//! enforces:
+//!
+//! ```
+//! use std::time::Duration;
+//! use synquid::prelude::*;
 //!
 //! // Synthesize max of two integers from its refinement type.
 //! let goal = synquid::lang::benchmarks::max_n(2);
@@ -32,6 +82,7 @@ pub use synquid_core as core;
 pub use synquid_horn as horn;
 pub use synquid_lang as lang;
 pub use synquid_logic as logic;
+pub use synquid_parser as parser;
 pub use synquid_solver as solver;
 pub use synquid_types as types;
 
@@ -40,6 +91,7 @@ pub mod prelude {
     pub use synquid_core::{Goal, Program, SynthesisConfig, SynthesisError, Synthesizer};
     pub use synquid_lang::runner::{run_goal, RunResult, Variant};
     pub use synquid_logic::{Qualifier, Sort, Term};
+    pub use synquid_parser::{load_file, load_str, SpecOutput};
     pub use synquid_solver::Smt;
     pub use synquid_types::{BaseType, Environment, RType, Schema};
 }

@@ -1,6 +1,6 @@
 //! Cross-crate integration tests: synthesis goals exercised through the
-//! public facade, spanning the logic, solver, horn, types, core, and lang
-//! crates together.
+//! public facade, spanning the logic, solver, horn, types, core, parser,
+//! and lang crates together.
 //!
 //! The heavier goals run in release mode via the benchmark harness
 //! (`cargo run -p synquid-bench --bin report`); here we keep budgets small
@@ -19,7 +19,9 @@ fn grouped_goal(group: &str, name: &str) -> (Goal, (usize, usize)) {
         .into_iter()
         .find(|b| b.group == group && b.name == name)
         .unwrap_or_else(|| panic!("unknown benchmark {group}/{name}"));
-    let goal = (bench.goal.unwrap_or_else(|| panic!("{name} is not transcribed")))();
+    let goal = (bench
+        .goal
+        .unwrap_or_else(|| panic!("{name} is not transcribed")))();
     (goal, bench.bounds)
 }
 
@@ -40,7 +42,9 @@ fn max2_synthesizes_a_conditional_that_computes_max() {
     let goal = max_n(2);
     let config = Variant::Default.config(Duration::from_secs(60), (1, 0));
     let mut synthesizer = Synthesizer::new(config);
-    let result = synthesizer.synthesize(&goal).expect("max2 should synthesize");
+    let result = synthesizer
+        .synthesize(&goal)
+        .expect("max2 should synthesize");
     let text = result.program.to_string();
     assert!(text.contains("if"), "expected a conditional, got {text}");
 
@@ -113,6 +117,36 @@ fn portfolio_of_fast_benchmarks_synthesizes() {
 }
 
 #[test]
+fn textual_specs_synthesize_through_the_same_pipeline() {
+    // The surface-language path end to end: specs/list.sq → parse →
+    // desugar → synthesize → validate with the round-trip checker.
+    let spec = synquid::lang::spec::load_corpus_file("list").expect("specs/list.sq loads");
+    let goal = spec
+        .goals
+        .iter()
+        .find(|g| g.name == "is_empty")
+        .expect("list.sq declares is_empty");
+    let config = Variant::Default.config(Duration::from_secs(60), (1, 1));
+    let mut synthesizer = Synthesizer::new(config);
+    let result = synthesizer
+        .synthesize(goal)
+        .expect("is_empty from the .sq corpus should synthesize");
+    let mut checker = TypeChecker::new();
+    checker
+        .check_goal(goal, &result.program)
+        .expect("the synthesized program should round-trip type-check");
+}
+
+#[test]
+fn spec_errors_surface_as_located_diagnostics_through_the_facade() {
+    let err = synquid::parser::load_str("inc :: x: Int -> {Int | _v == m + 1}")
+        .expect_err("unbound variable must be rejected");
+    let rendered = err.to_string();
+    assert!(rendered.contains("unbound variable `m`"), "{rendered}");
+    assert!(rendered.contains("1:31"), "{rendered}");
+}
+
+#[test]
 fn report_structures_cover_the_full_paper_tables() {
     let rows = table1();
     assert_eq!(rows.len(), 64);
@@ -152,7 +186,9 @@ fn verification_rejects_an_incorrect_candidate_type() {
     let one = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(1)));
     let zero = RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(0)));
     assert!(solver.subtype(&env, &one, &zero, &mut smt, "neg").is_err());
-    assert!(solver.subtype(&env, &one, &RType::pos(), &mut smt, "pos").is_ok());
+    assert!(solver
+        .subtype(&env, &one, &RType::pos(), &mut smt, "pos")
+        .is_ok());
 }
 
 #[test]
@@ -171,7 +207,11 @@ fn hand_written_bst_insert_type_checks_against_the_paper_spec() {
                 binders: vec![],
                 body: Program::apply(
                     "Node",
-                    vec![Program::var("x"), Program::var("Empty"), Program::var("Empty")],
+                    vec![
+                        Program::var("x"),
+                        Program::var("Empty"),
+                        Program::var("Empty"),
+                    ],
                 ),
             },
             synquid::core::Case {
@@ -193,14 +233,20 @@ fn hand_written_bst_insert_type_checks_against_the_paper_spec() {
                             vec![
                                 Program::var("y"),
                                 Program::var("l"),
-                                Program::apply("insert", vec![Program::var("x"), Program::var("r")]),
+                                Program::apply(
+                                    "insert",
+                                    vec![Program::var("x"), Program::var("r")],
+                                ),
                             ],
                         ),
                         Program::apply(
                             "Node",
                             vec![
                                 Program::var("y"),
-                                Program::apply("insert", vec![Program::var("x"), Program::var("l")]),
+                                Program::apply(
+                                    "insert",
+                                    vec![Program::var("x"), Program::var("l")],
+                                ),
                                 Program::var("r"),
                             ],
                         ),
