@@ -4,11 +4,19 @@
 //! report table1 [--ablations] [--timeout SECS]
 //! report table2 [--timeout SECS]
 //! report fig7   [--max-n N]   [--timeout SECS]
+//! report batch  [--jobs N]    [--timeout SECS] [--out PATH]
 //! report all
 //! ```
+//!
+//! `batch` runs the whole `specs/` corpus through the parallel engine
+//! and writes the machine-readable `BENCH_pr2.json` timing report (per
+//! goal: solved/timings/winning rung; plus the validity-cache counters).
 
 use std::time::Duration;
-use synquid_bench::{format_fig7, format_table1, format_table2, run_fig7, run_table1, run_table2};
+use synquid_bench::{
+    batch_report_json, format_fig7, format_table1, format_table2, run_corpus_batch, run_fig7,
+    run_table1, run_table2,
+};
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -37,6 +45,52 @@ fn main() {
             println!("== Figure 7: non-recursive (SyGuS) benchmarks ==");
             println!("{}", format_fig7(&run_fig7(max_n, timeout)));
         }
+        "batch" => {
+            let jobs = parse_flag(&args, "--jobs").unwrap_or(4) as usize;
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+            eprintln!(
+                "== Batch: specs/ corpus through the engine ({jobs} worker(s), {}s/goal) ==",
+                timeout.as_secs()
+            );
+            match run_corpus_batch(jobs, timeout) {
+                Ok(report) => {
+                    for o in &report.outcomes {
+                        eprintln!(
+                            "  {:<30} {:<14} {}",
+                            o.result.name,
+                            if o.result.solved {
+                                format!("{:.2}s", o.result.time_secs)
+                            } else if o.result.timed_out {
+                                "timeout".to_string()
+                            } else {
+                                "no solution".to_string()
+                            },
+                            o.source,
+                        );
+                    }
+                    let json = batch_report_json(&report, timeout);
+                    if let Err(e) = std::fs::write(&out, &json) {
+                        eprintln!("failed to write {out}: {e}");
+                        std::process::exit(1);
+                    }
+                    let solved = report.outcomes.iter().filter(|o| o.result.solved).count();
+                    eprintln!(
+                        "wrote {out}: {solved}/{} goals solved, cache hit rate {:.1}%",
+                        report.outcomes.len(),
+                        100.0 * report.cache.hit_rate()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("batch failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "all" => {
             println!("== Table 1: benchmarks and Synquid results ==");
             println!("{}", format_table1(&run_table1(timeout, ablations)));
@@ -46,7 +100,7 @@ fn main() {
             println!("{}", format_fig7(&run_fig7(max_n, timeout)));
         }
         other => {
-            eprintln!("unknown report '{other}': expected table1, table2, fig7, or all");
+            eprintln!("unknown report '{other}': expected table1, table2, fig7, batch, or all");
             std::process::exit(2);
         }
     }

@@ -12,9 +12,14 @@
 //!   `array_search_n`.
 //!
 //! The `report` binary prints these tables; the Criterion benches under
-//! `benches/` time a representative subset for regression tracking.
+//! `benches/` time a representative subset for regression tracking. The
+//! binary's `batch` subcommand additionally runs the whole `specs/`
+//! corpus through the parallel engine and emits a machine-readable
+//! timing report ([`batch_report_json`], uploaded by CI as
+//! `BENCH_pr2.json`).
 
 use std::time::Duration;
+use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob};
 use synquid_lang::benchmarks::{sygus, table1, table2, Benchmark};
 use synquid_lang::runner::{run_goal, RunResult, Variant};
 
@@ -195,9 +200,130 @@ pub fn format_fig7(points: &[Fig7Point]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Batch runs over the specs/ corpus (the PR-2 timing artifact)
+// ---------------------------------------------------------------------
+
+/// Runs every goal of the `specs/` corpus through the parallel engine.
+///
+/// Returns the deterministic [`BatchReport`] (outcomes in corpus order)
+/// or an error when the corpus is missing or a spec file fails to load.
+pub fn run_corpus_batch(
+    jobs: usize,
+    timeout: Duration,
+) -> Result<BatchReport, Box<dyn std::error::Error>> {
+    let files = synquid_lang::spec::corpus_files();
+    if files.is_empty() {
+        return Err("specs/ corpus not found".into());
+    }
+    let mut batch = Vec::new();
+    for file in files {
+        let spec = synquid_lang::spec::load_file(&file)?;
+        for goal in spec.goals {
+            batch.push(GoalJob::new(file.display().to_string(), goal));
+        }
+    }
+    let engine = Engine::new(EngineConfig {
+        jobs,
+        timeout,
+        ..EngineConfig::default()
+    });
+    Ok(engine.run(batch))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr2.json`
+/// artifact: per-goal timings and portfolio accounting plus the shared
+/// validity-cache counters. (Hand-rolled JSON: the workspace resolves
+/// offline, so no serde.)
+pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"report\": \"BENCH_pr2\",\n");
+    out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
+    out.push_str(&format!("  \"timeout_secs\": {},\n", timeout.as_secs()));
+    out.push_str(&format!("  \"wall_secs\": {:.3},\n", report.wall_secs));
+    let c = &report.cache;
+    out.push_str(&format!(
+        "  \"validity_cache\": {{\"hits\": {}, \"misses\": {}, \"negative_hits\": {}, \"entries\": {}, \"interned_nodes\": {}, \"hit_rate\": {:.4}}},\n",
+        c.hits, c.misses, c.negative_hits, c.entries, c.interned_nodes, c.hit_rate()
+    ));
+    out.push_str("  \"goals\": [\n");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        let r = &o.result;
+        let rung = match o.winning_rung {
+            Some((a, m)) => format!("[{a}, {m}]"),
+            None => "null".to_string(),
+        };
+        let code_size = r
+            .code_size
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_out_of_budget\": {}}}{}\n",
+            json_escape(&o.source),
+            json_escape(&r.name),
+            r.solved,
+            r.timed_out,
+            r.time_secs,
+            code_size,
+            rung,
+            o.rungs_run,
+            o.rungs_cancelled,
+            o.rungs_out_of_budget,
+            if i + 1 == report.outcomes.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corpus_batch_json_covers_every_goal() {
+        // A 1-millisecond budget keeps this a structure test: goals all
+        // time out instantly, but every corpus goal must appear in the
+        // JSON with its portfolio accounting.
+        let timeout = Duration::from_millis(1);
+        let report = run_corpus_batch(2, timeout).expect("the specs/ corpus loads");
+        assert!(
+            report.outcomes.len() >= 16,
+            "expected at least 16 corpus goals, got {}",
+            report.outcomes.len()
+        );
+        let json = batch_report_json(&report, timeout);
+        assert!(json.contains("\"report\": \"BENCH_pr2\""));
+        assert!(json.contains("\"validity_cache\""));
+        assert!(json.contains("replicate"));
+        assert!(json.contains("tree_member"));
+        assert_eq!(
+            json.matches("\"file\":").count(),
+            report.outcomes.len(),
+            "one goals[] entry per outcome"
+        );
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
 
     #[test]
     fn table1_report_includes_all_rows_without_running() {

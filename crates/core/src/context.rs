@@ -1,0 +1,117 @@
+//! The shared solver context: what a batch of synthesis runs has in
+//! common.
+//!
+//! The single-goal [`Synthesizer`](crate::Synthesizer) historically
+//! constructed its own SMT backend per run, which made every validity
+//! check start cold. [`SolverContext`] is the seam the parallel engine
+//! (and any future server frontend) plugs into instead: it carries the
+//! [`SharedValidityCache`] that all workers populate together and the
+//! [`CancellationToken`] that lets a portfolio winner stop its siblings.
+//! Constructing a context is cheap; cloning one shares the underlying
+//! cache and token.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use synquid_solver::{SharedValidityCache, Smt};
+
+/// A cooperative cancellation flag shared between the thread driving a
+/// synthesis run and whoever may want to stop it early (the portfolio
+/// scheduler cancels losing rungs; a frontend may cancel on user
+/// interrupt). Cancellation is observed at the synthesizer's deadline
+/// checks and surfaces as a timeout.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// Requests cancellation; all clones of the token observe it.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](CancellationToken::cancel) has been called on
+    /// any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state for a family of synthesis runs: the validity cache all
+/// their SMT instances feed, and the cancellation token they observe.
+#[derive(Debug, Clone, Default)]
+pub struct SolverContext {
+    /// The cross-run validity cache; `None` runs every backend cold
+    /// (the pre-engine behaviour).
+    pub cache: Option<SharedValidityCache>,
+    /// Cooperative cancellation observed by deadline checks.
+    pub cancel: CancellationToken,
+}
+
+impl SolverContext {
+    /// A context with no cache and a fresh token — equivalent to the
+    /// standalone behaviour of [`Synthesizer::new`](crate::Synthesizer::new).
+    pub fn new() -> SolverContext {
+        SolverContext::default()
+    }
+
+    /// A context whose runs share the given validity cache.
+    pub fn with_cache(cache: SharedValidityCache) -> SolverContext {
+        SolverContext {
+            cache: Some(cache),
+            cancel: CancellationToken::new(),
+        }
+    }
+
+    /// Derives a context that shares this one's cache but has its own
+    /// cancellation token (one portfolio rung each, for example).
+    pub fn child(&self) -> SolverContext {
+        SolverContext {
+            cache: self.cache.clone(),
+            cancel: CancellationToken::new(),
+        }
+    }
+
+    /// Builds an SMT backend wired to the shared cache (if any).
+    pub fn make_smt(&self) -> Smt {
+        match &self.cache {
+            Some(cache) => Smt::with_cache(cache.clone()),
+            None => Smt::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancellation_is_visible_through_clones() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn child_contexts_share_the_cache_but_not_the_token() {
+        let ctx = SolverContext::with_cache(SharedValidityCache::new());
+        let child = ctx.child();
+        assert!(child.cache.is_some());
+        child.cancel.cancel();
+        assert!(!ctx.cancel.is_cancelled());
+    }
+
+    #[test]
+    fn make_smt_attaches_the_cache() {
+        let ctx = SolverContext::with_cache(SharedValidityCache::new());
+        assert!(ctx.make_smt().shared_cache().is_some());
+        assert!(SolverContext::new().make_smt().shared_cache().is_none());
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod ast;
 pub mod check;
+pub mod context;
 pub mod eval;
 pub mod options;
 pub mod synthesis;
@@ -23,6 +24,7 @@ pub mod trace;
 
 pub use ast::{Case, Program};
 pub use check::TypeChecker;
+pub use context::{CancellationToken, SolverContext};
 pub use eval::{EvalError, Evaluator, Value};
 pub use options::SynthesisConfig;
 pub use synthesis::{Goal, SynthesisError, SynthesisStats, Synthesized, Synthesizer};

@@ -17,6 +17,7 @@
 //!   recurses into the branches.
 
 use crate::ast::{Case, Program};
+use crate::context::{CancellationToken, SolverContext};
 use crate::options::SynthesisConfig;
 use std::time::Instant;
 use synquid_horn::{FixpointConfig, StrengthenBackend};
@@ -52,15 +53,27 @@ impl Goal {
 pub enum SynthesisError {
     /// The search space was exhausted without finding a solution.
     NoSolution(String),
-    /// The configured timeout was exceeded.
-    Timeout,
+    /// The configured timeout was exceeded (or the run was cancelled)
+    /// while synthesizing the named goal.
+    Timeout(String),
+}
+
+impl SynthesisError {
+    /// The goal name a timeout was attributed to, if any. Batch runners
+    /// use this to report *which* goal ran out of budget.
+    pub fn goal_name(&self) -> Option<&str> {
+        match self {
+            SynthesisError::Timeout(name) => Some(name),
+            SynthesisError::NoSolution(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SynthesisError::NoSolution(goal) => write!(f, "no solution found for goal {goal}"),
-            SynthesisError::Timeout => write!(f, "synthesis timed out"),
+            SynthesisError::Timeout(goal) => write!(f, "goal {goal}: synthesis timed out"),
         }
     }
 }
@@ -78,6 +91,19 @@ pub struct SynthesisStats {
     pub matches_generated: usize,
     /// Wall-clock seconds spent.
     pub elapsed_secs: f64,
+    /// Validity/satisfiability queries issued to the SMT backend
+    /// (including ones answered from either cache layer).
+    pub smt_queries: usize,
+    /// Queries answered by the instance-local memo.
+    pub smt_cache_hits: usize,
+    /// Queries answered by the shared validity cache (zero when the run
+    /// has no [`SolverContext`] cache attached).
+    pub shared_cache_hits: usize,
+    /// Subset of `shared_cache_hits` whose cached verdict was negative
+    /// (`Unsat`), i.e. a previously proven entailment was reused.
+    pub shared_negative_hits: usize,
+    /// Queries that consulted the shared validity cache and missed.
+    pub shared_cache_misses: usize,
 }
 
 /// A successfully synthesized program together with statistics.
@@ -106,27 +132,49 @@ pub struct Synthesizer {
     config: SynthesisConfig,
     /// The shared SMT solver (statistics survive backtracking).
     pub smt: Smt,
+    cancel: CancellationToken,
     deadline: Instant,
     stats: SynthesisStats,
+    /// Name of the goal currently being synthesized, for timeout
+    /// attribution in batch runs.
+    goal_name: String,
     fresh_counter: usize,
 }
 
 impl Synthesizer {
-    /// Creates a synthesizer with the given configuration.
+    /// Creates a standalone synthesizer: no shared validity cache, a
+    /// fresh cancellation token.
     pub fn new(config: SynthesisConfig) -> Synthesizer {
+        Synthesizer::with_context(config, &SolverContext::new())
+    }
+
+    /// Creates a synthesizer wired into a shared solver context: its SMT
+    /// backend feeds (and is fed by) the context's validity cache, and
+    /// the run stops early when the context's token is cancelled.
+    pub fn with_context(config: SynthesisConfig, context: &SolverContext) -> Synthesizer {
         let deadline = Instant::now() + config.timeout;
         Synthesizer {
             config,
-            smt: Smt::new(),
+            smt: context.make_smt(),
+            cancel: context.cancel.clone(),
             deadline,
             stats: SynthesisStats::default(),
+            goal_name: String::new(),
             fresh_counter: 0,
         }
     }
 
-    /// Statistics of the last run.
+    /// Statistics of the last run, with the SMT-level counters (queries,
+    /// cache hits/misses) folded in.
     pub fn stats(&self) -> SynthesisStats {
-        self.stats
+        let mut stats = self.stats;
+        let smt = self.smt.stats();
+        stats.smt_queries = smt.queries;
+        stats.smt_cache_hits = smt.cache_hits;
+        stats.shared_cache_hits = smt.shared_hits;
+        stats.shared_negative_hits = smt.shared_negative_hits;
+        stats.shared_cache_misses = smt.shared_misses;
+        stats
     }
 
     fn fixpoint_config(&self) -> FixpointConfig {
@@ -147,8 +195,8 @@ impl Synthesizer {
     }
 
     fn check_deadline(&self) -> Result<(), SynthesisError> {
-        if Instant::now() > self.deadline {
-            Err(SynthesisError::Timeout)
+        if Instant::now() > self.deadline || self.cancel.is_cancelled() {
+            Err(SynthesisError::Timeout(self.goal_name.clone()))
         } else {
             Ok(())
         }
@@ -157,7 +205,20 @@ impl Synthesizer {
     /// Synthesizes a program for the goal.
     pub fn synthesize(&mut self, goal: &Goal) -> Result<Synthesized, SynthesisError> {
         let start = Instant::now();
+        let result = self.synthesize_goal(goal, start);
+        // Record wall time on failures too: [`Synthesizer::stats`] (and
+        // `RunResult::stats`) are meaningful for timed-out runs.
+        self.stats.elapsed_secs = start.elapsed().as_secs_f64();
+        result
+    }
+
+    fn synthesize_goal(
+        &mut self,
+        goal: &Goal,
+        start: Instant,
+    ) -> Result<Synthesized, SynthesisError> {
         self.deadline = start + self.config.timeout;
+        self.goal_name = goal.name.clone();
         let mut env = goal.env.clone();
         env.add_qualifiers_from_type(&goal.schema.ty);
 
@@ -192,7 +253,9 @@ impl Synthesizer {
         self.stats.elapsed_secs = start.elapsed().as_secs_f64();
         Ok(Synthesized {
             program,
-            stats: self.stats,
+            // `stats()` folds in the SMT counters; `elapsed_secs` was
+            // just set, and the caller refreshes it once more on return.
+            stats: self.stats(),
         })
     }
 
@@ -261,7 +324,7 @@ impl Synthesizer {
                         let _ = solver;
                         return Ok(Program::ite(guard, program, else_branch));
                     }
-                    Err(SynthesisError::Timeout) => return Err(SynthesisError::Timeout),
+                    Err(timeout @ SynthesisError::Timeout(_)) => return Err(timeout),
                     Err(SynthesisError::NoSolution(_)) => continue,
                 }
             }
@@ -391,7 +454,7 @@ impl Synthesizer {
                         binders,
                         body,
                     }),
-                    Err(SynthesisError::Timeout) => return Err(SynthesisError::Timeout),
+                    Err(timeout @ SynthesisError::Timeout(_)) => return Err(timeout),
                     Err(SynthesisError::NoSolution(_)) => {
                         crate::trace!("match {scrut} case {} failed", ctor.name);
                         continue 'scrutinee;
@@ -702,7 +765,7 @@ impl Synthesizer {
                     self.config.max_match_depth,
                 ) {
                     Ok(p) => args[*idx] = p,
-                    Err(SynthesisError::Timeout) => return Err(SynthesisError::Timeout),
+                    Err(timeout @ SynthesisError::Timeout(_)) => return Err(timeout),
                     Err(_) => {
                         ok = false;
                         break;

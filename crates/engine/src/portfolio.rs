@@ -1,0 +1,217 @@
+//! Portfolio search over iterative-deepening rungs.
+//!
+//! The CLI used to walk the exploration-bound ladder sequentially:
+//! shallow searches that exhaust their space hand the remaining budget to
+//! the next rung. The engine turns the rungs of one goal into *competing
+//! jobs* under a shared per-goal time budget: every rung runs the same
+//! deterministic single-rung search it would have run sequentially, and
+//! the **lowest rung that solves wins** — so the chosen program is the
+//! one the sequential ladder would have reported, regardless of how many
+//! workers raced. When a rung wins, every deeper sibling is cancelled
+//! through its [`CancellationToken`]; shallower siblings are left to
+//! finish, because one of them could still produce a better (lower-rung)
+//! winner.
+
+use std::time::{Duration, Instant};
+use synquid_core::CancellationToken;
+use synquid_lang::runner::RunResult;
+
+/// The default exploration-bound ladder `(application depth, match
+/// depth)`, shallowest first — the same rungs the sequential CLI used.
+pub const DEFAULT_RUNGS: &[(usize, usize)] = &[(1, 0), (1, 1), (2, 1), (3, 1), (3, 2)];
+
+/// How one rung of a goal's portfolio ended.
+#[derive(Debug, Clone)]
+pub enum RungOutcome {
+    /// The rung ran to completion (solved or failed); the result is the
+    /// single-rung [`RunResult`].
+    Finished(RunResult),
+    /// The rung was cancelled before or while running because a
+    /// shallower sibling won.
+    Cancelled,
+    /// The goal's budget was already exhausted when the rung came up, so
+    /// it never ran (pure budget exhaustion, no winner involved).
+    OutOfBudget,
+}
+
+/// Book-keeping for the portfolio of one goal: one slot and one
+/// cancellation token per rung.
+#[derive(Debug)]
+pub struct Portfolio {
+    /// The exploration bounds of each rung, shallowest first.
+    pub rungs: Vec<(usize, usize)>,
+    /// Per-rung cancellation tokens (shared with the running worker).
+    pub tokens: Vec<CancellationToken>,
+    outcomes: Vec<Option<RungOutcome>>,
+    /// The per-goal deadline, armed when the first rung starts.
+    deadline: Option<Instant>,
+    budget: Duration,
+}
+
+impl Portfolio {
+    /// Creates the portfolio state for one goal.
+    pub fn new(rungs: Vec<(usize, usize)>, budget: Duration) -> Portfolio {
+        let n = rungs.len();
+        Portfolio {
+            rungs,
+            tokens: (0..n).map(|_| CancellationToken::new()).collect(),
+            outcomes: vec![None; n],
+            deadline: None,
+            budget,
+        }
+    }
+
+    /// Arms (on first use) and returns the per-goal deadline. The budget
+    /// starts counting when the goal first gets a worker, not when the
+    /// batch was submitted, so late goals in a long queue are not dead on
+    /// arrival.
+    pub fn deadline(&mut self, now: Instant) -> Instant {
+        *self.deadline.get_or_insert(now + self.budget)
+    }
+
+    /// True if some already-finished rung shallower than `rung` solved —
+    /// meaning `rung` cannot win and need not run.
+    pub fn is_dominated(&self, rung: usize) -> bool {
+        self.outcomes[..rung]
+            .iter()
+            .any(|o| matches!(o, Some(RungOutcome::Finished(r)) if r.solved))
+    }
+
+    /// Records a rung outcome. If the rung solved, all deeper rungs are
+    /// cancelled (shallower ones keep running: one of them could still
+    /// produce the winning, lower-rung solution).
+    pub fn record(&mut self, rung: usize, outcome: RungOutcome) {
+        let solved = matches!(&outcome, RungOutcome::Finished(r) if r.solved);
+        self.outcomes[rung] = Some(outcome);
+        if solved {
+            for token in &self.tokens[rung + 1..] {
+                token.cancel();
+            }
+        }
+    }
+
+    /// True once every rung has an outcome.
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(|o| o.is_some())
+    }
+
+    /// The verdict of a complete portfolio: the result of the *lowest*
+    /// rung that solved, or — mirroring the sequential ladder's
+    /// reporting — the deepest finished failure otherwise.
+    ///
+    /// Returns the result together with the winning rung's bounds (for
+    /// solved goals).
+    pub fn verdict(&self) -> (Option<&RunResult>, Option<(usize, usize)>) {
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            if let Some(RungOutcome::Finished(r)) = outcome {
+                if r.solved {
+                    return (Some(r), Some(self.rungs[i]));
+                }
+            }
+        }
+        let last_failure = self.outcomes.iter().rev().find_map(|o| match o {
+            Some(RungOutcome::Finished(r)) => Some(r),
+            _ => None,
+        });
+        (last_failure, None)
+    }
+
+    /// Number of rungs that actually ran to completion.
+    pub fn rungs_run(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, Some(RungOutcome::Finished(_))))
+            .count()
+    }
+
+    /// Number of rungs cancelled because a shallower sibling won.
+    pub fn rungs_cancelled(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, Some(RungOutcome::Cancelled)))
+            .count()
+    }
+
+    /// Number of rungs that never ran because the goal's budget was
+    /// already exhausted.
+    pub fn rungs_out_of_budget(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, Some(RungOutcome::OutOfBudget)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, solved: bool) -> RunResult {
+        RunResult {
+            name: name.into(),
+            solved,
+            timed_out: false,
+            time_secs: 0.0,
+            program: solved.then(|| format!("{name}-program")),
+            code_size: None,
+            stats: None,
+        }
+    }
+
+    #[test]
+    fn lowest_solved_rung_wins_regardless_of_finish_order() {
+        let mut p = Portfolio::new(DEFAULT_RUNGS.to_vec(), Duration::from_secs(10));
+        // Deep rung finishes first and solves; shallow rung solves later.
+        p.record(3, RungOutcome::Finished(result("deep", true)));
+        assert!(!p.is_dominated(0), "shallower rungs must keep running");
+        assert!(p.is_dominated(4), "deeper rungs are dominated");
+        assert!(p.tokens[4].is_cancelled(), "deeper rungs get cancelled");
+        assert!(!p.tokens[2].is_cancelled());
+        p.record(1, RungOutcome::Finished(result("shallow", true)));
+        p.record(0, RungOutcome::Finished(result("r0", false)));
+        p.record(2, RungOutcome::Cancelled);
+        p.record(4, RungOutcome::Cancelled);
+        assert!(p.is_complete());
+        let (winner, rung) = p.verdict();
+        assert_eq!(winner.unwrap().program.as_deref(), Some("shallow-program"));
+        assert_eq!(rung, Some((1, 1)));
+        assert_eq!(p.rungs_run(), 3);
+        assert_eq!(p.rungs_cancelled(), 2);
+    }
+
+    #[test]
+    fn all_failures_report_the_deepest_finished_rung() {
+        let mut p = Portfolio::new(vec![(1, 0), (2, 1)], Duration::from_secs(10));
+        p.record(0, RungOutcome::Finished(result("r0", false)));
+        p.record(1, RungOutcome::Finished(result("r1", false)));
+        let (verdict, rung) = p.verdict();
+        assert_eq!(verdict.unwrap().name, "r1");
+        assert_eq!(rung, None);
+    }
+
+    #[test]
+    fn out_of_budget_is_distinct_from_cancellation() {
+        let mut p = Portfolio::new(vec![(1, 0), (2, 1), (3, 2)], Duration::from_secs(10));
+        // Rung 0 burned the whole budget; the rest never ran. No winner
+        // was involved, so nothing counts as "cancelled".
+        p.record(0, RungOutcome::Finished(result("r0", false)));
+        p.record(1, RungOutcome::OutOfBudget);
+        p.record(2, RungOutcome::OutOfBudget);
+        assert!(p.is_complete());
+        assert_eq!(p.rungs_run(), 1);
+        assert_eq!(p.rungs_cancelled(), 0);
+        assert_eq!(p.rungs_out_of_budget(), 2);
+        let (verdict, rung) = p.verdict();
+        assert_eq!(verdict.unwrap().name, "r0");
+        assert_eq!(rung, None);
+    }
+
+    #[test]
+    fn deadline_is_armed_on_first_use() {
+        let mut p = Portfolio::new(vec![(1, 0)], Duration::from_secs(5));
+        let now = Instant::now();
+        let d1 = p.deadline(now);
+        let d2 = p.deadline(now + Duration::from_secs(3));
+        assert_eq!(d1, d2, "the deadline must not move once armed");
+    }
+}

@@ -1,0 +1,374 @@
+//! The multi-goal scheduler: a fixed pool of worker threads draining a
+//! queue of `(goal, rung)` work items.
+//!
+//! Work items are queued goal-major (every rung of goal 0, then every
+//! rung of goal 1, …), so a single worker reproduces the sequential
+//! iterative-deepening ladder exactly, while `N` workers overlap both
+//! *across* goals and *within* a goal's portfolio. All workers share one
+//! [`SharedValidityCache`], so a subtyping obligation proven for one
+//! rung (or one goal) is never re-proven by another.
+//!
+//! Results are aggregated deterministically: outcomes are reported in
+//! job-submission order, and each goal's winner is decided by the
+//! portfolio's lowest-solved-rung rule (see [`crate::portfolio`]), not by
+//! wall-clock finish order.
+
+use crate::portfolio::{Portfolio, RungOutcome, DEFAULT_RUNGS};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use synquid_core::{Goal, SolverContext, SynthesisConfig};
+use synquid_lang::runner::{run_goal_in_context, RunResult};
+use synquid_solver::{SharedValidityCache, ValidityCacheStats};
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads (`--jobs`); clamped to at least 1.
+    pub jobs: usize,
+    /// Per-goal wall-clock budget, shared by all rungs of the goal.
+    pub timeout: Duration,
+    /// The exploration-bound ladder each goal's portfolio races over.
+    pub rungs: Vec<(usize, usize)>,
+    /// Template configuration (ablation switches, candidate caps);
+    /// bounds and timeout are overridden per rung.
+    pub base: SynthesisConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            jobs: 1,
+            timeout: Duration::from_secs(30),
+            rungs: DEFAULT_RUNGS.to_vec(),
+            base: SynthesisConfig::default(),
+        }
+    }
+}
+
+/// One unit of work submitted to the engine: a goal plus the label of
+/// where it came from (spec file path, benchmark group, …).
+#[derive(Debug, Clone)]
+pub struct GoalJob {
+    /// Provenance label used in reports.
+    pub source: String,
+    /// The synthesis goal.
+    pub goal: Goal,
+}
+
+impl GoalJob {
+    /// Creates a job.
+    pub fn new(source: impl Into<String>, goal: Goal) -> GoalJob {
+        GoalJob {
+            source: source.into(),
+            goal,
+        }
+    }
+}
+
+/// The aggregated outcome of one goal's portfolio.
+#[derive(Debug, Clone)]
+pub struct GoalOutcome {
+    /// Provenance label of the job.
+    pub source: String,
+    /// The winning result (lowest solved rung), or the deepest failure.
+    pub result: RunResult,
+    /// Exploration bounds of the winning rung (`None` if unsolved).
+    pub winning_rung: Option<(usize, usize)>,
+    /// Rungs that ran to completion.
+    pub rungs_run: usize,
+    /// Rungs cancelled after a shallower rung won.
+    pub rungs_cancelled: usize,
+    /// Rungs that never ran because the goal's budget was exhausted
+    /// (distinct from cancellation: no winner was involved).
+    pub rungs_out_of_budget: usize,
+}
+
+/// The deterministic aggregate of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-goal outcomes, in job-submission order.
+    pub outcomes: Vec<GoalOutcome>,
+    /// Validity-cache counters accumulated across the whole batch.
+    pub cache: ValidityCacheStats,
+    /// Wall-clock duration of the batch.
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl BatchReport {
+    /// True if every goal synthesized.
+    pub fn all_solved(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.solved)
+    }
+}
+
+/// Shared mutable state of one batch run.
+struct Shared {
+    queue: VecDeque<(usize, usize)>, // (goal index, rung index)
+    portfolios: Vec<Portfolio>,
+}
+
+/// The parallel synthesis engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine { config }
+    }
+
+    /// Runs a batch of goals to completion and aggregates the results.
+    ///
+    /// The same batch produces the same solutions whatever `jobs` is,
+    /// *timeouts aside*: each `(goal, rung)` search is deterministic,
+    /// and the winner per goal is the lowest rung that solves. The
+    /// caveat is real — budgets are wall-clock, so a goal whose only
+    /// solving rung needs most of the budget can time out under one
+    /// worker count and solve under another (with one worker, deep
+    /// rungs only get what their shallower siblings left). Goals that
+    /// solve comfortably inside the budget, or exhaust their search
+    /// space, or are hopeless at every rung, report identically at any
+    /// worker count; `tests/determinism.rs` pins this for the corpus.
+    pub fn run(&self, jobs: Vec<GoalJob>) -> BatchReport {
+        let start = Instant::now();
+        let rungs = if self.config.rungs.is_empty() {
+            DEFAULT_RUNGS.to_vec()
+        } else {
+            self.config.rungs.clone()
+        };
+        let workers = self.config.jobs.max(1);
+        let cache = SharedValidityCache::new();
+
+        let mut queue = VecDeque::new();
+        let mut portfolios = Vec::with_capacity(jobs.len());
+        for (goal_idx, _) in jobs.iter().enumerate() {
+            for rung_idx in 0..rungs.len() {
+                queue.push_back((goal_idx, rung_idx));
+            }
+            portfolios.push(Portfolio::new(rungs.clone(), self.config.timeout));
+        }
+        let shared = Mutex::new(Shared { queue, portfolios });
+
+        // Never spawn more workers than there are work items; report the
+        // count that actually ran.
+        let workers = workers.min(jobs.len().max(1) * rungs.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.worker(&shared, &jobs, &cache));
+            }
+        });
+
+        let shared = shared.into_inner().expect("scheduler state poisoned");
+        let outcomes = jobs
+            .iter()
+            .zip(&shared.portfolios)
+            .map(|(job, portfolio)| {
+                let (result, winning_rung) = portfolio.verdict();
+                let result = result.cloned().unwrap_or_else(|| RunResult {
+                    name: job.goal.name.clone(),
+                    solved: false,
+                    timed_out: true,
+                    time_secs: self.config.timeout.as_secs_f64(),
+                    program: None,
+                    code_size: None,
+                    stats: None,
+                });
+                GoalOutcome {
+                    source: job.source.clone(),
+                    result,
+                    winning_rung,
+                    rungs_run: portfolio.rungs_run(),
+                    rungs_cancelled: portfolio.rungs_cancelled(),
+                    rungs_out_of_budget: portfolio.rungs_out_of_budget(),
+                }
+            })
+            .collect();
+        BatchReport {
+            outcomes,
+            cache: cache.stats(),
+            wall_secs: start.elapsed().as_secs_f64(),
+            jobs: workers,
+        }
+    }
+
+    /// One worker: claim items until the queue is empty.
+    fn worker(&self, shared: &Mutex<Shared>, jobs: &[GoalJob], cache: &SharedValidityCache) {
+        loop {
+            // Claim the next runnable item under the lock; decide without
+            // it whether to run (the synthesis itself must not hold it).
+            let claimed = {
+                let mut state = shared.lock().expect("scheduler state poisoned");
+                let Some((goal_idx, rung_idx)) = state.queue.pop_front() else {
+                    return;
+                };
+                let now = Instant::now();
+                let portfolio = &mut state.portfolios[goal_idx];
+                if portfolio.is_dominated(rung_idx) || portfolio.tokens[rung_idx].is_cancelled() {
+                    portfolio.record(rung_idx, RungOutcome::Cancelled);
+                    continue;
+                }
+                let deadline = portfolio.deadline(now);
+                let budget = deadline.saturating_duration_since(now);
+                if budget.is_zero() {
+                    portfolio.record(rung_idx, RungOutcome::OutOfBudget);
+                    continue;
+                }
+                let token = portfolio.tokens[rung_idx].clone();
+                let bounds = portfolio.rungs[rung_idx];
+                (goal_idx, rung_idx, bounds, budget, deadline, token)
+            };
+
+            let (goal_idx, rung_idx, (app_depth, match_depth), budget, deadline, token) = claimed;
+            let mut config = self.config.base.clone().with_bounds(app_depth, match_depth);
+            config.timeout = budget;
+            let ctx = SolverContext {
+                cache: Some(cache.clone()),
+                cancel: token,
+            };
+            let result = run_goal_in_context(&jobs[goal_idx].goal, config, &ctx);
+
+            let mut state = shared.lock().expect("scheduler state poisoned");
+            let portfolio = &mut state.portfolios[goal_idx];
+            // A run aborted by sibling cancellation is indistinguishable
+            // from a timeout inside the synthesizer, so classify by the
+            // token — but only when the goal's deadline had not actually
+            // passed, so a rung that genuinely ran out its budget still
+            // counts as finished work even if a sibling won meanwhile.
+            let cancelled_early =
+                portfolio.tokens[rung_idx].is_cancelled() && Instant::now() < deadline;
+            let outcome = if result.timed_out && cancelled_early {
+                RungOutcome::Cancelled
+            } else {
+                RungOutcome::Finished(result)
+            };
+            portfolio.record(rung_idx, outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synquid_logic::{Qualifier, Sort, Term};
+    use synquid_types::{BaseType, Environment, RType, Schema};
+
+    fn identity_goal(name: &str) -> Goal {
+        let mut env = Environment::new();
+        env.add_qualifiers(Qualifier::standard(Sort::Int));
+        Goal::new(
+            name,
+            env,
+            Schema::monotype(RType::fun(
+                "n",
+                RType::int(),
+                RType::refined(
+                    BaseType::Int,
+                    Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int)),
+                ),
+            )),
+        )
+    }
+
+    fn impossible_goal(name: &str) -> Goal {
+        // {Int | ν = n + 1} with no components: no E-term can satisfy it.
+        let mut env = Environment::new();
+        env.add_qualifiers(Qualifier::standard(Sort::Int));
+        Goal::new(
+            name,
+            env,
+            Schema::monotype(RType::fun(
+                "n",
+                RType::int(),
+                RType::refined(
+                    BaseType::Int,
+                    Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int).plus(Term::int(1))),
+                ),
+            )),
+        )
+    }
+
+    fn engine(jobs: usize) -> Engine {
+        Engine::new(EngineConfig {
+            jobs,
+            timeout: Duration::from_secs(30),
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn batch_results_arrive_in_submission_order() {
+        let batch: Vec<GoalJob> = (0..4)
+            .map(|i| GoalJob::new(format!("job{i}"), identity_goal(&format!("id{i}"))))
+            .collect();
+        let report = engine(4).run(batch);
+        assert!(report.all_solved());
+        let names: Vec<&str> = report
+            .outcomes
+            .iter()
+            .map(|o| o.result.name.as_str())
+            .collect();
+        assert_eq!(names, ["id0", "id1", "id2", "id3"]);
+        assert_eq!(report.outcomes[2].source, "job2");
+        assert_eq!(report.jobs, 4);
+    }
+
+    #[test]
+    fn single_and_multi_worker_runs_agree() {
+        let batch = || {
+            vec![
+                GoalJob::new("a", identity_goal("id")),
+                GoalJob::new("b", impossible_goal("nope")),
+            ]
+        };
+        let sequential = engine(1).run(batch());
+        let parallel = engine(8).run(batch());
+        for (s, p) in sequential.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(s.result.solved, p.result.solved);
+            assert_eq!(s.result.program, p.result.program);
+            assert_eq!(s.winning_rung, p.winning_rung);
+        }
+        assert!(sequential.outcomes[0].result.solved);
+        assert!(!sequential.outcomes[1].result.solved);
+        assert!(
+            !sequential.outcomes[1].result.timed_out,
+            "an exhausted search space is not a timeout"
+        );
+    }
+
+    #[test]
+    fn winner_cancels_deeper_rungs() {
+        let report = engine(1).run(vec![GoalJob::new("a", identity_goal("id"))]);
+        let outcome = &report.outcomes[0];
+        assert!(outcome.result.solved);
+        // `id` solves at the first rung; the other four are cancelled.
+        assert_eq!(outcome.winning_rung, Some(DEFAULT_RUNGS[0]));
+        assert_eq!(outcome.rungs_run, 1);
+        assert_eq!(outcome.rungs_cancelled, DEFAULT_RUNGS.len() - 1);
+    }
+
+    #[test]
+    fn the_shared_cache_sees_traffic_from_all_goals() {
+        let batch: Vec<GoalJob> = (0..3)
+            .map(|i| GoalJob::new("batch", identity_goal(&format!("id{i}"))))
+            .collect();
+        let report = engine(2).run(batch);
+        let cache = report.cache;
+        assert!(cache.misses > 0, "fresh queries must be recorded");
+        assert!(
+            cache.hits > 0,
+            "identical goals must hit the shared cache: {cache:?}"
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let report = engine(4).run(Vec::new());
+        assert!(report.outcomes.is_empty());
+        assert!(report.all_solved());
+    }
+}

@@ -2,7 +2,9 @@
 //! the examples, the integration tests, and the benchmark harness.
 
 use std::time::{Duration, Instant};
-use synquid_core::{Goal, SynthesisConfig, SynthesisError, Synthesizer};
+use synquid_core::{
+    Goal, SolverContext, SynthesisConfig, SynthesisError, SynthesisStats, Synthesizer,
+};
 
 /// Which configuration of the synthesizer to run (the ablations of
 /// Table 1).
@@ -66,6 +68,8 @@ pub struct RunResult {
     pub program: Option<String>,
     /// Size of the synthesized program in AST nodes.
     pub code_size: Option<usize>,
+    /// Statistics of the run (present for both solved and failed runs).
+    pub stats: Option<SynthesisStats>,
 }
 
 impl RunResult {
@@ -79,12 +83,22 @@ impl RunResult {
     }
 }
 
-/// Runs a synthesis goal under the given configuration.
+/// Runs a synthesis goal under the given configuration with a standalone
+/// (uncached, non-cancellable) solver backend.
 pub fn run_goal(goal: &Goal, config: SynthesisConfig) -> RunResult {
+    run_goal_in_context(goal, config, &SolverContext::new())
+}
+
+/// Runs a synthesis goal inside a shared solver context: the run feeds
+/// (and is fed by) the context's validity cache, and stops early when the
+/// context's cancellation token fires. This is the entry point the
+/// parallel engine drives.
+pub fn run_goal_in_context(goal: &Goal, config: SynthesisConfig, ctx: &SolverContext) -> RunResult {
     let start = Instant::now();
-    let mut synthesizer = Synthesizer::new(config);
+    let mut synthesizer = Synthesizer::with_context(config, ctx);
     let outcome = synthesizer.synthesize(goal);
     let time_secs = start.elapsed().as_secs_f64();
+    let stats = Some(synthesizer.stats());
     match outcome {
         Ok(result) => RunResult {
             name: goal.name.clone(),
@@ -93,14 +107,16 @@ pub fn run_goal(goal: &Goal, config: SynthesisConfig) -> RunResult {
             time_secs,
             code_size: Some(result.program.size()),
             program: Some(result.program.to_string()),
+            stats,
         },
         Err(err) => RunResult {
             name: goal.name.clone(),
             solved: false,
-            timed_out: matches!(err, SynthesisError::Timeout),
+            timed_out: matches!(err, SynthesisError::Timeout(_)),
             time_secs,
             program: None,
             code_size: None,
+            stats,
         },
     }
 }

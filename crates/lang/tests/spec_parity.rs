@@ -19,8 +19,13 @@ const PARITY: &[(&str, &str, &str)] = &[
     ("drop", "List", "drop first n elements"),
     ("take", "List", "take first n elements"),
     ("length", "List", "length using fold"),
+    ("elem", "List", "is member"),
+    ("delete", "List", "delete value"),
+    ("reverse", "List", "reverse"),
+    ("insert_at_end", "List", "insert at end"),
     ("insert_sorted", "Sorting", "insert (sorted)"),
     ("tree_count", "Tree", "node count"),
+    ("tree_member", "Tree", "is member"),
     ("heap_singleton", "Binary Heap", "1-element constructor"),
 ];
 

@@ -1,0 +1,269 @@
+//! Hash-consed interning of refinement [`Term`]s.
+//!
+//! The synthesizer re-issues the same subtyping obligations many times —
+//! across backtracking, across iterative-deepening rungs, and (with the
+//! parallel engine) across goals running on different threads. Interning
+//! maps every structurally distinct term to a small integer [`TermId`],
+//! so that validity-cache keys are cheap to hash and compare and shared
+//! subterms are stored once.
+//!
+//! The interner is a classic hash-consing table: terms are flattened
+//! bottom-up into [`Node`]s whose children are already-interned ids, so
+//! two terms receive the same id *iff* they are structurally equal, and
+//! equal subtrees share one node regardless of how many parents mention
+//! them. [`Interner::resolve`] rebuilds the `Term`, making interning a
+//! lossless round trip.
+
+use crate::sort::Sort;
+use crate::term::{BinOp, Term, UnOp, UnknownId};
+use std::collections::HashMap;
+
+/// Identifier of an interned term. Ids are dense (`0..len`) and stable
+/// for the lifetime of the [`Interner`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The raw index of the id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One hash-consed node: a [`Term`] constructor with interned children.
+///
+/// Pending substitutions inside predicate unknowns are flattened to
+/// sorted `(variable, id)` pairs, mirroring the `BTreeMap` they come
+/// from, so structural equality of unknowns is preserved.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Node {
+    IntLit(i64),
+    BoolLit(bool),
+    SetLit(Sort, Vec<TermId>),
+    Var(String, Sort),
+    Unknown(UnknownId, Vec<(String, TermId)>),
+    Unary(UnOp, TermId),
+    Binary(BinOp, TermId, TermId),
+    Ite(TermId, TermId, TermId),
+    App(String, Vec<TermId>, Sort),
+}
+
+/// A hash-consing table for refinement terms.
+#[derive(Debug, Default)]
+pub struct Interner {
+    ids: HashMap<Node, TermId>,
+    nodes: Vec<Node>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Number of distinct nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Interns a term, returning its id. Structurally equal terms map to
+    /// the same id; shared subterms are stored once.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        let node = match term {
+            Term::IntLit(n) => Node::IntLit(*n),
+            Term::BoolLit(b) => Node::BoolLit(*b),
+            Term::SetLit(elem, items) => {
+                Node::SetLit(elem.clone(), items.iter().map(|t| self.intern(t)).collect())
+            }
+            Term::Var(name, sort) => Node::Var(name.clone(), sort.clone()),
+            Term::Unknown(id, pending) => Node::Unknown(
+                *id,
+                pending
+                    .iter()
+                    .map(|(k, v)| (k.clone(), self.intern(v)))
+                    .collect(),
+            ),
+            Term::Unary(op, t) => Node::Unary(*op, self.intern(t)),
+            Term::Binary(op, a, b) => Node::Binary(*op, self.intern(a), self.intern(b)),
+            Term::Ite(c, t, e) => Node::Ite(self.intern(c), self.intern(t), self.intern(e)),
+            Term::App(name, args, sort) => Node::App(
+                name.clone(),
+                args.iter().map(|t| self.intern(t)).collect(),
+                sort.clone(),
+            ),
+        };
+        self.intern_node(node)
+    }
+
+    fn intern_node(&mut self, node: Node) -> TermId {
+        if let Some(id) = self.ids.get(&node) {
+            return *id;
+        }
+        let id = TermId(u32::try_from(self.nodes.len()).expect("interner overflow"));
+        self.nodes.push(node.clone());
+        self.ids.insert(node, id);
+        id
+    }
+
+    /// Looks a term up *without* interning it: returns its id only if
+    /// the term (including every subterm) has been interned before.
+    /// This keeps read-only probes — e.g. validity-cache lookups that
+    /// miss — from growing the table.
+    pub fn find(&self, term: &Term) -> Option<TermId> {
+        let node = match term {
+            Term::IntLit(n) => Node::IntLit(*n),
+            Term::BoolLit(b) => Node::BoolLit(*b),
+            Term::SetLit(elem, items) => Node::SetLit(
+                elem.clone(),
+                items
+                    .iter()
+                    .map(|t| self.find(t))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Term::Var(name, sort) => Node::Var(name.clone(), sort.clone()),
+            Term::Unknown(id, pending) => Node::Unknown(
+                *id,
+                pending
+                    .iter()
+                    .map(|(k, v)| Some((k.clone(), self.find(v)?)))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Term::Unary(op, t) => Node::Unary(*op, self.find(t)?),
+            Term::Binary(op, a, b) => Node::Binary(*op, self.find(a)?, self.find(b)?),
+            Term::Ite(c, t, e) => Node::Ite(self.find(c)?, self.find(t)?, self.find(e)?),
+            Term::App(name, args, sort) => Node::App(
+                name.clone(),
+                args.iter()
+                    .map(|t| self.find(t))
+                    .collect::<Option<Vec<_>>>()?,
+                sort.clone(),
+            ),
+        };
+        self.ids.get(&node).copied()
+    }
+
+    /// Rebuilds the term behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was produced by a different interner (and is out
+    /// of range for this one).
+    pub fn resolve(&self, id: TermId) -> Term {
+        let node = &self.nodes[id.index()];
+        match node {
+            Node::IntLit(n) => Term::IntLit(*n),
+            Node::BoolLit(b) => Term::BoolLit(*b),
+            Node::SetLit(elem, items) => Term::SetLit(
+                elem.clone(),
+                items.iter().map(|i| self.resolve(*i)).collect(),
+            ),
+            Node::Var(name, sort) => Term::Var(name.clone(), sort.clone()),
+            Node::Unknown(uid, pending) => Term::Unknown(
+                *uid,
+                pending
+                    .iter()
+                    .map(|(k, v)| (k.clone(), self.resolve(*v)))
+                    .collect(),
+            ),
+            Node::Unary(op, t) => Term::Unary(*op, Box::new(self.resolve(*t))),
+            Node::Binary(op, a, b) => {
+                Term::Binary(*op, Box::new(self.resolve(*a)), Box::new(self.resolve(*b)))
+            }
+            Node::Ite(c, t, e) => Term::Ite(
+                Box::new(self.resolve(*c)),
+                Box::new(self.resolve(*t)),
+                Box::new(self.resolve(*e)),
+            ),
+            Node::App(name, args, sort) => Term::App(
+                name.clone(),
+                args.iter().map(|i| self.resolve(*i)).collect(),
+                sort.clone(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Substitution;
+
+    fn x() -> Term {
+        Term::var("x", Sort::Int)
+    }
+    fn y() -> Term {
+        Term::var("y", Sort::Int)
+    }
+
+    #[test]
+    fn equal_terms_get_equal_ids() {
+        let mut interner = Interner::new();
+        let a = interner.intern(&x().plus(y()).le(Term::int(3)));
+        let b = interner.intern(&x().plus(y()).le(Term::int(3)));
+        assert_eq!(a, b);
+        let c = interner.intern(&x().plus(y()).le(Term::int(4)));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shared_subterms_are_stored_once() {
+        let mut interner = Interner::new();
+        // (x + y) ≤ (x + y) shares the sum node: x, y, x+y, ≤ = 4 nodes.
+        let sum = x().plus(y());
+        interner.intern(&sum.clone().le(sum));
+        assert_eq!(interner.len(), 4);
+    }
+
+    #[test]
+    fn resolve_round_trips_structural_equality() {
+        let mut interner = Interner::new();
+        let list = Sort::data("List", vec![Sort::var("a")]);
+        let terms = [
+            Term::tt(),
+            Term::int(-7),
+            Term::empty_set(Sort::Int),
+            Term::singleton(Sort::var("a"), Term::var("e", Sort::var("a"))),
+            Term::app("len", vec![Term::value_var(list.clone())], Sort::Int).eq(x()),
+            Term::ite(x().le(y()), x(), y()).neg(),
+            x().le(y()).not().or(x().eq(y())),
+        ];
+        for term in terms {
+            let id = interner.intern(&term);
+            assert_eq!(interner.resolve(id), term, "round trip of {term}");
+            // Re-interning the resolved term hits the same id.
+            let resolved = interner.resolve(id);
+            assert_eq!(interner.intern(&resolved), id);
+        }
+    }
+
+    #[test]
+    fn find_never_inserts() {
+        let mut interner = Interner::new();
+        let formula = x().plus(y()).le(Term::int(3));
+        assert_eq!(interner.find(&formula), None);
+        assert!(interner.is_empty(), "find must not intern");
+        let id = interner.intern(&formula);
+        assert_eq!(interner.find(&formula), Some(id));
+        // A term sharing subterms with an interned one but not itself
+        // interned is still absent, and probing it changes nothing.
+        let len = interner.len();
+        assert_eq!(interner.find(&x().plus(y()).le(Term::int(9))), None);
+        assert_eq!(interner.len(), len);
+    }
+
+    #[test]
+    fn unknown_pending_substitutions_participate_in_identity() {
+        let mut interner = Interner::new();
+        let plain = interner.intern(&Term::unknown(0));
+        let mut pending = Substitution::new();
+        pending.insert("x".into(), Term::int(1));
+        let subst = interner.intern(&Term::Unknown(0, pending.clone()));
+        assert_ne!(plain, subst);
+        assert_eq!(interner.resolve(subst), Term::Unknown(0, pending));
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`Qualifier`] and [`QSpace`] — logical qualifiers and the finite
 //!   spaces of *liquid formulas* built from them;
 //! * normalization helpers (negation normal form, conjunct splitting,
-//!   constant folding) used by the solver and the type checker.
+//!   constant folding) used by the solver and the type checker;
+//! * [`Interner`] — hash-consed interning of terms into dense [`TermId`]s,
+//!   the key representation of the shared validity cache.
 //!
 //! The value variable `ν` of the paper is represented by the distinguished
 //! variable name [`VALUE_VAR`].
@@ -35,12 +37,14 @@
 //! assert_eq!(refinement.to_string(), "(len ν) == n");
 //! ```
 
+pub mod intern;
 pub mod pretty;
 pub mod qualifier;
 pub mod simplify;
 pub mod sort;
 pub mod term;
 
+pub use intern::{Interner, TermId};
 pub use qualifier::{QSpace, Qualifier};
 pub use sort::Sort;
 pub use term::{BinOp, Term, UnOp, UnknownId, VALUE_VAR};

@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use synquid_logic::simplify::{conjuncts, fold_constants, nnf};
-use synquid_logic::{Sort, Substitution, Term};
+use synquid_logic::{Interner, Sort, Substitution, Term};
 
 /// A strategy for small boolean formulas over the integer variables
 /// `x`, `y`, `z` and small constants.
@@ -148,6 +148,24 @@ proptest! {
         let env_rest: BTreeMap<&str, i64> = [("x", 99), ("y", y), ("z", 1)].into_iter().collect();
         // After substitution the value of the original x binding is irrelevant.
         prop_assert_eq!(eval(&f, &env_full), eval(&substituted, &env_rest).or(eval(&substituted, &env_full)));
+    }
+
+    /// Interning is a lossless round trip, and ids coincide exactly when
+    /// the terms are structurally equal (the key soundness property of
+    /// the shared validity cache, which compares interned ids instead of
+    /// whole terms).
+    #[test]
+    fn interning_round_trips_structural_equality(f in arb_formula(), g in arb_formula()) {
+        let mut interner = Interner::new();
+        let id_f = interner.intern(&f);
+        let id_g = interner.intern(&g);
+        prop_assert_eq!(id_f == id_g, f == g);
+        prop_assert_eq!(interner.resolve(id_f), f.clone());
+        prop_assert_eq!(interner.resolve(id_g), g);
+        // Re-interning a resolved term is stable.
+        let resolved = interner.resolve(id_f);
+        prop_assert_eq!(interner.intern(&resolved), id_f);
+        prop_assert_eq!(interner.intern(&f), id_f);
     }
 
     /// Splitting a conjunction and conjoining the pieces back is the

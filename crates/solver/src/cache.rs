@@ -1,0 +1,241 @@
+//! A shared, thread-safe validity cache over interned terms.
+//!
+//! Synthesis spends almost all of its time in SMT validity queries, and
+//! the same obligations recur across backtracking, iterative-deepening
+//! rungs, portfolio siblings, and goals that share a component library.
+//! [`SharedValidityCache`] is the cross-solver memo table: it is shared
+//! by every [`Smt`](crate::Smt) instance of a batch run (clone the handle
+//! and attach it with [`Smt::attach_cache`](crate::Smt::attach_cache)),
+//! and keyed by *normalized, interned* `(antecedent, consequent)` query
+//! pairs: each probe walks the normalized terms once against the
+//! hash-consing table (under a read lock, so concurrent workers don't
+//! serialize on hits), and the memo map itself stores and compares only
+//! compact `(TermId, TermId)` keys, with every shared subterm stored
+//! once. Normalization (constant folding) happens in
+//! [`SharedValidityCache::normalize`], outside any lock.
+//!
+//! A query `antecedent ⇒ consequent` is recorded under the pair of
+//! [`TermId`]s of the constant-folded sides; plain satisfiability checks
+//! are the degenerate pair with consequent `false` (`sat(f)` is the
+//! complement of `valid(f ⇒ false)`). Cached values are the raw
+//! [`SmtResult`] of the underlying satisfiability check, so `Unknown`
+//! answers are reused as conservatively as fresh ones.
+
+use crate::smt::SmtResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use synquid_logic::simplify::fold_constants;
+use synquid_logic::{Interner, Term, TermId};
+
+/// Counters exposed by [`SharedValidityCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidityCacheStats {
+    /// Queries answered from the cache.
+    pub hits: usize,
+    /// Queries that had to be solved (and were then inserted).
+    pub misses: usize,
+    /// Subset of `hits` whose cached answer was negative (`Unsat`, i.e.
+    /// the entailment *held* / the conjunction was contradictory) —
+    /// the expensive verdicts that are most valuable to reuse.
+    pub negative_hits: usize,
+    /// Distinct query pairs stored.
+    pub entries: usize,
+    /// Distinct hash-consed term nodes behind the keys.
+    pub interned_nodes: usize,
+}
+
+impl ValidityCacheStats {
+    /// Hit rate in `[0, 1]`; `0` when no queries were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheTable {
+    interner: Interner,
+    memo: std::collections::HashMap<(TermId, TermId), SmtResult>,
+}
+
+/// The shared state: the table behind a read/write lock (lookups are
+/// read-only thanks to [`Interner::find`], so hits from many workers
+/// proceed concurrently) and counters as atomics so probes never need
+/// the write lock.
+#[derive(Debug, Default)]
+struct CacheShared {
+    table: RwLock<CacheTable>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    negative_hits: AtomicUsize,
+}
+
+/// A cloneable handle to a concurrent validity memo table. All clones
+/// share the same underlying table; the handle is `Send + Sync` and is
+/// designed to be attached to one [`Smt`](crate::Smt) per worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct SharedValidityCache {
+    inner: Arc<CacheShared>,
+}
+
+/// Cap on stored entries: beyond this the cache stops inserting (lookups
+/// still work), bounding memory on pathological batch runs.
+const MAX_ENTRIES: usize = 1_000_000;
+
+/// A validity query with normalization (constant folding) already
+/// applied — compute it once with [`SharedValidityCache::normalize`],
+/// outside any lock, and reuse it for the lookup *and* the insert of
+/// the same query.
+#[derive(Debug, Clone)]
+pub struct NormalizedQuery {
+    antecedent: Term,
+    consequent: Term,
+}
+
+impl SharedValidityCache {
+    /// Creates an empty cache.
+    pub fn new() -> SharedValidityCache {
+        SharedValidityCache::default()
+    }
+
+    /// Normalizes a query pair. Pure (no lock taken): callers on the hot
+    /// path pay the folding once per query, not once per cache call.
+    pub fn normalize(antecedent: &Term, consequent: &Term) -> NormalizedQuery {
+        NormalizedQuery {
+            antecedent: fold_constants(antecedent),
+            consequent: fold_constants(consequent),
+        }
+    }
+
+    /// Looks up a normalized query. Returns the cached [`SmtResult`] of
+    /// `sat(antecedent ∧ ¬consequent)` if the same pair was solved
+    /// before. Probing is read-only ([`Interner::find`] never inserts),
+    /// so concurrent lookups share a read lock, misses never grow the
+    /// interner, and the [`MAX_ENTRIES`] bound really bounds memory.
+    pub fn lookup_normalized(&self, query: &NormalizedQuery) -> Option<SmtResult> {
+        let cached = {
+            let table = self.inner.table.read().expect("validity cache poisoned");
+            match (
+                table.interner.find(&query.antecedent),
+                table.interner.find(&query.consequent),
+            ) {
+                (Some(a), Some(c)) => table.memo.get(&(a, c)).copied(),
+                _ => None,
+            }
+        };
+        match cached {
+            Some(result) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                if result == SmtResult::Unsat {
+                    self.inner.negative_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(result)
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records the result of a normalized query.
+    pub fn insert_normalized(&self, query: &NormalizedQuery, result: SmtResult) {
+        let mut table = self.inner.table.write().expect("validity cache poisoned");
+        if table.memo.len() >= MAX_ENTRIES {
+            return;
+        }
+        let key = (
+            table.interner.intern(&query.antecedent),
+            table.interner.intern(&query.consequent),
+        );
+        table.memo.insert(key, result);
+    }
+
+    /// Convenience wrapper: [`normalize`](Self::normalize) + lookup.
+    pub fn lookup(&self, antecedent: &Term, consequent: &Term) -> Option<SmtResult> {
+        self.lookup_normalized(&Self::normalize(antecedent, consequent))
+    }
+
+    /// Convenience wrapper: [`normalize`](Self::normalize) + insert.
+    pub fn insert(&self, antecedent: &Term, consequent: &Term, result: SmtResult) {
+        self.insert_normalized(&Self::normalize(antecedent, consequent), result)
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> ValidityCacheStats {
+        let table = self.inner.table.read().expect("validity cache poisoned");
+        ValidityCacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            negative_hits: self.inner.negative_hits.load(Ordering::Relaxed),
+            entries: table.memo.len(),
+            interned_nodes: table.interner.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synquid_logic::Sort;
+
+    fn x() -> Term {
+        Term::var("x", Sort::Int)
+    }
+    fn y() -> Term {
+        Term::var("y", Sort::Int)
+    }
+
+    #[test]
+    fn lookup_misses_then_hits() {
+        let cache = SharedValidityCache::new();
+        let (p, c) = (x().le(y()), x().lt(y().plus(Term::int(1))));
+        assert_eq!(cache.lookup(&p, &c), None);
+        cache.insert(&p, &c, SmtResult::Unsat);
+        assert_eq!(cache.lookup(&p, &c), Some(SmtResult::Unsat));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.negative_hits), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn normalization_folds_constants_before_keying() {
+        let cache = SharedValidityCache::new();
+        // 1 + 1 folds to 2, so both phrasings share one entry.
+        cache.insert(
+            &x().le(Term::int(1).plus(Term::int(1))),
+            &Term::ff(),
+            SmtResult::Sat,
+        );
+        assert_eq!(
+            cache.lookup(&x().le(Term::int(2)), &Term::ff()),
+            Some(SmtResult::Sat)
+        );
+    }
+
+    #[test]
+    fn clones_share_the_table_across_threads() {
+        let cache = SharedValidityCache::new();
+        let writer = cache.clone();
+        let handle = std::thread::spawn(move || {
+            writer.insert(&x().eq(x()), &Term::ff(), SmtResult::Sat);
+        });
+        handle.join().unwrap();
+        assert_eq!(
+            cache.lookup(&x().eq(x()), &Term::ff()),
+            Some(SmtResult::Sat)
+        );
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_collide() {
+        let cache = SharedValidityCache::new();
+        cache.insert(&x().le(y()), &Term::ff(), SmtResult::Sat);
+        assert_eq!(cache.lookup(&y().le(x()), &Term::ff()), None);
+        assert_eq!(cache.lookup(&x().le(y()), &x().le(y())), None);
+    }
+}

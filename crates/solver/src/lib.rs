@@ -15,7 +15,10 @@
 //! * a CDCL SAT solver for the propositional structure ([`sat`]),
 //! * a lazy DPLL(T) driver exposing `Sat`/`Valid` queries ([`smt`]),
 //! * MARCO-style enumeration of minimal unsatisfiable subsets ([`mus`]),
-//!   which powers the MUSFIX fixpoint strengthening of the paper.
+//!   which powers the MUSFIX fixpoint strengthening of the paper,
+//! * a shared, thread-safe validity cache over interned terms ([`cache`]),
+//!   which lets the parallel engine reuse solver verdicts across goals,
+//!   portfolio siblings, and iterative-deepening rungs.
 //!
 //! ## Example
 //!
@@ -29,6 +32,7 @@
 //! assert!(smt.entails(&x.clone().lt(y.clone()), &x.le(y)));
 //! ```
 
+pub mod cache;
 pub mod encode;
 pub mod lia;
 pub mod mus;
@@ -36,6 +40,7 @@ pub mod rational;
 pub mod sat;
 pub mod smt;
 
+pub use cache::{NormalizedQuery, SharedValidityCache, ValidityCacheStats};
 pub use mus::{enumerate_mus, enumerate_mus_smt, MusConfig};
 pub use rational::Rational;
 pub use sat::{Lit, SatResult, SatSolver};

@@ -14,6 +14,7 @@
 //! This plays the role that Z3 plays for the original Synquid
 //! implementation (see DESIGN.md for the substitution rationale).
 
+use crate::cache::SharedValidityCache;
 use crate::encode::{Encoded, Encoder, Skeleton, TheoryAtom};
 use crate::lia::{LiaResult, LiaSolver};
 use crate::sat::{Lit, SatResult, SatSolver};
@@ -43,8 +44,17 @@ impl SmtResult {
 pub struct SmtStats {
     /// Number of satisfiability queries answered.
     pub queries: usize,
-    /// Number of queries answered from the memo cache.
+    /// Number of queries answered from the instance-local memo cache.
     pub cache_hits: usize,
+    /// Number of queries answered from the attached shared validity
+    /// cache (zero when no cache is attached).
+    pub shared_hits: usize,
+    /// Subset of `shared_hits` whose cached verdict was `Unsat` (the
+    /// entailment held) — the negative results the paper's solver burns
+    /// most of its time on.
+    pub shared_negative_hits: usize,
+    /// Queries that consulted the shared cache and missed.
+    pub shared_misses: usize,
     /// Number of SAT-solver invocations across all queries.
     pub sat_calls: usize,
     /// Number of LIA checks across all queries.
@@ -64,6 +74,10 @@ pub struct Smt {
     /// Maximum number of DPLL(T) iterations per query.
     pub max_iterations: usize,
     cache: std::collections::HashMap<Term, SmtResult>,
+    /// Optional cross-instance validity cache (see [`SharedValidityCache`]):
+    /// consulted after the local memo, keyed by normalized
+    /// `(antecedent, consequent)` pairs.
+    shared: Option<SharedValidityCache>,
 }
 
 impl Smt {
@@ -73,7 +87,26 @@ impl Smt {
             stats: SmtStats::default(),
             max_iterations: 2_000,
             cache: std::collections::HashMap::new(),
+            shared: None,
         }
+    }
+
+    /// Creates a solver attached to a shared validity cache.
+    pub fn with_cache(cache: SharedValidityCache) -> Smt {
+        let mut smt = Smt::new();
+        smt.attach_cache(cache);
+        smt
+    }
+
+    /// Attaches a shared validity cache; subsequent queries consult and
+    /// populate it (in addition to the instance-local memo).
+    pub fn attach_cache(&mut self, cache: SharedValidityCache) {
+        self.shared = Some(cache);
+    }
+
+    /// The attached shared validity cache, if any.
+    pub fn shared_cache(&self) -> Option<&SharedValidityCache> {
+        self.shared.as_ref()
     }
 
     /// Statistics collected so far.
@@ -93,33 +126,74 @@ impl Smt {
     /// from every conjunct (this matters for entailments whose premise
     /// contains positive set equalities).
     pub fn check_sat_conj(&mut self, formulas: &[Term]) -> SmtResult {
-        self.stats.queries += 1;
         let conj = Term::conjunction(formulas.iter().cloned());
-        if let Some(cached) = self.cache.get(&conj) {
-            self.stats.cache_hits += 1;
-            return *cached;
-        }
-        let mut encoder = Encoder::new();
-        let skeleton = encoder.encode(&conj);
-        let problem = encoder.finish(skeleton);
-        let result = self.solve_encoded(&problem, &[]);
-        if self.cache.len() < 200_000 {
-            self.cache.insert(conj, result);
-        }
-        result
+        // A plain satisfiability check is the degenerate validity query
+        // with consequent `false`: sat(f) is the complement of
+        // valid(f ⇒ false).
+        self.check_query(conj, Term::ff())
     }
 
     /// Checks whether `formula` is valid (true in all models).
     pub fn is_valid(&mut self, formula: &Term) -> bool {
-        matches!(self.check_sat(&formula.clone().not()), SmtResult::Unsat)
+        matches!(
+            self.check_query(Term::tt(), formula.clone()),
+            SmtResult::Unsat
+        )
     }
 
     /// Checks whether `premise ⇒ conclusion` is valid.
     pub fn entails(&mut self, premise: &Term, conclusion: &Term) -> bool {
         matches!(
-            self.check_sat_conj(&[premise.clone(), conclusion.clone().not()]),
+            self.check_query(premise.clone(), conclusion.clone()),
             SmtResult::Unsat
         )
+    }
+
+    /// The single query funnel: solves `sat(antecedent ∧ ¬consequent)`
+    /// through the local memo and the shared validity cache. Every public
+    /// query entry point reduces to this, so all of them share both
+    /// cache layers under consistent `(antecedent, consequent)` keys.
+    fn check_query(&mut self, antecedent: Term, consequent: Term) -> SmtResult {
+        self.stats.queries += 1;
+        let formula = if consequent.is_false() {
+            antecedent.clone()
+        } else {
+            antecedent.clone().and(consequent.clone().not())
+        };
+        if let Some(cached) = self.cache.get(&formula) {
+            self.stats.cache_hits += 1;
+            return *cached;
+        }
+        // Normalize once, outside the cache's lock, and reuse the
+        // normalized pair for both the lookup and the insert.
+        let query = self
+            .shared
+            .as_ref()
+            .map(|_| SharedValidityCache::normalize(&antecedent, &consequent));
+        if let (Some(shared), Some(query)) = (&self.shared, &query) {
+            if let Some(cached) = shared.lookup_normalized(query) {
+                self.stats.shared_hits += 1;
+                if cached == SmtResult::Unsat {
+                    self.stats.shared_negative_hits += 1;
+                }
+                if self.cache.len() < 200_000 {
+                    self.cache.insert(formula, cached);
+                }
+                return cached;
+            }
+            self.stats.shared_misses += 1;
+        }
+        let mut encoder = Encoder::new();
+        let skeleton = encoder.encode(&formula);
+        let problem = encoder.finish(skeleton);
+        let result = self.solve_encoded(&problem, &[]);
+        if self.cache.len() < 200_000 {
+            self.cache.insert(formula, result);
+        }
+        if let (Some(shared), Some(query)) = (&self.shared, &query) {
+            shared.insert_normalized(query, result);
+        }
+        result
     }
 
     /// Low-level entry point used by the MUS enumerator: checks the
@@ -501,6 +575,37 @@ mod tests {
         assert_eq!(smt.check_sat(&c), SmtResult::Unsat);
         let c = x().lt(y()).and(y().lt(x().plus(Term::int(2))));
         assert_eq!(smt.check_sat(&c), SmtResult::Sat);
+    }
+
+    #[test]
+    fn shared_cache_is_reused_across_instances() {
+        let cache = SharedValidityCache::new();
+        let mut first = Smt::with_cache(cache.clone());
+        assert!(first.entails(&x().lt(y()), &x().le(y())));
+        assert_eq!(first.stats().shared_hits, 0);
+        assert_eq!(first.stats().shared_misses, 1);
+        // A second instance (as used by a sibling worker thread) answers
+        // the same entailment from the shared table without solving.
+        let mut second = Smt::with_cache(cache.clone());
+        let sat_calls_before = second.stats().sat_calls;
+        assert!(second.entails(&x().lt(y()), &x().le(y())));
+        assert_eq!(second.stats().sat_calls, sat_calls_before);
+        assert_eq!(second.stats().shared_hits, 1);
+        assert_eq!(second.stats().shared_negative_hits, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert!(stats.entries >= 1);
+    }
+
+    #[test]
+    fn shared_cache_caches_positive_results_too() {
+        let cache = SharedValidityCache::new();
+        let mut first = Smt::with_cache(cache.clone());
+        assert!(!first.entails(&x().le(y()), &x().eq(y())));
+        let mut second = Smt::with_cache(cache.clone());
+        assert!(!second.entails(&x().le(y()), &x().eq(y())));
+        assert_eq!(second.stats().shared_hits, 1);
+        assert_eq!(second.stats().shared_negative_hits, 0);
     }
 
     #[test]

@@ -1,32 +1,38 @@
 //! The `synquid` command-line interface: load Synquid-style `.sq`
-//! specification files, synthesize every goal they declare, and
-//! pretty-print the solutions.
+//! specification files, synthesize every goal they declare through the
+//! parallel engine, and pretty-print the solutions.
 //!
 //! ```text
 //! Usage: synquid [OPTIONS] <SPEC.sq>...
 //!
 //! Options:
+//!   --jobs <N>            worker threads for the batch (default: 1)
 //!   --timeout <SECS>      per-goal synthesis budget (default: 30)
-//!   --app-depth <N>       fix the application depth (default: iterative)
-//!   --match-depth <N>     fix the match depth (default: iterative)
+//!   --app-depth <N>       fix the application depth (default: portfolio)
+//!   --match-depth <N>     fix the match depth (default: portfolio)
 //!   --goal <NAME>         only synthesize the named goal (repeatable)
+//!   --stats               print per-goal statistics and cache counters
 //!   --list                list the goals without synthesizing
 //!   -h, --help            print this help
 //! ```
 //!
-//! When no explicit bounds are given, each goal is attempted with
-//! iteratively deepened exploration bounds — `(1,0), (1,1), (2,1),
-//! (3,1), (3,2)` — within one shared time budget: shallow searches that
-//! exhaust their space fail fast and hand the remaining budget to the
-//! next rung, which is how the paper's per-benchmark bounds are
-//! approximated without asking the user to tune anything.
+//! When no explicit bounds are given, each goal becomes a *portfolio*:
+//! the iterative-deepening rungs — `(1,0), (1,1), (2,1), (3,1), (3,2)` —
+//! compete under one shared per-goal time budget, the lowest rung that
+//! solves wins, and deeper siblings are cancelled. With `--jobs 1` the
+//! rungs run in ladder order, exactly reproducing the sequential
+//! behaviour; with more workers they overlap, and all workers share one
+//! validity cache so no subtyping obligation is proven twice. Solutions
+//! are worker-count independent except for goals so close to the budget
+//! that wall-clock scheduling decides whether their solving rung
+//! finishes (see `synquid_engine::Engine::run`).
 //!
 //! Exit status: 0 if every requested goal synthesized, 1 if any goal
 //! failed or timed out, 2 on usage or specification errors.
 
 use std::process::ExitCode;
 use std::time::Duration;
-use synquid::lang::runner::{run_goal, Variant};
+use synquid::engine::{Engine, EngineConfig, GoalJob, GoalOutcome, DEFAULT_RUNGS};
 
 const USAGE: &str = "\
 Usage: synquid [OPTIONS] <SPEC.sq>...
@@ -34,37 +40,40 @@ Usage: synquid [OPTIONS] <SPEC.sq>...
 Synthesizes every goal declared in the given Synquid-style spec files.
 
 Options:
+  --jobs <N>            worker threads for the batch (default: 1)
   --timeout <SECS>      per-goal synthesis budget (default: 30)
-  --app-depth <N>       fix the application depth (default: iterative deepening)
-  --match-depth <N>     fix the match depth (default: iterative deepening)
+  --app-depth <N>       fix the application depth (default: portfolio)
+  --match-depth <N>     fix the match depth (default: portfolio)
   --goal <NAME>         only synthesize the named goal (repeatable)
+  --stats               print per-goal statistics and cache counters
   --list                list the goals without synthesizing
   -h, --help            print this help
 
-Without explicit bounds each goal is tried at the deepening ladder
-(1,0) (1,1) (2,1) (3,1) (3,2) within the shared time budget.
+Without explicit bounds each goal runs a portfolio over the deepening
+ladder (1,0) (1,1) (2,1) (3,1) (3,2) within the shared time budget;
+the lowest rung that solves wins.
 ";
 
 struct Options {
     files: Vec<String>,
+    jobs: usize,
     timeout: Duration,
     app_depth: Option<usize>,
     match_depth: Option<usize>,
     only: Vec<String>,
+    stats: bool,
     list: bool,
 }
-
-/// The default exploration-bound ladder used when no explicit bounds are
-/// given (application depth, match depth), shallowest first.
-const BOUNDS_LADDER: &[(usize, usize)] = &[(1, 0), (1, 1), (2, 1), (3, 1), (3, 2)];
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         files: Vec::new(),
+        jobs: 1,
         timeout: Duration::from_secs(30),
         app_depth: None,
         match_depth: None,
         only: Vec::new(),
+        stats: false,
         list: false,
     };
     let mut it = args.iter();
@@ -76,6 +85,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "-h" | "--help" => return Err(String::new()),
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a positive integer".to_string())?;
+                if opts.jobs == 0 {
+                    return Err("--jobs needs a positive integer".to_string());
+                }
+            }
             "--timeout" => {
                 opts.timeout = Duration::from_secs(
                     value("--timeout")?
@@ -98,6 +115,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--goal" => opts.only.push(value("--goal")?),
+            "--stats" => opts.stats = true,
             "--list" => opts.list = true,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             file => opts.files.push(file.to_string()),
@@ -109,39 +127,55 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-/// Runs one goal, either at the explicitly requested bounds or up the
-/// deepening ladder within the shared time budget.
-fn synthesize_with_bounds(
-    goal: &synquid::core::Goal,
-    opts: &Options,
-) -> synquid::lang::runner::RunResult {
-    let deadline = std::time::Instant::now() + opts.timeout;
-    let explicit = opts.app_depth.is_some() || opts.match_depth.is_some();
-    let rungs: Vec<(usize, usize)> = if explicit {
-        vec![(opts.app_depth.unwrap_or(2), opts.match_depth.unwrap_or(1))]
+/// One goal to synthesize, with everything needed to print its report.
+struct PlannedGoal {
+    file_idx: usize,
+    name: String,
+    schema: String,
+}
+
+fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
+    println!("\n{} :: {}", planned.name, planned.schema);
+    let result = &outcome.result;
+    if result.solved {
+        println!(
+            "{} = {}   -- solved in {:.2}s, {} AST nodes",
+            planned.name,
+            result.program.as_deref().unwrap_or("<missing>"),
+            result.time_secs,
+            result.code_size.unwrap_or(0),
+        );
     } else {
-        BOUNDS_LADDER.to_vec()
-    };
-    let mut last = None;
-    for bounds in rungs {
-        let budget = deadline.saturating_duration_since(std::time::Instant::now());
-        if budget.is_zero() {
-            break;
-        }
-        let result = run_goal(goal, Variant::Default.config(budget, bounds));
-        if result.solved {
-            return result;
-        }
-        last = Some(result);
+        println!(
+            "{}: no solution within {:.0}s{}",
+            planned.name,
+            opts.timeout.as_secs_f64(),
+            if result.timed_out { " (timed out)" } else { "" },
+        );
     }
-    last.unwrap_or_else(|| synquid::lang::runner::RunResult {
-        name: goal.name.clone(),
-        solved: false,
-        timed_out: true,
-        time_secs: opts.timeout.as_secs_f64(),
-        program: None,
-        code_size: None,
-    })
+    if opts.stats {
+        let rung = match outcome.winning_rung {
+            Some((a, m)) => format!("({a},{m})"),
+            None => "-".to_string(),
+        };
+        print!(
+            "  stats: rung {rung}, {} rung(s) run, {} cancelled, {} out of budget",
+            outcome.rungs_run, outcome.rungs_cancelled, outcome.rungs_out_of_budget
+        );
+        if let Some(stats) = &result.stats {
+            print!(
+                ", {} E-terms, {} branches, {} matches, {} SMT queries ({} local hits, {} shared hits / {} misses)",
+                stats.eterms_checked,
+                stats.branches_abduced,
+                stats.matches_generated,
+                stats.smt_queries,
+                stats.smt_cache_hits,
+                stats.shared_cache_hits,
+                stats.shared_cache_misses,
+            );
+        }
+        println!();
+    }
 }
 
 fn main() -> ExitCode {
@@ -157,9 +191,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut any_failed = false;
-    let mut any_ran = false;
-    for file in &opts.files {
+    // Load every spec file up front; any malformed file aborts the batch
+    // before synthesis starts.
+    let mut file_headers: Vec<String> = Vec::new();
+    let mut planned: Vec<PlannedGoal> = Vec::new();
+    let mut jobs: Vec<GoalJob> = Vec::new();
+    for (file_idx, file) in opts.files.iter().enumerate() {
         let spec = match synquid::parser::load_file(file) {
             Ok(spec) => spec,
             Err(e) => {
@@ -175,47 +212,91 @@ fn main() -> ExitCode {
             eprintln!("{file}: no goals declared (add `name = ??` after a signature)");
             return ExitCode::from(2);
         }
-        println!(
+        file_headers.push(format!(
             "{file}: {} component(s), {} goal(s)",
             spec.components.len(),
             spec.goals.len()
-        );
-        for goal in &spec.goals {
-            if !opts.only.is_empty() && !opts.only.iter().any(|n| n == &goal.name) {
+        ));
+        for goal in spec.goals {
+            let selected = opts.only.is_empty() || opts.only.iter().any(|n| n == &goal.name);
+            if !selected {
                 continue;
             }
-            println!("\n{} :: {}", goal.name, goal.schema);
-            if opts.list {
-                continue;
-            }
-            any_ran = true;
-            let result = synthesize_with_bounds(goal, &opts);
-            if result.solved {
-                println!(
-                    "{} = {}   -- solved in {:.2}s, {} AST nodes",
-                    goal.name,
-                    result.program.as_deref().unwrap_or("<missing>"),
-                    result.time_secs,
-                    result.code_size.unwrap_or(0),
-                );
-            } else {
-                any_failed = true;
-                println!(
-                    "{}: no solution within {:.0}s{}",
-                    goal.name,
-                    opts.timeout.as_secs_f64(),
-                    if result.timed_out { " (timed out)" } else { "" },
-                );
-            }
+            planned.push(PlannedGoal {
+                file_idx,
+                name: goal.name.clone(),
+                schema: goal.schema.to_string(),
+            });
+            jobs.push(GoalJob::new(file.clone(), goal));
         }
     }
+
     if opts.list {
+        for (file_idx, header) in file_headers.iter().enumerate() {
+            println!("{header}");
+            for goal in planned.iter().filter(|g| g.file_idx == file_idx) {
+                println!("\n{} :: {}", goal.name, goal.schema);
+            }
+        }
         return ExitCode::SUCCESS;
     }
-    if !any_ran {
+    if jobs.is_empty() {
         eprintln!("error: --goal filters matched no goals");
         return ExitCode::from(2);
     }
+
+    let explicit = opts.app_depth.is_some() || opts.match_depth.is_some();
+    let rungs: Vec<(usize, usize)> = if explicit {
+        vec![(opts.app_depth.unwrap_or(2), opts.match_depth.unwrap_or(1))]
+    } else {
+        DEFAULT_RUNGS.to_vec()
+    };
+    let engine = Engine::new(EngineConfig {
+        jobs: opts.jobs,
+        timeout: opts.timeout,
+        rungs,
+        ..EngineConfig::default()
+    });
+    let report = engine.run(jobs);
+
+    // Deterministic aggregation: results print grouped by file, in
+    // submission order, however the workers interleaved. Every file
+    // prints its header, even when `--goal` filtered out all its goals,
+    // so the user can see it was parsed.
+    let mut any_failed = false;
+    let mut outcomes = planned.iter().zip(&report.outcomes).peekable();
+    for (file_idx, header) in file_headers.iter().enumerate() {
+        println!("{header}");
+        while let Some((planned_goal, outcome)) = outcomes.peek() {
+            if planned_goal.file_idx != file_idx {
+                break;
+            }
+            if !outcome.result.solved {
+                any_failed = true;
+            }
+            print_outcome(planned_goal, outcome, &opts);
+            outcomes.next();
+        }
+    }
+    if opts.stats {
+        let cache = &report.cache;
+        println!(
+            "\nbatch: {} goal(s), {} worker(s), {:.2}s wall clock",
+            report.outcomes.len(),
+            report.jobs,
+            report.wall_secs
+        );
+        println!(
+            "validity cache: {} hits / {} misses ({:.1}% hit rate), {} negative hits, {} entries, {} interned nodes",
+            cache.hits,
+            cache.misses,
+            100.0 * cache.hit_rate(),
+            cache.negative_hits,
+            cache.entries,
+            cache.interned_nodes,
+        );
+    }
+
     if any_failed {
         ExitCode::from(1)
     } else {

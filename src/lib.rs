@@ -18,7 +18,10 @@
 //! * [`parser`] — the `.sq` surface language: lexer, parser, and the
 //!   desugarer that elaborates textual specs into [`core`] goals;
 //! * [`lang`] — component libraries, the benchmark suite, spec-corpus
-//!   helpers, and runners.
+//!   helpers, and runners;
+//! * [`engine`] — the parallel execution layer: multi-goal scheduler,
+//!   portfolio search over deepening rungs, and the shared validity
+//!   cache.
 //!
 //! ## Quickstart: synthesize from a textual spec
 //!
@@ -79,6 +82,7 @@
 //! ```
 
 pub use synquid_core as core;
+pub use synquid_engine as engine;
 pub use synquid_horn as horn;
 pub use synquid_lang as lang;
 pub use synquid_logic as logic;
@@ -88,10 +92,13 @@ pub use synquid_types as types;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use synquid_core::{Goal, Program, SynthesisConfig, SynthesisError, Synthesizer};
+    pub use synquid_core::{
+        Goal, Program, SolverContext, SynthesisConfig, SynthesisError, Synthesizer,
+    };
+    pub use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob};
     pub use synquid_lang::runner::{run_goal, RunResult, Variant};
     pub use synquid_logic::{Qualifier, Sort, Term};
     pub use synquid_parser::{load_file, load_str, SpecOutput};
-    pub use synquid_solver::Smt;
+    pub use synquid_solver::{SharedValidityCache, Smt};
     pub use synquid_types::{BaseType, Environment, RType, Schema};
 }

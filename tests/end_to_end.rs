@@ -138,6 +138,64 @@ fn textual_specs_synthesize_through_the_same_pipeline() {
 }
 
 #[test]
+fn cli_batch_mode_smoke_test_with_jobs_and_stats() {
+    // The satellite smoke test for `--jobs N`: the installed binary runs
+    // a small batch with two workers, prints per-goal statistics and the
+    // shared validity-cache counters, and exits 0.
+    let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/list.sq");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_synquid"))
+        .args(["--jobs", "2", "--stats", "--timeout", "120", spec])
+        .output()
+        .expect("the synquid binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "expected exit 0\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("solved in"),
+        "no solution reported:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("batch: 2 goal(s), 2 worker(s)"),
+        "batch summary missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("validity cache:"),
+        "cache counters missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_rejects_bad_usage_with_exit_code_2() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_synquid"))
+        .args(["--jobs", "0", "x.sq"])
+        .output()
+        .expect("the synquid binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--jobs needs a positive integer"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn timeout_errors_name_the_goal_that_ran_out_of_budget() {
+    // The satellite fix: `SynthesisError::Timeout` carries the goal name,
+    // so batch error messages can say *which* goal timed out.
+    let (goal, bounds) = named_goal("reverse");
+    let config = Variant::Default.config(Duration::from_millis(1), bounds);
+    let mut synthesizer = Synthesizer::new(config);
+    let err = synthesizer
+        .synthesize(&goal)
+        .expect_err("a 1ms budget must time out");
+    assert_eq!(err.goal_name(), Some("reverse"));
+    assert_eq!(err.to_string(), "goal reverse: synthesis timed out");
+}
+
+#[test]
 fn spec_errors_surface_as_located_diagnostics_through_the_facade() {
     let err = synquid::parser::load_str("inc :: x: Int -> {Int | _v == m + 1}")
         .expect_err("unbound variable must be rejected");
