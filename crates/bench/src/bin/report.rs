@@ -5,17 +5,22 @@
 //! report table2 [--timeout SECS]
 //! report fig7   [--max-n N]   [--timeout SECS]
 //! report batch  [--jobs N]    [--timeout SECS] [--out PATH]
+//!               [--compare OLD.json] [--readme]
 //! report all
 //! ```
 //!
 //! `batch` runs the whole `specs/` corpus through the parallel engine
-//! and writes the machine-readable `BENCH_pr2.json` timing report (per
-//! goal: solved/timings/winning rung; plus the validity-cache counters).
+//! and writes the machine-readable `BENCH_pr3.json` timing report (per
+//! goal: solved/timings/winning rung/enumeration counters; plus the
+//! validity-cache counters). `--compare` prints per-goal deltas against
+//! a previous artifact (solved↔timeout flips, time ratios); `--readme`
+//! prints the markdown corpus table embedded in the README's
+//! "Reproduction status" section.
 
 use std::time::Duration;
 use synquid_bench::{
-    batch_report_json, format_fig7, format_table1, format_table2, run_corpus_batch, run_fig7,
-    run_table1, run_table2,
+    batch_report_json, corpus_markdown_table, format_batch_comparison, format_fig7, format_table1,
+    format_table2, parse_batch_json, run_corpus_batch, run_fig7, run_table1, run_table2,
 };
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
@@ -52,7 +57,13 @@ fn main() {
                 .position(|a| a == "--out")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+                .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+            let compare = args
+                .iter()
+                .position(|a| a == "--compare")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            let readme = args.iter().any(|a| a == "--readme");
             eprintln!(
                 "== Batch: specs/ corpus through the engine ({jobs} worker(s), {}s/goal) ==",
                 timeout.as_secs()
@@ -61,8 +72,8 @@ fn main() {
                 Ok(report) => {
                     for o in &report.outcomes {
                         eprintln!(
-                            "  {:<30} {:<14} {}",
-                            o.result.name,
+                            "  {:<45} {}",
+                            synquid_bench::goal_label(&o.result.name, &o.source),
                             if o.result.solved {
                                 format!("{:.2}s", o.result.time_secs)
                             } else if o.result.timed_out {
@@ -70,7 +81,6 @@ fn main() {
                             } else {
                                 "no solution".to_string()
                             },
-                            o.source,
                         );
                     }
                     let json = batch_report_json(&report, timeout);
@@ -84,6 +94,23 @@ fn main() {
                         report.outcomes.len(),
                         100.0 * report.cache.hit_rate()
                     );
+                    if readme {
+                        println!("{}", corpus_markdown_table(&report, timeout));
+                    }
+                    if let Some(old_path) = compare {
+                        match std::fs::read_to_string(&old_path) {
+                            Ok(text) => {
+                                println!(
+                                    "== Deltas against {old_path} ==\n{}",
+                                    format_batch_comparison(&parse_batch_json(&text), &report)
+                                );
+                            }
+                            Err(e) => {
+                                eprintln!("cannot read {old_path}: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
                 }
                 Err(e) => {
                     eprintln!("batch failed: {e}");

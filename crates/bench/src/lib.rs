@@ -16,11 +16,14 @@
 //! binary's `batch` subcommand additionally runs the whole `specs/`
 //! corpus through the parallel engine and emits a machine-readable
 //! timing report ([`batch_report_json`], uploaded by CI as
-//! `BENCH_pr2.json`).
+//! `BENCH_pr3.json`), the markdown corpus table embedded in the README
+//! ([`corpus_markdown_table`]), and per-goal deltas against a previous
+//! artifact ([`format_batch_comparison`]).
 
 use std::time::Duration;
 use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob};
 use synquid_lang::benchmarks::{sygus, table1, table2, Benchmark};
+pub use synquid_lang::runner::goal_label;
 use synquid_lang::runner::{run_goal, RunResult, Variant};
 
 /// One row of the regenerated Table 1.
@@ -219,8 +222,15 @@ pub fn run_corpus_batch(
     let mut batch = Vec::new();
     for file in files {
         let spec = synquid_lang::spec::load_file(&file)?;
+        // Label goals with the repo-relative spec path: provenance must
+        // read the same (and compare equal across artifacts) wherever
+        // the corpus directory was resolved from.
+        let source = file
+            .file_name()
+            .map(|n| format!("specs/{}", n.to_string_lossy()))
+            .unwrap_or_else(|| file.display().to_string());
         for goal in spec.goals {
-            batch.push(GoalJob::new(file.display().to_string(), goal));
+            batch.push(GoalJob::new(source.clone(), goal));
         }
     }
     let engine = Engine::new(EngineConfig {
@@ -245,14 +255,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr2.json`
-/// artifact: per-goal timings and portfolio accounting plus the shared
+/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr3.json`
+/// artifact: per-goal timings, portfolio accounting, and the enumeration
+/// counters (terms enumerated, pruned early, memo hits) plus the shared
 /// validity-cache counters. (Hand-rolled JSON: the workspace resolves
 /// offline, so no serde.)
 pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"report\": \"BENCH_pr2\",\n");
+    out.push_str("  \"report\": \"BENCH_pr3\",\n");
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
     out.push_str(&format!("  \"timeout_secs\": {},\n", timeout.as_secs()));
     out.push_str(&format!("  \"wall_secs\": {:.3},\n", report.wall_secs));
@@ -272,8 +283,24 @@ pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
             .code_size
             .map(|s| s.to_string())
             .unwrap_or_else(|| "null".to_string());
+        let (enumerated, checked, pruned, memo_hits, memo_misses) = match &r.stats {
+            Some(s) => (
+                s.terms_enumerated.to_string(),
+                s.eterms_checked.to_string(),
+                s.pruned_early.to_string(),
+                s.memo_hits.to_string(),
+                s.memo_misses.to_string(),
+            ),
+            None => (
+                "null".to_string(),
+                "null".to_string(),
+                "null".to_string(),
+                "null".to_string(),
+                "null".to_string(),
+            ),
+        };
         out.push_str(&format!(
-            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_out_of_budget\": {}}}{}\n",
+            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_out_of_budget\": {}, \"terms_enumerated\": {}, \"eterms_checked\": {}, \"pruned_early\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}{}\n",
             json_escape(&o.source),
             json_escape(&r.name),
             r.solved,
@@ -284,11 +311,195 @@ pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
             o.rungs_run,
             o.rungs_cancelled,
             o.rungs_out_of_budget,
+            enumerated,
+            checked,
+            pruned,
+            memo_hits,
+            memo_misses,
             if i + 1 == report.outcomes.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+// ---------------------------------------------------------------------
+// Generated corpus table (the README "Reproduction status" section)
+// ---------------------------------------------------------------------
+
+/// Renders a [`BatchReport`] as the markdown corpus table embedded in the
+/// README's "Reproduction status" section (`report batch --readme`
+/// regenerates it, so the README cannot silently drift from reality).
+pub fn corpus_markdown_table(report: &BatchReport, timeout: Duration) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<!-- generated by `cargo run --release -p synquid-bench --bin report -- batch --jobs {} --timeout {} --readme` -->\n",
+        report.jobs,
+        timeout.as_secs()
+    ));
+    out.push_str(
+        "| Goal | Status | Time (s) | Enumerated | Checked | Pruned early | Memo hits |\n",
+    );
+    out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    for o in &report.outcomes {
+        let r = &o.result;
+        let status = if r.solved {
+            "**solved**".to_string()
+        } else if r.timed_out {
+            "timeout".to_string()
+        } else {
+            "no solution".to_string()
+        };
+        let time = if r.solved {
+            format!("{:.2}", r.time_secs)
+        } else {
+            "—".to_string()
+        };
+        let counters = match &r.stats {
+            Some(s) => [
+                s.terms_enumerated.to_string(),
+                s.eterms_checked.to_string(),
+                s.pruned_early.to_string(),
+                s.memo_hits.to_string(),
+            ],
+            None => std::array::from_fn(|_| "—".to_string()),
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} | {} |\n",
+            synquid_lang::runner::goal_label(&r.name, &o.source),
+            status,
+            time,
+            counters[0],
+            counters[1],
+            counters[2],
+            counters[3],
+        ));
+    }
+    let solved = report.outcomes.iter().filter(|o| o.result.solved).count();
+    out.push_str(&format!(
+        "\n{solved} of {} corpus goals synthesize at this budget ({} worker(s), {}s/goal).\n",
+        report.outcomes.len(),
+        report.jobs,
+        timeout.as_secs()
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Cross-report comparison (`report batch --compare OLD.json`)
+// ---------------------------------------------------------------------
+
+/// One goal's entry parsed back out of a batch-report JSON artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedGoal {
+    /// Spec file the goal came from.
+    pub file: String,
+    /// Goal name.
+    pub name: String,
+    /// Whether it synthesized.
+    pub solved: bool,
+    /// Wall-clock seconds.
+    pub time_secs: f64,
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn json_raw_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+/// Parses the per-goal entries back out of a `BENCH_pr2.json` /
+/// `BENCH_pr3.json` artifact. The reports are emitted one goal per line
+/// by [`batch_report_json`], so a line-oriented scan is exact for our own
+/// artifacts (no general JSON parser needed — the workspace is
+/// dependency-free by design).
+pub fn parse_batch_json(text: &str) -> Vec<ParsedGoal> {
+    text.lines()
+        .filter_map(|line| {
+            let file = json_str_field(line, "file")?;
+            let name = json_str_field(line, "name")?;
+            let solved = json_raw_field(line, "solved")? == "true";
+            let time_secs = json_raw_field(line, "time_secs")?.parse().ok()?;
+            Some(ParsedGoal {
+                file,
+                name,
+                solved,
+                time_secs,
+            })
+        })
+        .collect()
+}
+
+/// Formats the per-goal deltas between a previous batch artifact and the
+/// current run: solved↔timeout flips and time ratios, so CI uploads show
+/// the trajectory from PR to PR.
+pub fn format_batch_comparison(old: &[ParsedGoal], report: &BatchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<40} {:>10} {:>10} {:>8}\n",
+        "goal", "before", "after", "ratio"
+    ));
+    let mut flips_solved = 0usize;
+    let mut flips_lost = 0usize;
+    for o in &report.outcomes {
+        let r = &o.result;
+        let label = synquid_lang::runner::goal_label(&r.name, &o.source);
+        // Provenance paths may be absolute or relative depending on where
+        // the artifact was produced; the spec file name is the stable part.
+        let file_key = |path: &str| path.rsplit(['/', '\\']).next().unwrap_or(path).to_string();
+        let Some(prev) = old
+            .iter()
+            .find(|p| p.name == r.name && file_key(&p.file) == file_key(&o.source))
+        else {
+            out.push_str(&format!(
+                "{label:<40} {:>10} {:>10} {:>8}\n",
+                "-",
+                cell(r.solved, r.time_secs),
+                "new"
+            ));
+            continue;
+        };
+        let ratio = if prev.solved && r.solved && r.time_secs > 0.0 {
+            format!("{:.2}x", prev.time_secs / r.time_secs)
+        } else if !prev.solved && r.solved {
+            flips_solved += 1;
+            "FIXED".to_string()
+        } else if prev.solved && !r.solved {
+            flips_lost += 1;
+            "LOST".to_string()
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "{label:<40} {:>10} {:>10} {:>8}\n",
+            cell(prev.solved, prev.time_secs),
+            cell(r.solved, r.time_secs),
+            ratio
+        ));
+    }
+    out.push_str(&format!(
+        "\n{flips_solved} goal(s) newly solved, {flips_lost} regressed, {} total.\n",
+        report.outcomes.len()
+    ));
+    return out;
+
+    fn cell(solved: bool, time: f64) -> String {
+        if solved {
+            format!("{time:.2}s")
+        } else {
+            "timeout".to_string()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -308,8 +519,11 @@ mod tests {
             report.outcomes.len()
         );
         let json = batch_report_json(&report, timeout);
-        assert!(json.contains("\"report\": \"BENCH_pr2\""));
+        assert!(json.contains("\"report\": \"BENCH_pr3\""));
         assert!(json.contains("\"validity_cache\""));
+        assert!(json.contains("\"terms_enumerated\""));
+        assert!(json.contains("\"pruned_early\""));
+        assert!(json.contains("\"memo_hits\""));
         assert!(json.contains("replicate"));
         assert!(json.contains("tree_member"));
         assert_eq!(
@@ -317,6 +531,15 @@ mod tests {
             report.outcomes.len(),
             "one goals[] entry per outcome"
         );
+        // The artifact round-trips through the comparison parser.
+        let parsed = parse_batch_json(&json);
+        assert_eq!(parsed.len(), report.outcomes.len());
+        assert!(parsed.iter().any(|g| g.name == "replicate"));
+        let table = corpus_markdown_table(&report, timeout);
+        assert!(table.contains("| Goal | Status |"));
+        assert!(table.contains("replicate @ "));
+        let deltas = format_batch_comparison(&parsed, &report);
+        assert!(deltas.contains("0 goal(s) newly solved"));
     }
 
     #[test]

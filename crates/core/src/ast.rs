@@ -8,7 +8,7 @@
 use std::fmt;
 
 /// A program term.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Program {
     /// A variable or component reference (E-term).
     Var(String),
@@ -32,7 +32,7 @@ pub enum Program {
 }
 
 /// One branch of a pattern match.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Case {
     /// Constructor name.
     pub constructor: String,

@@ -18,6 +18,7 @@ pub mod ast;
 pub mod check;
 pub mod context;
 pub mod eval;
+pub mod memo;
 pub mod options;
 pub mod synthesis;
 pub mod trace;
@@ -26,5 +27,6 @@ pub use ast::{Case, Program};
 pub use check::TypeChecker;
 pub use context::{CancellationToken, SolverContext};
 pub use eval::{EvalError, Evaluator, Value};
+pub use memo::{EnumerationCache, EnumerationCacheStats};
 pub use options::SynthesisConfig;
 pub use synthesis::{Goal, SynthesisError, SynthesisStats, Synthesized, Synthesizer};

@@ -25,6 +25,13 @@ pub struct SynthesisConfig {
     /// Use MUSFIX for fixpoint strengthening. Disabling switches to the
     /// naive breadth-first backend (the T-nmus ablation).
     pub use_musfix: bool,
+    /// Memoize E-term generation in the run's `EnumerationCache` so
+    /// candidate sets are built once per `(environment, shape, depth)`
+    /// and reused across deepening iterations, abduction rounds, guard
+    /// syntheses, and (through a shared `SolverContext`) portfolio rungs.
+    /// Disabling regenerates every set from scratch; results are
+    /// byte-identical either way, only slower.
+    pub memoize: bool,
     /// Wall-clock timeout for one synthesis goal.
     pub timeout: Duration,
     /// Cap on the number of candidates returned by one E-term enumeration.
@@ -44,6 +51,7 @@ impl Default for SynthesisConfig {
             round_trip: true,
             consistency: true,
             use_musfix: true,
+            memoize: true,
             timeout: Duration::from_secs(120),
             max_candidates: 64,
             max_arg_candidates: 24,
@@ -77,6 +85,14 @@ impl SynthesisConfig {
     /// MUSFIX.
     pub fn without_musfix(mut self) -> SynthesisConfig {
         self.use_musfix = false;
+        self
+    }
+
+    /// Disables the E-term enumeration memo (every candidate set is
+    /// regenerated from scratch). Used by the regression tests to prove
+    /// memoization changes timing only, never results.
+    pub fn without_memoization(mut self) -> SynthesisConfig {
+        self.memoize = false;
         self
     }
 

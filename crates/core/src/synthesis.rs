@@ -18,12 +18,17 @@
 
 use crate::ast::{Case, Program};
 use crate::context::{CancellationToken, SolverContext};
+use crate::memo::{shape_key, EnumerationCache, ShapedCandidate};
 use crate::options::SynthesisConfig;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 use synquid_horn::{FixpointConfig, StrengthenBackend};
 use synquid_logic::{Sort, Substitution, Term};
 use synquid_solver::Smt;
-use synquid_types::{weaken_for_recursion, BaseType, ConstraintSolver, Environment, RType, Schema};
+use synquid_types::{
+    is_free_type_var, weaken_for_recursion, BaseType, ConstraintSolver, Environment, RType, Schema,
+};
 
 /// A synthesis goal: a name, an environment of components, and the goal
 /// schema.
@@ -83,8 +88,21 @@ impl std::error::Error for SynthesisError {}
 /// Statistics collected during one synthesis run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SynthesisStats {
-    /// E-term candidates whose types were checked.
+    /// E-term candidates whose types were checked against a goal.
     pub eterms_checked: usize,
+    /// Candidate programs produced by goal-blind generation (each
+    /// generated candidate is counted once, however often the memo
+    /// serves it afterwards).
+    pub terms_enumerated: usize,
+    /// Candidates and application heads discarded by early round-trip
+    /// checks — return-shape filtering during generation and consistency
+    /// checking against the goal — before any full subtyping or
+    /// abduction work was spent on them.
+    pub pruned_early: usize,
+    /// Enumeration-memo lookups answered from the cache.
+    pub memo_hits: usize,
+    /// Enumeration-memo lookups that had to run generation.
+    pub memo_misses: usize,
     /// Conditionals created through liquid abduction.
     pub branches_abduced: usize,
     /// Pattern matches generated.
@@ -115,17 +133,6 @@ pub struct Synthesized {
     pub stats: SynthesisStats,
 }
 
-/// One enumerated E-term candidate: the program, the constraint-solver
-/// state after all its checks, the environment extended with the bindings
-/// of its intermediate results, and its strengthened type.
-#[derive(Debug, Clone)]
-struct Candidate {
-    program: Program,
-    solver: ConstraintSolver,
-    env: Environment,
-    ty: RType,
-}
-
 /// The synthesizer.
 #[derive(Debug)]
 pub struct Synthesizer {
@@ -135,6 +142,9 @@ pub struct Synthesizer {
     cancel: CancellationToken,
     deadline: Instant,
     stats: SynthesisStats,
+    /// The E-term generation memo (shared through the [`SolverContext`]
+    /// with sibling rungs and goals).
+    memo: EnumerationCache,
     /// Name of the goal currently being synthesized, for timeout
     /// attribution in batch runs.
     goal_name: String,
@@ -159,6 +169,7 @@ impl Synthesizer {
             cancel: context.cancel.clone(),
             deadline,
             stats: SynthesisStats::default(),
+            memo: context.enum_cache.clone(),
             goal_name: String::new(),
             fresh_counter: 0,
         }
@@ -290,9 +301,14 @@ impl Synthesizer {
 
         // Phase 1: branch-free E-terms with liquid abduction, by increasing
         // application depth so that the smallest correct term is found
-        // first and deep enumerations are only paid for when needed.
+        // first and deep enumerations are only paid for when needed. The
+        // candidate set at depth `d` contains the depth `d-1` set (memoized
+        // generation extends it incrementally), so candidates already
+        // checked at a shallower iteration are skipped via `tried`.
+        let mut tried: HashSet<Program> = HashSet::new();
         for depth in 0..=self.config.max_app_depth {
-            let candidates = self.abduction_candidates(env, goal, depth, base_solver)?;
+            let candidates =
+                self.abduction_candidates(env, goal, depth, base_solver, &mut tried)?;
             crate::trace!("depth {depth}: {} abduction candidates", candidates.len());
             for (program, solver, condition) in candidates {
                 self.check_deadline()?;
@@ -344,23 +360,38 @@ impl Synthesizer {
 
     /// Enumerates branch-free candidates for a scalar goal, each together
     /// with the weakest path condition (abduced via a fresh unknown) under
-    /// which it satisfies the goal.
+    /// which it satisfies the goal. Candidate *generation* is memoized and
+    /// goal-blind (see [`crate::memo`]); this pass replays each generated
+    /// candidate against the goal under the abduction unknown `P0`.
     fn abduction_candidates(
         &mut self,
         env: &Environment,
         goal: &RType,
         depth: usize,
         base_solver: &ConstraintSolver,
+        tried: &mut HashSet<Program>,
     ) -> Result<Vec<(Program, ConstraintSolver, Term)>, SynthesisError> {
+        let shaped = self.generate_for(env, goal, depth, base_solver)?;
         let mut solver = base_solver.clone();
         let p0 = solver.fresh_unknown(env, None, "branch condition");
         let mut cond_env = env.clone();
         cond_env.add_path_condition(p0.clone());
-        let candidates = self.enumerate_eterms(&cond_env, goal, depth, &solver)?;
         let mut out = Vec::new();
-        for c in candidates {
-            let condition = c.solver.apply_assignment(&p0);
-            out.push((c.program, c.solver, condition));
+        for cand in shaped.iter() {
+            // The candidate cap bounds *accepted* candidates (as the
+            // interleaved enumerator did), never the generated universe.
+            if out.len() >= self.config.max_candidates {
+                break;
+            }
+            if !tried.insert(cand.program.clone()) {
+                continue;
+            }
+            if let Some((program, cand_solver)) =
+                self.check_shaped(&cond_env, goal, cand, &solver)?
+            {
+                let condition = cand_solver.apply_assignment(&p0);
+                out.push((program, cand_solver, condition));
+            }
         }
         // Prefer candidates that need no branching, then smaller programs.
         out.sort_by_key(|(p, _, cond)| (!cond.is_true() as usize, p.size()));
@@ -368,7 +399,8 @@ impl Synthesizer {
     }
 
     /// Synthesizes a boolean guard term whose value equals the abduced
-    /// condition.
+    /// condition. Guards must satisfy their goal outright, so candidates
+    /// are checked without an abduction unknown.
     fn synthesize_guard(
         &mut self,
         env: &Environment,
@@ -379,13 +411,526 @@ impl Synthesizer {
             BaseType::Bool,
             Term::value_var(Sort::Bool).iff(condition.clone()),
         );
-        let solver = base_solver.clone();
-        let candidates = self
-            .enumerate_eterms(env, &goal, self.config.guard_depth, &solver)
+        let shaped = self
+            .generate_for(env, &goal, self.config.guard_depth, base_solver)
             .ok()?;
-        candidates.into_iter().next().map(|c| c.program)
+        for cand in shaped.iter() {
+            match self.check_shaped(env, &goal, cand, base_solver) {
+                Ok(Some((program, _))) => return Some(program),
+                Ok(None) => continue,
+                Err(_) => return None,
+            }
+        }
+        None
     }
 
+    // -----------------------------------------------------------------
+    // Per-goal candidate checking (round-trip discipline)
+    // -----------------------------------------------------------------
+
+    /// Checks one memoized candidate against a goal, in an environment
+    /// that may already carry the abduction unknown as a path condition.
+    ///
+    /// The round-trip order is cheapest-first: a consistency check of the
+    /// candidate's type against the goal (one satisfiability query,
+    /// amortized by both SMT cache layers) prunes refinement-incompatible
+    /// candidates before the full subtyping constraint — with its
+    /// fixpoint strengthening — is ever attempted. Returns the completed
+    /// program (deferred higher-order arguments synthesized) and the
+    /// constraint-solver state after all checks.
+    fn check_shaped(
+        &mut self,
+        cond_env: &Environment,
+        goal: &RType,
+        cand: &ShapedCandidate,
+        base_solver: &ConstraintSolver,
+    ) -> Result<Option<(Program, ConstraintSolver)>, SynthesisError> {
+        self.check_deadline()?;
+        self.stats.eterms_checked += 1;
+        let label = cand.program.to_string();
+        let mut s = base_solver.clone();
+        // Import the cached types: their free unification variables are
+        // local to the producing enumeration and must not alias ours.
+        let mut rename = BTreeMap::new();
+        let ty = s.import_type(&cand.ty, &mut rename);
+        let mut cenv = cond_env.clone();
+        for (name, extra_ty) in &cand.extras {
+            let extra_ty = s.import_type(extra_ty, &mut rename);
+            cenv.add_var(name.clone(), extra_ty);
+        }
+        let pending: Vec<(usize, RType)> = cand
+            .pending
+            .iter()
+            .map(|(i, t)| (*i, s.import_type(t, &mut rename)))
+            .collect();
+        // Round-trip pruning: the candidate's type must have a common
+        // inhabitant with the goal before any strengthening is attempted.
+        if self.config.consistency
+            && s.consistent(&cenv, &ty, goal, &mut self.smt, &label)
+                .is_err()
+        {
+            crate::trace!("  check {label}: pruned by consistency");
+            self.stats.pruned_early += 1;
+            return Ok(None);
+        }
+        // Replay the argument-side condition abduced during generation
+        // (e.g. `n >= 1` for `dec n` at type `Nat`) against the current
+        // branch-condition unknown.
+        if s.require(&cenv, &cand.condition, &mut self.smt, &label)
+            .is_err()
+        {
+            crate::trace!("  check {label}: side condition {} failed", cand.condition);
+            return Ok(None);
+        }
+        // The full subtyping constraint (liquid abduction happens here).
+        if let Err(e) = s.subtype(&cenv, &ty, goal, &mut self.smt, &label) {
+            crate::trace!("  check {label}: subtype failed: {e}");
+            return Ok(None);
+        }
+        // Synthesize deferred higher-order arguments now that the return
+        // type has been unified with the goal.
+        let mut program = cand.program.clone();
+        if !pending.is_empty() {
+            let (head, mut args) = app_parts(&program);
+            for (idx, ho_ty) in &pending {
+                let concrete = s.finalize(ho_ty);
+                match self.synthesize_in(
+                    &cenv,
+                    &concrete,
+                    &s,
+                    self.config.max_branch_depth,
+                    self.config.max_match_depth,
+                ) {
+                    Ok(p) => args[*idx] = p,
+                    Err(timeout @ SynthesisError::Timeout(_)) => return Err(timeout),
+                    Err(SynthesisError::NoSolution(_)) => return Ok(None),
+                }
+            }
+            program = args.into_iter().fold(head, |acc, a| acc.app(a));
+        }
+        Ok(Some((program, s)))
+    }
+
+    // -----------------------------------------------------------------
+    // Goal-blind, memoized E-term generation
+    // -----------------------------------------------------------------
+
+    /// Generates the candidate set for a goal: concretizes the
+    /// environment (path conditions may mention enclosing abduction
+    /// unknowns, which the memoized generator must never see) and
+    /// dispatches on the goal's shape.
+    fn generate_for(
+        &mut self,
+        env: &Environment,
+        goal: &RType,
+        depth: usize,
+        base_solver: &ConstraintSolver,
+    ) -> Result<Arc<Vec<ShapedCandidate>>, SynthesisError> {
+        let gen_env = env.map_path_conditions(|t| base_solver.apply_assignment(t));
+        let env_key = self.env_key(&gen_env);
+        self.generate(&gen_env, &env_key, &goal.shape(), depth)
+    }
+
+    /// The memo-key prefix for an environment: its canonical fingerprint
+    /// plus every configuration knob that changes what generation
+    /// produces. Two runs sharing a [`SolverContext`] only share cache
+    /// entries when both the environment *and* these knobs agree —
+    /// otherwise an ablation variant could synthesize from sets generated
+    /// under a different configuration.
+    fn env_key(&self, env: &Environment) -> String {
+        format!(
+            "{};cfg rt:{} cc:{} mus:{} args:{}",
+            env.fingerprint(),
+            self.config.round_trip,
+            self.config.consistency,
+            self.config.use_musfix,
+            self.config.max_arg_candidates,
+        )
+    }
+
+    /// Enumerates all well-shaped candidate programs of the given shape
+    /// in the given environment, up to the given application depth.
+    /// Argument obligations (termination metrics, preconditions) are
+    /// validated against the heads' declared types, under a fresh
+    /// *argument-condition* unknown so obligations that only hold under a
+    /// branch condition survive as conditional candidates. The result is
+    /// a pure function of `(environment, configuration, shape, depth)`
+    /// and is memoized. `env_key` must be [`Synthesizer::env_key`] of
+    /// `env` — it is threaded as a parameter because the whole recursive
+    /// generation pass works in one environment, and serializing it once
+    /// per pass instead of once per lookup keeps the memo probe cheap.
+    fn generate(
+        &mut self,
+        env: &Environment,
+        env_key: &str,
+        shape: &RType,
+        depth: usize,
+    ) -> Result<Arc<Vec<ShapedCandidate>>, SynthesisError> {
+        self.check_deadline()?;
+        let key = (env_key.to_string(), shape_key(shape), depth);
+        if self.config.memoize {
+            if let Some(found) = self.memo.lookup(&key) {
+                self.stats.memo_hits += 1;
+                return Ok(found);
+            }
+            self.stats.memo_misses += 1;
+        }
+        let mut out: Vec<ShapedCandidate> = Vec::new();
+        let mut seen: HashSet<Program> = HashSet::new();
+        if depth == 0 {
+            self.generate_leaves(env, shape, &mut out);
+        } else {
+            // Level `d` extends level `d-1`: reuse its (memoized) set and
+            // add applications whose arguments draw from level `d-1`.
+            let below = self.generate(env, env_key, shape, depth - 1)?;
+            out.extend(below.iter().cloned());
+            seen.extend(below.iter().map(|c| c.program.clone()));
+            self.generate_applications(env, env_key, shape, depth, &mut out, &mut seen)?;
+        }
+        // Symmetry / cost ordering: size first, then program text, so
+        // candidate order is deterministic whatever produced the set.
+        // Generated sets are *complete* for their bounds (the
+        // `max_candidates` cap applies to goal-passing candidates in the
+        // per-goal pass, not to the goal-blind universe — truncating here
+        // would silently drop programs some goal needs).
+        out.sort_by_cached_key(|c| (c.size, c.program.to_string()));
+        let out = Arc::new(out);
+        if self.config.memoize {
+            self.memo.insert(key, out.clone());
+        }
+        Ok(out)
+    }
+
+    /// Depth-0 candidates: literals (for the exact primitive shapes) and
+    /// scalar variables whose shape fits.
+    fn generate_leaves(
+        &mut self,
+        env: &Environment,
+        shape: &RType,
+        out: &mut Vec<ShapedCandidate>,
+    ) {
+        match shape.base_type() {
+            Some(BaseType::Int) => {
+                // Integer literals as nullary components (the paper's
+                // benchmarks bind `0` as a component; accepting the
+                // literal directly keeps the guard and SyGuS benchmarks
+                // independent of naming).
+                for lit in [0i64, 1] {
+                    self.stats.terms_enumerated += 1;
+                    out.push(ShapedCandidate {
+                        program: Program::IntLit(lit),
+                        size: 1,
+                        ty: RType::refined(
+                            BaseType::Int,
+                            Term::value_var(Sort::Int).eq(Term::int(lit)),
+                        ),
+                        extras: Vec::new(),
+                        condition: Term::tt(),
+                        pending: Vec::new(),
+                    });
+                }
+            }
+            Some(BaseType::Bool) => {
+                for lit in [true, false] {
+                    self.stats.terms_enumerated += 1;
+                    out.push(ShapedCandidate {
+                        program: Program::BoolLit(lit),
+                        size: 1,
+                        ty: RType::refined(
+                            BaseType::Bool,
+                            Term::value_var(Sort::Bool).iff(Term::BoolLit(lit)),
+                        ),
+                        extras: Vec::new(),
+                        condition: Term::tt(),
+                        pending: Vec::new(),
+                    });
+                }
+            }
+            _ => {}
+        }
+        // Variables and components (rules VARSC and VAR∀). One local
+        // solver instantiates polymorphic schemas; leaf candidates do not
+        // interact, so sharing its fresh-variable counter is fine (and
+        // deterministic).
+        let mut gs = ConstraintSolver::new(self.fixpoint_config());
+        let names: Vec<String> = env.var_names().to_vec();
+        for name in &names {
+            let Some(schema) = env.lookup(name).cloned() else {
+                continue;
+            };
+            let instantiated = gs.instantiate_schema(&schema);
+            if instantiated.is_function() || !shapes_compatible(&instantiated, shape) {
+                continue;
+            }
+            self.stats.terms_enumerated += 1;
+            out.push(ShapedCandidate {
+                program: Program::var(name.clone()),
+                size: 1,
+                ty: env.singleton_type(name, &instantiated),
+                extras: Vec::new(),
+                condition: Term::tt(),
+                pending: Vec::new(),
+            });
+        }
+    }
+
+    /// Applications (rules APPFO and APPHO) at the given depth, with
+    /// arguments drawn from the memoized level below.
+    fn generate_applications(
+        &mut self,
+        env: &Environment,
+        env_key: &str,
+        shape: &RType,
+        depth: usize,
+        out: &mut Vec<ShapedCandidate>,
+        seen: &mut HashSet<Program>,
+    ) -> Result<(), SynthesisError> {
+        /// One partially-built application: chosen arguments, the solver
+        /// threading their checks, bindings for application-valued
+        /// arguments, the substitution of formals, and deferred
+        /// higher-order positions.
+        struct GenPartial {
+            args: Vec<Program>,
+            solver: ConstraintSolver,
+            extras: Vec<(String, RType)>,
+            subst: Substitution,
+            pending: Vec<(usize, RType)>,
+        }
+
+        let names: Vec<String> = env.var_names().to_vec();
+        for head in &names {
+            self.check_deadline()?;
+            let Some(schema) = env.lookup(head).cloned() else {
+                continue;
+            };
+            let mut gs = ConstraintSolver::new(self.fixpoint_config());
+            gs.consistency_enabled = self.config.consistency;
+            let fty = gs.instantiate_schema(&schema);
+            if !fty.is_function() {
+                continue;
+            }
+            let (fargs, fret) = fty.uncurry();
+            // Round-trip shape pruning: a head whose return shape cannot
+            // fit the target shape is dropped before any argument work.
+            // Disabled under the T-nrt ablation, where ill-shaped
+            // applications are built in full and rejected only by the
+            // final per-goal check — the cost the paper's round-trip
+            // discipline exists to avoid.
+            if self.config.round_trip && !shapes_compatible(&fret, shape) {
+                self.stats.pruned_early += 1;
+                continue;
+            }
+            // The argument-condition unknown: argument obligations that
+            // only hold under a (later-abduced) branch condition
+            // strengthen this unknown instead of failing outright.
+            let pg = gs.fresh_unknown(env, None, "argument condition");
+            let mut genv = env.clone();
+            genv.add_path_condition(pg.clone());
+
+            let mut partials = vec![GenPartial {
+                args: Vec::new(),
+                solver: gs,
+                extras: Vec::new(),
+                subst: Substitution::new(),
+                pending: Vec::new(),
+            }];
+            for (i, (formal, arg_ty)) in fargs.iter().enumerate() {
+                let mut next = Vec::new();
+                for partial in partials {
+                    self.check_deadline()?;
+                    let expected = arg_ty.substitute(&partial.subst);
+                    let resolved = partial.solver.resolve(&expected);
+                    if resolved.is_function() {
+                        // Higher-order argument: defer until the rest of
+                        // the application has determined its type (APPHO;
+                        // this is how auxiliary functions such as the
+                        // folding operation of `sort` are discovered).
+                        let mut pending = partial.pending.clone();
+                        pending.push((i, expected));
+                        let mut args = partial.args.clone();
+                        args.push(Program::Hole);
+                        next.push(GenPartial {
+                            args,
+                            solver: partial.solver,
+                            extras: partial.extras,
+                            subst: partial.subst,
+                            pending,
+                        });
+                        continue;
+                    }
+                    let arg_cands = self.generate(env, env_key, &resolved.shape(), depth - 1)?;
+                    let mut taken = 0usize;
+                    for (ordinal, cand) in arg_cands.iter().enumerate() {
+                        if taken >= self.config.max_arg_candidates {
+                            break;
+                        }
+                        // A candidate with unfilled higher-order holes
+                        // cannot serve as an argument: its holes could
+                        // only be completed against a concrete goal.
+                        if !cand.pending.is_empty() {
+                            continue;
+                        }
+                        let mut s = partial.solver.clone();
+                        let mut rename = BTreeMap::new();
+                        let ty = s.import_type(&cand.ty, &mut rename);
+                        let extras: Vec<(String, RType)> = cand
+                            .extras
+                            .iter()
+                            .map(|(n, t)| (n.clone(), s.import_type(t, &mut rename)))
+                            .collect();
+                        let mut cenv = genv.clone();
+                        for (n, t) in partial.extras.iter().chain(extras.iter()) {
+                            cenv.add_var(n.clone(), t.clone());
+                        }
+                        let label = format!("{head}:arg{i}");
+                        // Replay the argument's own side condition, then
+                        // check it against the declared argument type.
+                        if s.require(&cenv, &cand.condition, &mut self.smt, &label)
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        if s.subtype(&cenv, &ty, &expected, &mut self.smt, &label)
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        taken += 1;
+                        let mut subst = partial.subst.clone();
+                        let mut chain_extras = partial.extras.clone();
+                        chain_extras.extend(extras);
+                        match &cand.program {
+                            // Monomorphic variables and literals
+                            // substitute directly for the formal (their
+                            // facts are re-derivable from the
+                            // environment); polymorphic variables — most
+                            // importantly nullary constructors such as
+                            // `Nil`, whose defining facts live only in
+                            // the instantiated singleton type — and
+                            // application-valued arguments need an
+                            // intermediate binding. The binder name is
+                            // derived from the candidate's position so
+                            // memoized entries are identical whichever
+                            // run generates them.
+                            Program::Var(v)
+                                if env.lookup(v).is_some_and(|s| s.is_monomorphic()) =>
+                            {
+                                subst.insert(formal.clone(), Term::var(v.clone(), ty.sort()));
+                            }
+                            Program::IntLit(k) => {
+                                subst.insert(formal.clone(), Term::int(*k));
+                            }
+                            Program::BoolLit(b) => {
+                                subst.insert(formal.clone(), Term::BoolLit(*b));
+                            }
+                            _ => {
+                                let binder = format!("__m{depth}_{head}_{i}_{ordinal}");
+                                subst.insert(formal.clone(), Term::var(binder.clone(), ty.sort()));
+                                chain_extras.push((binder, ty));
+                            }
+                        }
+                        let mut args = partial.args.clone();
+                        args.push(cand.program.clone());
+                        next.push(GenPartial {
+                            args,
+                            solver: s,
+                            extras: chain_extras,
+                            subst,
+                            pending: partial.pending.clone(),
+                        });
+                    }
+                }
+                partials = next;
+                // Deterministic safety bound against pathological argument
+                // fan-out (the per-position `max_arg_candidates` cap keeps
+                // this far out of reach for real component libraries).
+                partials.truncate(2048);
+                if partials.is_empty() {
+                    break;
+                }
+            }
+
+            for partial in partials {
+                let program = partial
+                    .args
+                    .iter()
+                    .cloned()
+                    .fold(Program::var(head.clone()), |acc, a| acc.app(a));
+                if !seen.insert(program.clone()) {
+                    continue;
+                }
+                let ret = fret.substitute(&partial.subst);
+                let ty = partial.solver.finalize(&ret);
+                let extras: Vec<(String, RType)> = partial
+                    .extras
+                    .iter()
+                    .map(|(n, t)| (n.clone(), partial.solver.finalize(t)))
+                    .collect();
+                let pending: Vec<(usize, RType)> = partial
+                    .pending
+                    .iter()
+                    .map(|(i, t)| (*i, partial.solver.finalize(t)))
+                    .collect();
+                let condition = partial.solver.apply_assignment(&pg);
+                self.stats.terms_enumerated += 1;
+                out.push(ShapedCandidate {
+                    size: program.size(),
+                    program,
+                    ty,
+                    extras,
+                    condition,
+                    pending,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits an application chain into its head and argument list.
+fn app_parts(p: &Program) -> (Program, Vec<Program>) {
+    match p {
+        Program::App(f, a) => {
+            let (head, mut args) = app_parts(f);
+            args.push((**a).clone());
+            (head, args)
+        }
+        other => (other.clone(), Vec::new()),
+    }
+}
+
+/// Shape compatibility for generation-time pruning: can a value of shape
+/// `s` possibly be used where shape `t` is expected? Free unification
+/// type variables match anything (they will be unified by the actual
+/// subtyping check); rigid variables only match themselves.
+fn shapes_compatible(s: &RType, t: &RType) -> bool {
+    match (s, t) {
+        (RType::Scalar { base: bs, .. }, RType::Scalar { base: bt, .. }) => {
+            base_shapes_compatible(bs, bt)
+        }
+        // Function-against-function compatibility is left to subtyping.
+        (RType::Function { .. }, RType::Function { .. }) => true,
+        (RType::Any, _) | (_, RType::Any) | (RType::Bot, _) | (_, RType::Bot) => true,
+        _ => false,
+    }
+}
+
+fn base_shapes_compatible(s: &BaseType, t: &BaseType) -> bool {
+    match (s, t) {
+        (BaseType::TypeVar(a), _) if is_free_type_var(a) => true,
+        (_, BaseType::TypeVar(a)) if is_free_type_var(a) => true,
+        (BaseType::TypeVar(a), BaseType::TypeVar(b)) => a == b,
+        (BaseType::Int, BaseType::Int) | (BaseType::Bool, BaseType::Bool) => true,
+        (BaseType::Data(n1, a1), BaseType::Data(n2, a2)) => {
+            n1 == n2
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| shapes_compatible(x, y))
+        }
+        _ => false,
+    }
+}
+
+impl Synthesizer {
     /// Attempts to synthesize a pattern match on some datatype variable in
     /// scope (the MATCH rule, with the scrutinee restricted to variables).
     fn synthesize_match(
@@ -396,11 +941,17 @@ impl Synthesizer {
         branch_depth: usize,
         match_depth: usize,
     ) -> Result<Option<Program>, SynthesisError> {
-        // Candidate scrutinees: datatype-typed scalar variables, most
-        // recently bound first (function arguments and pattern variables
-        // before library components).
+        // Candidate scrutinees: datatype-typed scalar variables, in
+        // binding order (function arguments before pattern variables, both
+        // before anything a library component could contribute). Matching
+        // the first-bound argument first mirrors the paper's examples,
+        // where structural recursion is on the leading list/tree argument;
+        // trying the most recently bound variable first instead sends
+        // goals like `append` into a doomed match on the *second* list,
+        // whose Cons branch has no terminating recursive call and burns
+        // the whole budget before the right scrutinee is tried.
         let mut scrutinees: Vec<(String, String, Vec<RType>)> = Vec::new();
-        for name in env.var_names().iter().rev() {
+        for name in env.var_names().iter() {
             if let Some(schema) = env.lookup(name) {
                 if !schema.is_monomorphic() {
                     continue;
@@ -466,329 +1017,6 @@ impl Synthesizer {
             }
         }
         Ok(None)
-    }
-
-    // -----------------------------------------------------------------
-    // E-term enumeration with round-trip checking
-    // -----------------------------------------------------------------
-
-    /// Enumerates E-terms of the given goal type up to the given
-    /// application depth, checking each candidate (and each partial
-    /// application) as it is built.
-    fn enumerate_eterms(
-        &mut self,
-        env: &Environment,
-        goal: &RType,
-        depth: usize,
-        solver: &ConstraintSolver,
-    ) -> Result<Vec<Candidate>, SynthesisError> {
-        let mut out: Vec<Candidate> = Vec::new();
-        self.check_deadline()?;
-
-        // Integer literals as nullary components (the paper's benchmarks
-        // bind `0` as a component; accepting the literal directly keeps the
-        // guard and SyGuS benchmarks independent of naming).
-        if matches!(goal.base_type(), Some(BaseType::Int)) {
-            for lit in [0i64, 1] {
-                let mut s = solver.clone();
-                let ty =
-                    RType::refined(BaseType::Int, Term::value_var(Sort::Int).eq(Term::int(lit)));
-                self.stats.eterms_checked += 1;
-                if s.subtype(env, &ty, goal, &mut self.smt, "int-literal")
-                    .is_ok()
-                {
-                    out.push(Candidate {
-                        program: Program::IntLit(lit),
-                        solver: s,
-                        env: env.clone(),
-                        ty,
-                    });
-                }
-            }
-        }
-        if matches!(goal.base_type(), Some(BaseType::Bool)) {
-            for lit in [true, false] {
-                let mut s = solver.clone();
-                let ty = RType::refined(
-                    BaseType::Bool,
-                    Term::value_var(Sort::Bool).iff(Term::BoolLit(lit)),
-                );
-                self.stats.eterms_checked += 1;
-                if s.subtype(env, &ty, goal, &mut self.smt, "bool-literal")
-                    .is_ok()
-                {
-                    out.push(Candidate {
-                        program: Program::BoolLit(lit),
-                        solver: s,
-                        env: env.clone(),
-                        ty,
-                    });
-                }
-            }
-        }
-
-        // Variables and components (rules VARSC and VAR∀).
-        let names: Vec<String> = env.var_names().to_vec();
-        for name in &names {
-            if out.len() >= self.config.max_candidates {
-                break;
-            }
-            let Some(schema) = env.lookup(name).cloned() else {
-                continue;
-            };
-            let mut s = solver.clone();
-            let instantiated = s.instantiate_schema(&schema);
-            if instantiated.is_function() {
-                // A function-typed variable is only a candidate when the
-                // goal itself is a function type (e.g. passing a component
-                // to a higher-order combinator).
-                if goal.is_function() {
-                    self.stats.eterms_checked += 1;
-                    if s.subtype(env, &instantiated, goal, &mut self.smt, name)
-                        .is_ok()
-                    {
-                        out.push(Candidate {
-                            program: Program::var(name.clone()),
-                            solver: s,
-                            env: env.clone(),
-                            ty: instantiated,
-                        });
-                    }
-                }
-                continue;
-            }
-            if goal.is_function() {
-                continue;
-            }
-            let singleton = env.singleton_type(name, &instantiated);
-            self.stats.eterms_checked += 1;
-            if s.subtype(env, &singleton, goal, &mut self.smt, name)
-                .is_ok()
-            {
-                out.push(Candidate {
-                    program: Program::var(name.clone()),
-                    solver: s,
-                    env: env.clone(),
-                    ty: singleton,
-                });
-            }
-        }
-
-        // Applications (rules APPFO and APPHO), at depth ≥ 1.
-        if depth >= 1 && !goal.is_function() {
-            for name in &names {
-                if out.len() >= self.config.max_candidates {
-                    break;
-                }
-                self.check_deadline()?;
-                let Some(schema) = env.lookup(name).cloned() else {
-                    continue;
-                };
-                let mut s = solver.clone();
-                let fty = s.instantiate_schema(&schema);
-                if !fty.is_function() {
-                    continue;
-                }
-                let apps = self.enumerate_applications(env, goal, depth, name, &fty, s)?;
-                out.extend(apps);
-            }
-        }
-
-        Ok(out)
-    }
-
-    /// Enumerates applications of one head component against the goal.
-    fn enumerate_applications(
-        &mut self,
-        env: &Environment,
-        goal: &RType,
-        depth: usize,
-        head: &str,
-        head_ty: &RType,
-        mut solver: ConstraintSolver,
-    ) -> Result<Vec<Candidate>, SynthesisError> {
-        let (fargs, fret) = head_ty.uncurry();
-
-        // Round-trip early check: the return type must be a subtype of the
-        // goal under vacuous (⊥-typed) arguments (first premise of APPFO).
-        if self.config.round_trip {
-            let mut bot_env = env.clone();
-            let mut subst = Substitution::new();
-            for (i, (formal, ty)) in fargs.iter().enumerate() {
-                if ty.is_scalar() {
-                    let name = format!("__bot_{head}_{i}");
-                    bot_env.add_var(name.clone(), ty.shape().refine_with(&Term::ff()));
-                    subst.insert(formal.clone(), Term::var(name, ty.sort()));
-                }
-            }
-            let early_ret = fret.substitute(&subst);
-            self.stats.eterms_checked += 1;
-            if solver
-                .subtype(
-                    &bot_env,
-                    &early_ret,
-                    goal,
-                    &mut self.smt,
-                    &format!("{head}:early"),
-                )
-                .is_err()
-            {
-                return Ok(Vec::new());
-            }
-        }
-
-        // Consistency check on the partial application (Sec. 3.4): with the
-        // arguments at their declared types, the return type must have a
-        // common inhabitant with the goal.
-        if self.config.consistency {
-            let mut decl_env = env.clone();
-            let mut subst = Substitution::new();
-            for (i, (formal, ty)) in fargs.iter().enumerate() {
-                if ty.is_scalar() {
-                    let name = format!("__decl_{head}_{i}");
-                    decl_env.add_var(name.clone(), ty.clone());
-                    subst.insert(formal.clone(), Term::var(name, ty.sort()));
-                }
-            }
-            let decl_ret = fret.substitute(&subst);
-            if solver
-                .consistent(
-                    &decl_env,
-                    &decl_ret,
-                    goal,
-                    &mut self.smt,
-                    &format!("{head}:cc"),
-                )
-                .is_err()
-            {
-                return Ok(Vec::new());
-            }
-        }
-
-        // Synthesize the arguments left to right, threading the solver
-        // state, the extended environment, and the substitution of formals
-        // by the names bound to the actual arguments.
-        struct Partial {
-            args: Vec<Program>,
-            solver: ConstraintSolver,
-            env: Environment,
-            subst: Substitution,
-            pending: Vec<(usize, RType)>,
-        }
-        let mut partials = vec![Partial {
-            args: Vec::new(),
-            solver,
-            env: env.clone(),
-            subst: Substitution::new(),
-            pending: Vec::new(),
-        }];
-        for (i, (formal, arg_ty)) in fargs.iter().enumerate() {
-            let mut next = Vec::new();
-            for partial in partials {
-                self.check_deadline()?;
-                let expected = arg_ty.substitute(&partial.subst);
-                let resolved = partial.solver.resolve(&expected);
-                if resolved.is_function() {
-                    // Higher-order argument: defer until the rest of the
-                    // application has determined its type (APPHO; this is
-                    // how auxiliary functions such as the folding operation
-                    // of `sort` are discovered).
-                    let mut pending = partial.pending.clone();
-                    pending.push((i, expected));
-                    let mut args = partial.args.clone();
-                    args.push(Program::Hole);
-                    next.push(Partial {
-                        args,
-                        solver: partial.solver,
-                        env: partial.env,
-                        subst: partial.subst,
-                        pending,
-                    });
-                    continue;
-                }
-                let arg_candidates =
-                    self.enumerate_eterms(&partial.env, &expected, depth - 1, &partial.solver)?;
-                for cand in arg_candidates
-                    .into_iter()
-                    .take(self.config.max_arg_candidates)
-                {
-                    let binder = self.fresh_name("a");
-                    let mut cand_env = cand.env.clone();
-                    cand_env.add_var(binder.clone(), cand.ty.clone());
-                    let mut subst = partial.subst.clone();
-                    subst.insert(formal.clone(), Term::var(binder, cand.ty.sort()));
-                    let mut args = partial.args.clone();
-                    args.push(cand.program);
-                    next.push(Partial {
-                        args,
-                        solver: cand.solver,
-                        env: cand_env,
-                        subst,
-                        pending: partial.pending.clone(),
-                    });
-                }
-            }
-            partials = next;
-            if partials.is_empty() {
-                return Ok(Vec::new());
-            }
-        }
-
-        // Final check of the fully applied term against the goal, then
-        // synthesis of any deferred higher-order arguments.
-        let mut out = Vec::new();
-        for partial in partials {
-            self.check_deadline()?;
-            let mut s = partial.solver.clone();
-            let ret_final = fret.substitute(&partial.subst);
-            self.stats.eterms_checked += 1;
-            if s.subtype(
-                &partial.env,
-                &ret_final,
-                goal,
-                &mut self.smt,
-                &format!("{head}:ret"),
-            )
-            .is_err()
-            {
-                continue;
-            }
-            let mut args = partial.args.clone();
-            let mut ok = true;
-            for (idx, ho_ty) in &partial.pending {
-                let concrete = s.finalize(ho_ty);
-                match self.synthesize_in(
-                    &partial.env,
-                    &concrete,
-                    &s,
-                    self.config.max_branch_depth,
-                    self.config.max_match_depth,
-                ) {
-                    Ok(p) => args[*idx] = p,
-                    Err(timeout @ SynthesisError::Timeout(_)) => return Err(timeout),
-                    Err(_) => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if !ok {
-                continue;
-            }
-            let program = args
-                .into_iter()
-                .fold(Program::var(head), |acc, a| acc.app(a));
-            out.push(Candidate {
-                program,
-                solver: s,
-                env: partial.env,
-                ty: ret_final,
-            });
-            if out.len() >= self.config.max_candidates {
-                break;
-            }
-        }
-        Ok(out)
     }
 }
 
@@ -902,6 +1130,57 @@ mod tests {
         let mut syn = Synthesizer::new(SynthesisConfig::default());
         let result = syn.synthesize(&goal).expect("succ should synthesize");
         assert_eq!(result.program.to_string(), "\\n . inc n");
+    }
+
+    #[test]
+    fn ablations_synthesize_the_same_program_with_different_effort() {
+        // Every ablation variant must still find `inc n` — the switches
+        // trade search effort, never soundness or completeness on a goal
+        // this small. T-nrt (no round-trip shape pruning) must generate
+        // strictly more candidates than the default, which proves the
+        // flag is actually wired into the new enumeration.
+        let build = || {
+            let mut env = base_env();
+            int_components(&mut env);
+            Goal::new(
+                "succ",
+                env,
+                Schema::monotype(RType::fun(
+                    "n",
+                    RType::int(),
+                    RType::refined(
+                        BaseType::Int,
+                        Term::value_var(Sort::Int).eq(Term::var("n", Sort::Int).plus(Term::int(1))),
+                    ),
+                )),
+            )
+        };
+        let mut default_syn = Synthesizer::new(SynthesisConfig::default());
+        let default_result = default_syn.synthesize(&build()).expect("default solves");
+        for config in [
+            SynthesisConfig::default().without_round_trip(),
+            SynthesisConfig::default().without_consistency(),
+            SynthesisConfig::default().without_musfix(),
+            SynthesisConfig::default().without_memoization(),
+        ] {
+            let no_round_trip = !config.round_trip;
+            let mut syn = Synthesizer::new(config);
+            let result = syn.synthesize(&build()).expect("ablation still solves");
+            assert_eq!(result.program, default_result.program);
+            if no_round_trip {
+                assert!(
+                    result.stats.terms_enumerated > default_result.stats.terms_enumerated,
+                    "T-nrt must expand ill-shaped heads the default prunes \
+                     (the flag would be dead): {} vs {}",
+                    result.stats.terms_enumerated,
+                    default_result.stats.terms_enumerated
+                );
+            }
+        }
+        assert!(
+            default_syn.stats().pruned_early > 0,
+            "the default configuration prunes ill-shaped heads early"
+        );
     }
 
     #[test]

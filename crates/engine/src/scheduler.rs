@@ -143,6 +143,7 @@ impl Engine {
         };
         let workers = self.config.jobs.max(1);
         let cache = SharedValidityCache::new();
+        let enum_cache = synquid_core::EnumerationCache::new();
 
         let mut queue = VecDeque::new();
         let mut portfolios = Vec::with_capacity(jobs.len());
@@ -159,7 +160,7 @@ impl Engine {
         let workers = workers.min(jobs.len().max(1) * rungs.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| self.worker(&shared, &jobs, &cache));
+                scope.spawn(|| self.worker(&shared, &jobs, &cache, &enum_cache));
             }
         });
 
@@ -197,7 +198,13 @@ impl Engine {
     }
 
     /// One worker: claim items until the queue is empty.
-    fn worker(&self, shared: &Mutex<Shared>, jobs: &[GoalJob], cache: &SharedValidityCache) {
+    fn worker(
+        &self,
+        shared: &Mutex<Shared>,
+        jobs: &[GoalJob],
+        cache: &SharedValidityCache,
+        enum_cache: &synquid_core::EnumerationCache,
+    ) {
         loop {
             // Claim the next runnable item under the lock; decide without
             // it whether to run (the synthesis itself must not hold it).
@@ -229,6 +236,7 @@ impl Engine {
             let ctx = SolverContext {
                 cache: Some(cache.clone()),
                 cancel: token,
+                enum_cache: enum_cache.clone(),
             };
             let result = run_goal_in_context(&jobs[goal_idx].goal, config, &ctx);
 

@@ -1,0 +1,60 @@
+//! Pins the corpus progress of the round-trip-pruning + memoized
+//! enumeration work: the goals it flipped from deterministic timeouts to
+//! solving must keep solving at the default batch budget, with the
+//! programs the paper expects (structural recursion, abduced branch
+//! conditions) — not vacuous accidents.
+
+use std::time::Duration;
+use synquid_engine::{Engine, EngineConfig, GoalJob};
+use synquid_lang::spec::load_corpus_file;
+
+/// `(spec stem, goal name, fragment the solution must contain)` for the
+/// goals PR 3 flipped. The fragments pin the *shape* of the solution —
+/// a recursive call for the list traversals, the abduction-guarded
+/// constructor for `replicate` — without over-pinning binder names.
+const FLIPPED: [(&str, &str, &str); 4] = [
+    ("delete", "list_delete", "list_delete"),
+    ("drop", "drop", "drop"),
+    ("elem", "list_member", "list_member"),
+    ("replicate", "replicate", "Cons x (replicate (dec n) x)"),
+];
+
+/// Release-only: these goals need 4–19 s of solo CPU each, far beyond
+/// what a debug build can do inside the budget.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-calibrated budgets; run with --release -- --include-ignored"
+)]
+fn previously_stalled_goals_synthesize_at_the_default_budget() {
+    let mut batch = Vec::new();
+    for (stem, _, _) in FLIPPED {
+        let spec = load_corpus_file(stem).unwrap_or_else(|e| panic!("specs/{stem}.sq: {e}"));
+        for goal in spec.goals {
+            batch.push(GoalJob::new(stem, goal));
+        }
+    }
+    let engine = Engine::new(EngineConfig {
+        jobs: 1,
+        timeout: Duration::from_secs(30),
+        ..EngineConfig::default()
+    });
+    let report = engine.run(batch);
+    for ((_, name, fragment), outcome) in FLIPPED.iter().zip(&report.outcomes) {
+        assert_eq!(&outcome.result.name, name);
+        let program = outcome.result.program.as_deref().unwrap_or_else(|| {
+            panic!(
+                "{name} regressed to {}",
+                if outcome.result.timed_out {
+                    "a timeout"
+                } else {
+                    "no solution"
+                }
+            )
+        });
+        assert!(
+            program.contains(fragment),
+            "{name} synthesized an unexpected program:\n{program}"
+        );
+    }
+}

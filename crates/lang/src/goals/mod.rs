@@ -14,8 +14,8 @@
 //! * [`sorting`] — the remaining `Sorting` goals (merging sorted lists);
 //! * [`user`] — the `User` group (address books).
 //!
-//! Each function returns a fresh [`Goal`]; the benchmark table wires them
-//! into the Table 1 rows by name.
+//! Each function returns a fresh [`Goal`](synquid_core::Goal); the
+//! benchmark table wires them into the Table 1 rows by name.
 
 pub mod heaps;
 pub mod lists;

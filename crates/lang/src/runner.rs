@@ -53,6 +53,14 @@ impl Variant {
     }
 }
 
+/// The canonical `goal @ source` reference used everywhere a goal is
+/// named next to its provenance — batch listings, timeout reports, and
+/// the generated corpus table all agree on this one format (it matches
+/// the parser diagnostics' source-located style).
+pub fn goal_label(name: &str, source: &str) -> String {
+    format!("{name} @ {source}")
+}
+
 /// The outcome of running one synthesis goal.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -124,6 +132,14 @@ pub fn run_goal_in_context(goal: &Goal, config: SynthesisConfig, ctx: &SolverCon
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn goal_labels_use_the_source_located_style() {
+        assert_eq!(
+            goal_label("append", "specs/append.sq"),
+            "append @ specs/append.sq"
+        );
+    }
 
     #[test]
     fn variants_map_to_table1_columns() {

@@ -8,7 +8,7 @@
 //! subterms are stored once.
 //!
 //! The interner is a classic hash-consing table: terms are flattened
-//! bottom-up into [`Node`]s whose children are already-interned ids, so
+//! bottom-up into `Node`s whose children are already-interned ids, so
 //! two terms receive the same id *iff* they are structurally equal, and
 //! equal subtrees share one node regardless of how many parents mention
 //! them. [`Interner::resolve`] rebuilds the `Term`, making interning a

@@ -3,7 +3,7 @@
 //! The surface AST is deliberately close to the concrete syntax: operators
 //! are kept surface-level (`+` is not yet resolved to integer addition
 //! versus set union; that requires sorts and happens in
-//! [`crate::desugar`]), and every node carries its [`Span`] so the
+//! [`mod@crate::desugar`]), and every node carries its [`Span`] so the
 //! desugarer can report precise diagnostics.
 
 use crate::span::Span;

@@ -115,7 +115,7 @@ impl SharedValidityCache {
     /// `sat(antecedent ∧ ¬consequent)` if the same pair was solved
     /// before. Probing is read-only ([`Interner::find`] never inserts),
     /// so concurrent lookups share a read lock, misses never grow the
-    /// interner, and the [`MAX_ENTRIES`] bound really bounds memory.
+    /// interner, and the `MAX_ENTRIES` bound really bounds memory.
     pub fn lookup_normalized(&self, query: &NormalizedQuery) -> Option<SmtResult> {
         let cached = {
             let table = self.inner.table.read().expect("validity cache poisoned");

@@ -253,22 +253,34 @@ impl Smt {
                         return SmtResult::Unsat;
                     }
                     // Shrink the conflicting literal set to a small core by
-                    // deletion so the blocking clause prunes many boolean
-                    // models at once (the loop converges in a handful of
-                    // iterations instead of enumerating every assignment to
-                    // the irrelevant comparison atoms).
+                    // chunked deletion so the blocking clause prunes many
+                    // boolean models at once. Whole blocks are dropped
+                    // first, halving the block size on failure, so a core
+                    // of size k hiding in n literals costs O(k log n)
+                    // theory checks instead of the O(n) of one-at-a-time
+                    // deletion — on measure-heavy synthesis queries the
+                    // conflict sets run to dozens of literals, and this
+                    // shrink loop dominates query time.
                     let mut core = literals;
-                    let mut i = 0;
-                    while i < core.len() {
-                        let mut candidate = core.clone();
-                        candidate.remove(i);
-                        let cs: Vec<_> = candidate.iter().map(|(_, _, c)| c.clone()).collect();
-                        self.stats.theory_calls += 1;
-                        if matches!(lia.check(problem.num_arith_vars, &cs), LiaResult::Unsat) {
-                            core = candidate;
-                        } else {
-                            i += 1;
+                    let mut block = core.len().div_ceil(2);
+                    loop {
+                        let mut i = 0;
+                        while i < core.len() {
+                            let end = (i + block).min(core.len());
+                            let mut candidate = core.clone();
+                            candidate.drain(i..end);
+                            let cs: Vec<_> = candidate.iter().map(|(_, _, c)| c.clone()).collect();
+                            self.stats.theory_calls += 1;
+                            if matches!(lia.check(problem.num_arith_vars, &cs), LiaResult::Unsat) {
+                                core = candidate;
+                            } else {
+                                i = end;
+                            }
                         }
+                        if block == 1 {
+                            break;
+                        }
+                        block = block.div_ceil(2);
                     }
                     let blocking: Vec<Lit> = core
                         .iter()

@@ -298,6 +298,55 @@ impl Environment {
         space
     }
 
+    /// A copy of this environment with every path condition mapped
+    /// through `f` (conditions that map to `true` are dropped). The
+    /// synthesizer uses this to *concretize* an environment before
+    /// memoized enumeration: path conditions containing predicate
+    /// unknowns are replaced by their current valuations, so enumeration
+    /// keys and generation-time checks never see another solver's
+    /// unknowns.
+    pub fn map_path_conditions(&self, f: impl Fn(&Term) -> Term) -> Environment {
+        let mut out = self.clone();
+        out.path_conditions = self
+            .path_conditions
+            .iter()
+            .map(f)
+            .filter(|t| !t.is_true())
+            .collect();
+        out
+    }
+
+    /// A canonical textual fingerprint of everything that can influence
+    /// E-term enumeration in this environment: variable bindings (in
+    /// order, with their full schemas), path conditions, qualifiers, and
+    /// measure declarations. Two environments with equal fingerprints
+    /// produce identical candidate sets, which is what makes the
+    /// enumeration memo (`synquid-core`'s `EnumerationCache`) sound — the
+    /// fingerprint is the cache key, so it must be collision-free, not
+    /// merely collision-resistant; hence a full string rather than a
+    /// hash.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        for name in &self.var_order {
+            let _ = write!(out, "v {name}:{};", self.vars[name]);
+        }
+        for pc in &self.path_conditions {
+            let _ = write!(out, "p {pc};");
+        }
+        for q in &self.qualifiers {
+            let _ = write!(out, "q {q:?};");
+        }
+        for (name, m) in &self.measures {
+            let _ = write!(
+                out,
+                "m {name}:{}:{:?}:{};",
+                m.datatype, m.result, m.non_negative
+            );
+        }
+        out
+    }
+
     /// Extracts additional qualifiers from a refinement type: every atomic
     /// conjunct of every refinement in the type becomes a qualifier in
     /// which program variables other than `ν` are abstracted into

@@ -240,6 +240,44 @@ impl ConstraintSolver {
         }
     }
 
+    /// Imports a type that was produced by a *different* solver instance
+    /// (e.g. a memoized enumeration result): every free unification type
+    /// variable is renamed to a fresh variable of this solver's
+    /// namespace, consistently across calls that share `map`, so cached
+    /// types can never alias this solver's own unification variables.
+    pub fn import_type(&mut self, ty: &RType, map: &mut BTreeMap<String, RType>) -> RType {
+        for v in ty.type_vars() {
+            if is_free_type_var(&v) && !map.contains_key(&v) {
+                map.insert(v, RType::tyvar(self.fresh_type_var()));
+            }
+        }
+        ty.substitute_type_vars(map)
+    }
+
+    /// Adds and solves the plain logical obligation `⟦Γ⟧ ⇒ fact`.
+    /// Predicate unknowns among the environment's path conditions (most
+    /// importantly the branch-condition unknown of liquid abduction) may
+    /// be strengthened to validate the obligation, exactly as for
+    /// subtyping constraints. The synthesizer uses this to replay the
+    /// argument-side conditions of memoized candidates under the current
+    /// goal's abduction unknown.
+    pub fn require(
+        &mut self,
+        env: &Environment,
+        fact: &Term,
+        smt: &mut Smt,
+        label: &str,
+    ) -> Result<(), TypeError> {
+        if fact.is_true() {
+            return Ok(());
+        }
+        let assumptions = env.assumptions(fact);
+        let constraint = HornConstraint::new(assumptions, fact.clone(), label);
+        self.fixpoint
+            .add_constraint(constraint, smt)
+            .map_err(|e| TypeError::new(format!("{label}: {e}")))
+    }
+
     // -----------------------------------------------------------------
     // Subtyping
     // -----------------------------------------------------------------
@@ -487,8 +525,13 @@ impl ConstraintSolver {
                 },
             ) => {
                 // Shapes that are still being unified are vacuously
-                // consistent.
-                if !b1.sort().compatible(&b2.sort()) {
+                // consistent: a free unification variable can still
+                // become anything, so sorts mentioning one must not
+                // prune (plain `Sort::compatible` treats distinct
+                // variables as incompatible, which would discard every
+                // not-yet-instantiated polymorphic candidate —
+                // constructor applications above all).
+                if !sorts_consistent(&b1.sort(), &b2.sort()) {
                     return Err(TypeError::new(format!(
                         "{label}: inconsistent base types {b1} and {b2}"
                     )));
@@ -509,6 +552,24 @@ impl ConstraintSolver {
             // functions) and top/bot are treated as consistent.
             _ => Ok(()),
         }
+    }
+}
+
+/// Sort compatibility for consistency checking: like
+/// [`Sort::compatible`], but a *free* (unification) type-variable sort is
+/// a wildcard — it can still be instantiated to anything, so pruning on
+/// it would be unsound for the search.
+fn sorts_consistent(a: &Sort, b: &Sort) -> bool {
+    match (a, b) {
+        (Sort::Var(n), _) | (_, Sort::Var(n)) if is_free_type_var(n) => true,
+        (Sort::Unknown, _) | (_, Sort::Unknown) => true,
+        (Sort::Set(x), Sort::Set(y)) => sorts_consistent(x, y),
+        (Sort::Data(n1, a1), Sort::Data(n2, a2)) => {
+            n1 == n2
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| sorts_consistent(x, y))
+        }
+        _ => a == b,
     }
 }
 

@@ -131,6 +131,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 struct PlannedGoal {
     file_idx: usize,
     name: String,
+    file: String,
     schema: String,
 }
 
@@ -148,7 +149,7 @@ fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
     } else {
         println!(
             "{}: no solution within {:.0}s{}",
-            planned.name,
+            synquid::lang::runner::goal_label(&planned.name, &planned.file),
             opts.timeout.as_secs_f64(),
             if result.timed_out { " (timed out)" } else { "" },
         );
@@ -164,8 +165,12 @@ fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
         );
         if let Some(stats) = &result.stats {
             print!(
-                ", {} E-terms, {} branches, {} matches, {} SMT queries ({} local hits, {} shared hits / {} misses)",
+                ", {} enumerated, {} checked, {} pruned early, {} memo hits / {} misses, {} branches, {} matches, {} SMT queries ({} local hits, {} shared hits / {} misses)",
+                stats.terms_enumerated,
                 stats.eterms_checked,
+                stats.pruned_early,
+                stats.memo_hits,
+                stats.memo_misses,
                 stats.branches_abduced,
                 stats.matches_generated,
                 stats.smt_queries,
@@ -225,6 +230,7 @@ fn main() -> ExitCode {
             planned.push(PlannedGoal {
                 file_idx,
                 name: goal.name.clone(),
+                file: file.clone(),
                 schema: goal.schema.to_string(),
             });
             jobs.push(GoalJob::new(file.clone(), goal));
