@@ -10,16 +10,18 @@
 //! ```
 //!
 //! `batch` runs the whole `specs/` corpus through the parallel engine
-//! and writes the machine-readable `BENCH_pr3.json` timing report (per
-//! goal: solved/timings/winning rung/enumeration counters; plus the
-//! validity-cache counters). `--compare` prints per-goal deltas against
-//! a previous artifact (solved↔timeout flips, time ratios); `--readme`
-//! prints the markdown corpus table embedded in the README's
-//! "Reproduction status" section.
+//! and writes the machine-readable `BENCH_pr5.json` timing report (per
+//! goal: solved/timings/winning rung/budget-ledger accounting/
+//! enumeration and incremental-solver counters; plus the validity-cache
+//! counters). `--compare` prints per-goal deltas against a previous
+//! artifact (solved↔timeout flips, time ratios) and **exits nonzero if
+//! a previously solved goal regressed to a timeout**; `--readme` prints
+//! the markdown corpus table embedded in the README's "Reproduction
+//! status" section.
 
 use std::time::Duration;
 use synquid_bench::{
-    batch_report_json, corpus_markdown_table, format_batch_comparison, format_fig7, format_table1,
+    batch_report_json, compare_batch, corpus_markdown_table, format_fig7, format_table1,
     format_table2, parse_batch_json, run_corpus_batch, run_fig7, run_table1, run_table2,
 };
 
@@ -57,7 +59,7 @@ fn main() {
                 .position(|a| a == "--out")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+                .unwrap_or_else(|| "BENCH_pr5.json".to_string());
             let compare = args
                 .iter()
                 .position(|a| a == "--compare")
@@ -100,10 +102,15 @@ fn main() {
                     if let Some(old_path) = compare {
                         match std::fs::read_to_string(&old_path) {
                             Ok(text) => {
-                                println!(
-                                    "== Deltas against {old_path} ==\n{}",
-                                    format_batch_comparison(&parse_batch_json(&text), &report)
-                                );
+                                let deltas = compare_batch(&parse_batch_json(&text), &report);
+                                println!("== Deltas against {old_path} ==\n{}", deltas.text);
+                                if deltas.regressed > 0 {
+                                    eprintln!(
+                                        "{} goal(s) solved in {old_path} regressed to unsolved",
+                                        deltas.regressed
+                                    );
+                                    std::process::exit(1);
+                                }
                             }
                             Err(e) => {
                                 eprintln!("cannot read {old_path}: {e}");

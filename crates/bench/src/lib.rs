@@ -16,9 +16,10 @@
 //! binary's `batch` subcommand additionally runs the whole `specs/`
 //! corpus through the parallel engine and emits a machine-readable
 //! timing report ([`batch_report_json`], uploaded by CI as
-//! `BENCH_pr3.json`), the markdown corpus table embedded in the README
+//! `BENCH_pr5.json`), the markdown corpus table embedded in the README
 //! ([`corpus_markdown_table`]), and per-goal deltas against a previous
-//! artifact ([`format_batch_comparison`]).
+//! artifact ([`compare_batch`] — CI fails when a previously solved goal
+//! regressed to a timeout).
 
 use std::time::Duration;
 use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob};
@@ -255,15 +256,17 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr3.json`
-/// artifact: per-goal timings, portfolio accounting, and the enumeration
-/// counters (terms enumerated, pruned early, memo hits) plus the shared
-/// validity-cache counters. (Hand-rolled JSON: the workspace resolves
-/// offline, so no serde.)
+/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr5.json`
+/// artifact: per-goal timings, budget-ledger accounting (rungs run /
+/// cancelled / skipped / out of budget, budget consumed), the
+/// enumeration counters (terms enumerated, pruned early, memo hits),
+/// the incremental-solver counters (conflicts learned / replayed,
+/// assumptions dropped), plus the shared validity-cache counters.
+/// (Hand-rolled JSON: the workspace resolves offline, so no serde.)
 pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"report\": \"BENCH_pr3\",\n");
+    out.push_str("  \"report\": \"BENCH_pr5\",\n");
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
     out.push_str(&format!("  \"timeout_secs\": {},\n", timeout.as_secs()));
     out.push_str(&format!("  \"wall_secs\": {:.3},\n", report.wall_secs));
@@ -283,39 +286,32 @@ pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
             .code_size
             .map(|s| s.to_string())
             .unwrap_or_else(|| "null".to_string());
-        let (enumerated, checked, pruned, memo_hits, memo_misses) = match &r.stats {
-            Some(s) => (
-                s.terms_enumerated.to_string(),
-                s.eterms_checked.to_string(),
-                s.pruned_early.to_string(),
-                s.memo_hits.to_string(),
-                s.memo_misses.to_string(),
-            ),
-            None => (
-                "null".to_string(),
-                "null".to_string(),
-                "null".to_string(),
-                "null".to_string(),
-                "null".to_string(),
-            ),
+        let stat = |f: fn(&synquid_lang::SynthesisStats) -> usize| match &r.stats {
+            Some(s) => f(s).to_string(),
+            None => "null".to_string(),
         };
         out.push_str(&format!(
-            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_out_of_budget\": {}, \"terms_enumerated\": {}, \"eterms_checked\": {}, \"pruned_early\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}{}\n",
+            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"consumed_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_skipped\": {}, \"rungs_out_of_budget\": {}, \"terms_enumerated\": {}, \"eterms_checked\": {}, \"pruned_early\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \"smt_conflicts_learned\": {}, \"smt_conflicts_reused\": {}, \"assumptions_dropped\": {}}}{}\n",
             json_escape(&o.source),
             json_escape(&r.name),
             r.solved,
             r.timed_out,
             r.time_secs,
+            o.consumed_secs,
             code_size,
             rung,
             o.rungs_run,
             o.rungs_cancelled,
+            o.rungs_skipped,
             o.rungs_out_of_budget,
-            enumerated,
-            checked,
-            pruned,
-            memo_hits,
-            memo_misses,
+            stat(|s| s.terms_enumerated),
+            stat(|s| s.eterms_checked),
+            stat(|s| s.pruned_early),
+            stat(|s| s.memo_hits),
+            stat(|s| s.memo_misses),
+            stat(|s| s.smt_conflicts_learned),
+            stat(|s| s.smt_conflicts_reused),
+            stat(|s| s.assumptions_dropped),
             if i + 1 == report.outcomes.len() { "" } else { "," },
         ));
     }
@@ -338,9 +334,9 @@ pub fn corpus_markdown_table(report: &BatchReport, timeout: Duration) -> String 
         timeout.as_secs()
     ));
     out.push_str(
-        "| Goal | Status | Time (s) | Enumerated | Checked | Pruned early | Memo hits |\n",
+        "| Goal | Status | Time (s) | Enumerated | Checked | Pruned early | Memo hits | Conflicts replayed | Rungs skipped |\n",
     );
-    out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|\n");
     for o in &report.outcomes {
         let r = &o.result;
         let status = if r.solved {
@@ -361,11 +357,12 @@ pub fn corpus_markdown_table(report: &BatchReport, timeout: Duration) -> String 
                 s.eterms_checked.to_string(),
                 s.pruned_early.to_string(),
                 s.memo_hits.to_string(),
+                s.smt_conflicts_reused.to_string(),
             ],
             None => std::array::from_fn(|_| "—".to_string()),
         };
         out.push_str(&format!(
-            "| `{}` | {} | {} | {} | {} | {} | {} |\n",
+            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} |\n",
             synquid_lang::runner::goal_label(&r.name, &o.source),
             status,
             time,
@@ -373,6 +370,8 @@ pub fn corpus_markdown_table(report: &BatchReport, timeout: Duration) -> String 
             counters[1],
             counters[2],
             counters[3],
+            counters[4],
+            o.rungs_skipped,
         ));
     }
     let solved = report.outcomes.iter().filter(|o| o.result.solved).count();
@@ -440,10 +439,23 @@ pub fn parse_batch_json(text: &str) -> Vec<ParsedGoal> {
         .collect()
 }
 
-/// Formats the per-goal deltas between a previous batch artifact and the
-/// current run: solved↔timeout flips and time ratios, so CI uploads show
-/// the trajectory from PR to PR.
-pub fn format_batch_comparison(old: &[ParsedGoal], report: &BatchReport) -> String {
+/// The result of comparing a batch run against a previous artifact.
+#[derive(Debug, Clone)]
+pub struct BatchComparison {
+    /// The formatted per-goal delta table.
+    pub text: String,
+    /// Goals solved now that were unsolved in the old artifact.
+    pub newly_solved: usize,
+    /// Goals solved in the old artifact that no longer solve — the
+    /// regression condition CI fails on.
+    pub regressed: usize,
+}
+
+/// Compares a previous batch artifact with the current run: solved↔
+/// timeout flips and time ratios, so CI uploads show the trajectory from
+/// PR to PR — and CI can fail when [`BatchComparison::regressed`] is
+/// nonzero.
+pub fn compare_batch(old: &[ParsedGoal], report: &BatchReport) -> BatchComparison {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<40} {:>10} {:>10} {:>8}\n",
@@ -491,7 +503,11 @@ pub fn format_batch_comparison(old: &[ParsedGoal], report: &BatchReport) -> Stri
         "\n{flips_solved} goal(s) newly solved, {flips_lost} regressed, {} total.\n",
         report.outcomes.len()
     ));
-    return out;
+    return BatchComparison {
+        text: out,
+        newly_solved: flips_solved,
+        regressed: flips_lost,
+    };
 
     fn cell(solved: bool, time: f64) -> String {
         if solved {
@@ -519,13 +535,23 @@ mod tests {
             report.outcomes.len()
         );
         let json = batch_report_json(&report, timeout);
-        assert!(json.contains("\"report\": \"BENCH_pr3\""));
+        assert!(json.contains("\"report\": \"BENCH_pr5\""));
         assert!(json.contains("\"validity_cache\""));
         assert!(json.contains("\"terms_enumerated\""));
         assert!(json.contains("\"pruned_early\""));
         assert!(json.contains("\"memo_hits\""));
+        assert!(json.contains("\"rungs_skipped\""));
+        assert!(json.contains("\"consumed_secs\""));
+        assert!(json.contains("\"smt_conflicts_reused\""));
+        assert!(json.contains("\"assumptions_dropped\""));
         assert!(json.contains("replicate"));
         assert!(json.contains("tree_member"));
+        // A 1 ms budget cannot be meaningfully exceeded in reporting:
+        // every goal's reported time is its ledger consumption, and a
+        // goal that fails must be out of budget, never a fake timeout.
+        for goal in parse_batch_json(&json) {
+            assert!(!goal.solved, "nothing solves in 1 ms: {goal:?}");
+        }
         assert_eq!(
             json.matches("\"file\":").count(),
             report.outcomes.len(),
@@ -538,8 +564,10 @@ mod tests {
         let table = corpus_markdown_table(&report, timeout);
         assert!(table.contains("| Goal | Status |"));
         assert!(table.contains("replicate @ "));
-        let deltas = format_batch_comparison(&parsed, &report);
-        assert!(deltas.contains("0 goal(s) newly solved"));
+        let deltas = compare_batch(&parsed, &report);
+        assert!(deltas.text.contains("0 goal(s) newly solved"));
+        assert_eq!(deltas.newly_solved, 0);
+        assert_eq!(deltas.regressed, 0, "self-comparison cannot regress");
     }
 
     #[test]

@@ -70,13 +70,31 @@ pub struct EnumerationCacheStats {
     pub entries: usize,
 }
 
+/// One stored generation result: the candidate set together with whether
+/// it *grew* relative to the set one application-depth level below.
+///
+/// The growth bit is what lets the engine's budget ledger prove a deeper
+/// portfolio rung redundant: generation at depth `d` extends the depth
+/// `d − 1` set, so `grew == false` at every site a failed run touched at
+/// its maximum depth means a rerun with a larger depth bound would
+/// enumerate — and therefore check — exactly the same candidates.
+#[derive(Debug, Clone)]
+pub struct GenerationEntry {
+    /// The memoized candidate set.
+    pub set: Arc<Vec<ShapedCandidate>>,
+    /// True if this set is strictly larger than the set at `depth − 1`
+    /// (always true at depth 0: a deeper bound enables applications that
+    /// depth 0 cannot contain).
+    pub grew: bool,
+}
+
 /// A concurrent memo table for goal-blind E-term generation, keyed by
 /// `(environment fingerprint, shape key, depth)`. Cloning shares the
 /// underlying table (like the solver's validity cache).
 #[derive(Debug, Clone, Default)]
 pub struct EnumerationCache {
     #[allow(clippy::type_complexity)]
-    map: Arc<Mutex<HashMap<(String, String, usize), Arc<Vec<ShapedCandidate>>>>>,
+    map: Arc<Mutex<HashMap<(String, String, usize), GenerationEntry>>>,
     hits: Arc<AtomicUsize>,
     misses: Arc<AtomicUsize>,
 }
@@ -88,7 +106,7 @@ impl EnumerationCache {
     }
 
     /// Looks up a candidate set.
-    pub fn lookup(&self, key: &(String, String, usize)) -> Option<Arc<Vec<ShapedCandidate>>> {
+    pub fn lookup(&self, key: &(String, String, usize)) -> Option<GenerationEntry> {
         let found = self
             .map
             .lock()
@@ -108,13 +126,13 @@ impl EnumerationCache {
     /// (the validity cache bounds itself the same way). Refusing further
     /// inserts keeps determinism — a skipped insert only means the set is
     /// regenerated (to the identical value) on the next request.
-    const MAX_ENTRIES: usize = 4096;
+    pub const MAX_ENTRIES: usize = 4096;
 
     /// Stores a complete candidate set. Sets must only be inserted when
     /// generation ran to completion (a deadline abort mid-generation must
     /// not publish a truncated set); once [`Self::MAX_ENTRIES`] sets are
     /// stored, further inserts are dropped.
-    pub fn insert(&self, key: (String, String, usize), value: Arc<Vec<ShapedCandidate>>) {
+    pub fn insert(&self, key: (String, String, usize), value: GenerationEntry) {
         let mut map = self.map.lock().expect("enumeration cache poisoned");
         if map.len() < Self::MAX_ENTRIES || map.contains_key(&key) {
             map.insert(key, value);
@@ -221,7 +239,13 @@ mod tests {
         let cache = EnumerationCache::new();
         let key = ("env".to_string(), "Int".to_string(), 1);
         assert!(cache.lookup(&key).is_none());
-        cache.insert(key.clone(), Arc::new(Vec::new()));
+        cache.insert(
+            key.clone(),
+            GenerationEntry {
+                set: Arc::new(Vec::new()),
+                grew: false,
+            },
+        );
         assert!(cache.lookup(&key).is_some());
         let clone = cache.clone();
         assert!(clone.lookup(&key).is_some(), "clones share the table");

@@ -32,6 +32,15 @@ pub struct SynthesisConfig {
     /// Disabling regenerates every set from scratch; results are
     /// byte-identical either way, only slower.
     pub memoize: bool,
+    /// Persist learned theory conflicts in the SMT backend across
+    /// queries (incremental DPLL(T)). Disabling re-solves every query
+    /// from scratch. Persisted lemmas are sound theory facts, so no
+    /// `Sat`/`Unsat` verdict can differ; the one asymmetry is a query
+    /// that would exhaust its DPLL(T)-iteration or LIA-branch budget
+    /// from scratch — replayed lemmas can prune enough models to decide
+    /// it (`Unknown` → `Unsat`), making strictly *more* proofs succeed,
+    /// never fewer.
+    pub incremental_smt: bool,
     /// Wall-clock timeout for one synthesis goal.
     pub timeout: Duration,
     /// Cap on the number of candidates returned by one E-term enumeration.
@@ -52,6 +61,7 @@ impl Default for SynthesisConfig {
             consistency: true,
             use_musfix: true,
             memoize: true,
+            incremental_smt: true,
             timeout: Duration::from_secs(120),
             max_candidates: 64,
             max_arg_candidates: 24,
@@ -93,6 +103,17 @@ impl SynthesisConfig {
     /// memoization changes timing only, never results.
     pub fn without_memoization(mut self) -> SynthesisConfig {
         self.memoize = false;
+        self
+    }
+
+    /// Disables incremental DPLL(T) (cross-query theory-conflict
+    /// persistence in the SMT backend). Used by the regression tests to
+    /// check incremental solving against from-scratch solving on goals
+    /// whose queries are decided within budget (where the results must
+    /// be byte-identical; see [`SynthesisConfig::incremental_smt`] for
+    /// the budget-boundary asymmetry).
+    pub fn without_incremental_smt(mut self) -> SynthesisConfig {
+        self.incremental_smt = false;
         self
     }
 

@@ -18,7 +18,7 @@
 
 use crate::ast::{Case, Program};
 use crate::context::{CancellationToken, SolverContext};
-use crate::memo::{shape_key, EnumerationCache, ShapedCandidate};
+use crate::memo::{shape_key, EnumerationCache, GenerationEntry, ShapedCandidate};
 use crate::options::SynthesisConfig;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -122,6 +122,27 @@ pub struct SynthesisStats {
     pub shared_negative_hits: usize,
     /// Queries that consulted the shared validity cache and missed.
     pub shared_cache_misses: usize,
+    /// Theory conflicts learned by the incremental DPLL(T) backend and
+    /// persisted across queries.
+    pub smt_conflicts_learned: usize,
+    /// Persisted theory conflicts replayed into later queries (each
+    /// replay pre-prunes a SAT + LIA round trip the query would
+    /// otherwise repeat).
+    pub smt_conflicts_reused: usize,
+    /// Duplicate assumption conjuncts dropped by the environment's
+    /// assumption extractor before encoding.
+    pub assumptions_dropped: usize,
+    /// True if some E-term generation at the run's maximum application
+    /// depth produced candidates its `depth − 1` set lacked — i.e. a
+    /// deeper application bound could enumerate new programs. When a run
+    /// fails with the frontier *closed*, rerunning it with a larger
+    /// application depth is provably futile (the engine's ledger skips
+    /// such rungs).
+    pub frontier_open: bool,
+    /// True if the search declined a pattern match (a datatype scrutinee
+    /// was in scope) because the match-depth bound was exhausted — i.e. a
+    /// deeper match bound could change the outcome.
+    pub match_bound_hit: bool,
 }
 
 /// A successfully synthesized program together with statistics.
@@ -163,9 +184,17 @@ impl Synthesizer {
     /// the run stops early when the context's token is cancelled.
     pub fn with_context(config: SynthesisConfig, context: &SolverContext) -> Synthesizer {
         let deadline = Instant::now() + config.timeout;
+        let mut smt = context.make_smt();
+        // Budget enforcement reaches the DPLL(T) loop itself: a single
+        // liquid-abduction round can spend the whole budget inside one
+        // fixpoint strengthening, so deadline checks between candidates
+        // alone would overshoot by minutes.
+        smt.set_incremental(config.incremental_smt);
+        smt.set_deadline(Some(deadline));
+        smt.set_cancellation(Some(context.cancel.clone()));
         Synthesizer {
             config,
-            smt: context.make_smt(),
+            smt,
             cancel: context.cancel.clone(),
             deadline,
             stats: SynthesisStats::default(),
@@ -185,6 +214,9 @@ impl Synthesizer {
         stats.shared_cache_hits = smt.shared_hits;
         stats.shared_negative_hits = smt.shared_negative_hits;
         stats.shared_cache_misses = smt.shared_misses;
+        stats.smt_conflicts_learned = smt.conflicts_learned;
+        stats.smt_conflicts_reused = smt.conflicts_reused;
+        stats.assumptions_dropped = smt.assumptions_dropped;
         stats
     }
 
@@ -216,7 +248,19 @@ impl Synthesizer {
     /// Synthesizes a program for the goal.
     pub fn synthesize(&mut self, goal: &Goal) -> Result<Synthesized, SynthesisError> {
         let start = Instant::now();
-        let result = self.synthesize_goal(goal, start);
+        let mut result = self.synthesize_goal(goal, start);
+        // A search that exhausted its candidates *after* the deadline
+        // passed (or cancellation fired) may have done so only because
+        // interrupted SMT queries answered `Unknown`: its `NoSolution`
+        // reflects the budget, not the search space, and must not be
+        // reported as a genuine exhaustion (the portfolio ledger treats
+        // genuine failures as evidence that equivalent deeper rungs can
+        // be skipped).
+        if matches!(result, Err(SynthesisError::NoSolution(_)))
+            && (Instant::now() > self.deadline || self.cancel.is_cancelled())
+        {
+            result = Err(SynthesisError::Timeout(self.goal_name.clone()));
+        }
         // Record wall time on failures too: [`Synthesizer::stats`] (and
         // `RunResult::stats`) are meaningful for timed-out runs.
         self.stats.elapsed_secs = start.elapsed().as_secs_f64();
@@ -229,6 +273,7 @@ impl Synthesizer {
         start: Instant,
     ) -> Result<Synthesized, SynthesisError> {
         self.deadline = start + self.config.timeout;
+        self.smt.set_deadline(Some(self.deadline));
         self.goal_name = goal.name.clone();
         let mut env = goal.env.clone();
         env.add_qualifiers_from_type(&goal.schema.ty);
@@ -353,6 +398,11 @@ impl Synthesizer {
             {
                 return Ok(program);
             }
+        } else if self.has_match_scrutinee(env) {
+            // A match was declined only because the depth bound ran out:
+            // a deeper rung could genuinely differ here, so the failure
+            // must not be treated as bound-independent.
+            self.stats.match_bound_hit = true;
         }
 
         Err(SynthesisError::NoSolution(goal.to_string()))
@@ -571,18 +621,21 @@ impl Synthesizer {
         if self.config.memoize {
             if let Some(found) = self.memo.lookup(&key) {
                 self.stats.memo_hits += 1;
-                return Ok(found);
+                self.note_frontier(depth, found.grew);
+                return Ok(found.set);
             }
             self.stats.memo_misses += 1;
         }
         let mut out: Vec<ShapedCandidate> = Vec::new();
         let mut seen: HashSet<Program> = HashSet::new();
+        let mut below_len = 0usize;
         if depth == 0 {
             self.generate_leaves(env, shape, &mut out);
         } else {
             // Level `d` extends level `d-1`: reuse its (memoized) set and
             // add applications whose arguments draw from level `d-1`.
             let below = self.generate(env, env_key, shape, depth - 1)?;
+            below_len = below.len();
             out.extend(below.iter().cloned());
             seen.extend(below.iter().map(|c| c.program.clone()));
             self.generate_applications(env, env_key, shape, depth, &mut out, &mut seen)?;
@@ -594,11 +647,46 @@ impl Synthesizer {
         // per-goal pass, not to the goal-blind universe — truncating here
         // would silently drop programs some goal needs).
         out.sort_by_cached_key(|c| (c.size, c.program.to_string()));
+        // A depth-0 set counts as "grown": a deeper bound enables
+        // applications that no depth-0 set can contain.
+        let grew = depth == 0 || out.len() > below_len;
         let out = Arc::new(out);
         if self.config.memoize {
-            self.memo.insert(key, out.clone());
+            self.memo.insert(
+                key,
+                GenerationEntry {
+                    set: out.clone(),
+                    grew,
+                },
+            );
         }
+        self.note_frontier(depth, grew);
         Ok(out)
+    }
+
+    /// Records whether the candidate universe is still growing at this
+    /// run's application-depth frontier. Only generation requests *at*
+    /// the configured maximum depth matter: they are exactly the sets a
+    /// deeper rung would extend first.
+    fn note_frontier(&mut self, depth: usize, grew: bool) {
+        if depth == self.config.max_app_depth && grew {
+            self.stats.frontier_open = true;
+        }
+    }
+
+    /// True if the environment offers a match scrutinee (a monomorphic
+    /// datatype-typed scalar variable) — the condition under which an
+    /// exhausted match-depth bound actually constrained the search.
+    fn has_match_scrutinee(&self, env: &Environment) -> bool {
+        env.var_names().iter().any(|name| {
+            env.lookup(name).is_some_and(|schema| {
+                schema.is_monomorphic()
+                    && matches!(
+                        schema.ty.base_type(),
+                        Some(BaseType::Data(dt, _)) if env.datatype(dt).is_some()
+                    )
+            })
+        })
     }
 
     /// Depth-0 candidates: literals (for the exact primitive shapes) and

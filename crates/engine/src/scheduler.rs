@@ -8,6 +8,16 @@
 //! [`SharedValidityCache`], so a subtyping obligation proven for one
 //! rung (or one goal) is never re-proven by another.
 //!
+//! Each claim is budgeted through the goal's [`Portfolio`] ledger: the
+//! attempt reserves a bounded slice of the goal's remaining budget, is
+//! charged exactly the wall time it measures, and — when the slice runs
+//! out before the search finishes — is re-queued *in front of* its
+//! pending siblings to run again on whatever budget remains (the
+//! enumeration memo and the shared validity cache make the replayed
+//! prefix cheap). Rungs that a completed failure proves equivalent are
+//! skipped without running; rungs claimed once the budget is gone are
+//! recorded as out-of-budget, never charged for time they did not use.
+//!
 //! Results are aggregated deterministically: outcomes are reported in
 //! job-submission order, and each goal's winner is decided by the
 //! portfolio's lowest-solved-rung rule (see [`crate::portfolio`]), not by
@@ -30,6 +40,11 @@ pub struct EngineConfig {
     pub timeout: Duration,
     /// The exploration-bound ladder each goal's portfolio races over.
     pub rungs: Vec<(usize, usize)>,
+    /// Budget shaping (slice rationing + equivalence skipping) in the
+    /// per-goal ledger. On by default; the shaping-parity regression
+    /// tests disable it to prove shaping changes timing only, never
+    /// results.
+    pub shaping: bool,
     /// Template configuration (ablation switches, candidate caps);
     /// bounds and timeout are overridden per rung.
     pub base: SynthesisConfig,
@@ -41,6 +56,7 @@ impl Default for EngineConfig {
             jobs: 1,
             timeout: Duration::from_secs(30),
             rungs: DEFAULT_RUNGS.to_vec(),
+            shaping: true,
             base: SynthesisConfig::default(),
         }
     }
@@ -79,9 +95,16 @@ pub struct GoalOutcome {
     pub rungs_run: usize,
     /// Rungs cancelled after a shallower rung won.
     pub rungs_cancelled: usize,
+    /// Rungs skipped because a completed failure proved their search
+    /// identical; their budget slices were refunded without running.
+    pub rungs_skipped: usize,
     /// Rungs that never ran because the goal's budget was exhausted
     /// (distinct from cancellation: no winner was involved).
     pub rungs_out_of_budget: usize,
+    /// Total wall time the ledger charged to this goal's rung attempts.
+    /// For unsolved goals this is also the reported `time_secs`; it can
+    /// never exceed the goal budget by more than one truncated SMT step.
+    pub consumed_secs: f64,
 }
 
 /// The deterministic aggregate of a batch run.
@@ -151,7 +174,11 @@ impl Engine {
             for rung_idx in 0..rungs.len() {
                 queue.push_back((goal_idx, rung_idx));
             }
-            portfolios.push(Portfolio::new(rungs.clone(), self.config.timeout));
+            portfolios.push(Portfolio::with_shaping(
+                rungs.clone(),
+                self.config.timeout,
+                self.config.shaping,
+            ));
         }
         let shared = Mutex::new(Shared { queue, portfolios });
 
@@ -170,22 +197,33 @@ impl Engine {
             .zip(&shared.portfolios)
             .map(|(job, portfolio)| {
                 let (result, winning_rung) = portfolio.verdict();
-                let result = result.cloned().unwrap_or_else(|| RunResult {
+                let consumed_secs = portfolio.consumed().as_secs_f64();
+                let mut result = result.cloned().unwrap_or_else(|| RunResult {
                     name: job.goal.name.clone(),
                     solved: false,
                     timed_out: true,
-                    time_secs: self.config.timeout.as_secs_f64(),
+                    time_secs: 0.0,
                     program: None,
                     code_size: None,
                     stats: None,
                 });
+                if !result.solved {
+                    // Honest failure reporting: the goal is timed out only
+                    // if some rung actually ran out of its budget, and the
+                    // reported time is the ledger's total consumption —
+                    // never the scrap measured by the last unluckiest rung.
+                    result.timed_out = portfolio.ran_out_of_budget();
+                    result.time_secs = consumed_secs;
+                }
                 GoalOutcome {
                     source: job.source.clone(),
                     result,
                     winning_rung,
                     rungs_run: portfolio.rungs_run(),
                     rungs_cancelled: portfolio.rungs_cancelled(),
+                    rungs_skipped: portfolio.rungs_skipped(),
                     rungs_out_of_budget: portfolio.rungs_out_of_budget(),
+                    consumed_secs,
                 }
             })
             .collect();
@@ -205,6 +243,8 @@ impl Engine {
         cache: &SharedValidityCache,
         enum_cache: &synquid_core::EnumerationCache,
     ) {
+        // Consecutive pops that all ended in a starved park (see below).
+        let mut parked_streak = 0usize;
         loop {
             // Claim the next runnable item under the lock; decide without
             // it whether to run (the synthesis itself must not hold it).
@@ -213,48 +253,88 @@ impl Engine {
                 let Some((goal_idx, rung_idx)) = state.queue.pop_front() else {
                     return;
                 };
-                let now = Instant::now();
                 let portfolio = &mut state.portfolios[goal_idx];
                 if portfolio.is_dominated(rung_idx) || portfolio.tokens[rung_idx].is_cancelled() {
                     portfolio.record(rung_idx, RungOutcome::Cancelled);
                     continue;
                 }
-                let deadline = portfolio.deadline(now);
-                let budget = deadline.saturating_duration_since(now);
-                if budget.is_zero() {
-                    portfolio.record(rung_idx, RungOutcome::OutOfBudget);
+                if portfolio.skippable(rung_idx) {
+                    portfolio.record(rung_idx, RungOutcome::Skipped);
                     continue;
                 }
-                let token = portfolio.tokens[rung_idx].clone();
-                let bounds = portfolio.rungs[rung_idx];
-                (goal_idx, rung_idx, bounds, budget, deadline, token)
+                let slice = portfolio.slice_for(rung_idx);
+                if slice < portfolio.min_slice() {
+                    if portfolio.any_in_flight() {
+                        // The budget is tied up in running siblings whose
+                        // refunds may re-fund this rung: park it behind
+                        // them and let the pool make progress elsewhere.
+                        state.queue.push_back((goal_idx, rung_idx));
+                        Err(state.queue.len())
+                    } else {
+                        portfolio.record(rung_idx, RungOutcome::OutOfBudget);
+                        continue;
+                    }
+                } else {
+                    portfolio.start(rung_idx, slice);
+                    let token = portfolio.tokens[rung_idx].clone();
+                    let bounds = portfolio.rungs[rung_idx];
+                    Ok((goal_idx, rung_idx, bounds, slice, token))
+                }
+            };
+            let (goal_idx, rung_idx, (app_depth, match_depth), slice, token) = match claimed {
+                Ok(claim) => {
+                    parked_streak = 0;
+                    claim
+                }
+                Err(queue_len) => {
+                    // Parked. Other queue entries may be claimable right
+                    // now, so keep draining; only once a full queue's
+                    // worth of consecutive pops were all starved parks
+                    // (everything runnable is waiting on in-flight
+                    // reservations) back off briefly so this loop does
+                    // not spin on the scheduler lock.
+                    parked_streak += 1;
+                    if parked_streak >= queue_len.max(1) {
+                        std::thread::sleep(Duration::from_millis(2));
+                        parked_streak = 0;
+                    }
+                    continue;
+                }
             };
 
-            let (goal_idx, rung_idx, (app_depth, match_depth), budget, deadline, token) = claimed;
             let mut config = self.config.base.clone().with_bounds(app_depth, match_depth);
-            config.timeout = budget;
+            config.timeout = slice;
             let ctx = SolverContext {
                 cache: Some(cache.clone()),
                 cancel: token,
                 enum_cache: enum_cache.clone(),
             };
+            let started = Instant::now();
             let result = run_goal_in_context(&jobs[goal_idx].goal, config, &ctx);
+            let elapsed = started.elapsed();
 
             let mut state = shared.lock().expect("scheduler state poisoned");
             let portfolio = &mut state.portfolios[goal_idx];
-            // A run aborted by sibling cancellation is indistinguishable
-            // from a timeout inside the synthesizer, so classify by the
-            // token — but only when the goal's deadline had not actually
-            // passed, so a rung that genuinely ran out its budget still
-            // counts as finished work even if a sibling won meanwhile.
-            let cancelled_early =
-                portfolio.tokens[rung_idx].is_cancelled() && Instant::now() < deadline;
-            let outcome = if result.timed_out && cancelled_early {
-                RungOutcome::Cancelled
+            portfolio.settle(rung_idx, slice, elapsed);
+            if !result.timed_out {
+                // Ran to completion: solved, or genuinely exhausted its
+                // search space (the synthesizer reports budget-truncated
+                // exhaustion as a timeout, so this verdict is trustable).
+                portfolio.record(rung_idx, RungOutcome::finished(result));
+            } else if portfolio.tokens[rung_idx].is_cancelled() {
+                // Aborted because a shallower sibling won.
+                portfolio.record(rung_idx, RungOutcome::Cancelled);
+            } else if portfolio.available() >= portfolio.min_slice() || portfolio.any_in_flight() {
+                // Truncated at its slice with budget left (or refunds
+                // still possible): re-queue in front of pending siblings
+                // so the re-lent budget concentrates on the lowest
+                // unfinished rung, mirroring the sequential ladder. The
+                // warm enumeration memo and validity cache make the
+                // replayed prefix of the re-run cheap.
+                state.queue.push_front((goal_idx, rung_idx));
             } else {
-                RungOutcome::Finished(result)
-            };
-            portfolio.record(rung_idx, outcome);
+                portfolio.record(rung_idx, RungOutcome::OutOfBudget);
+            }
         }
     }
 }

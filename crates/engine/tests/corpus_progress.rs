@@ -9,10 +9,12 @@ use synquid_engine::{Engine, EngineConfig, GoalJob};
 use synquid_lang::spec::load_corpus_file;
 
 /// `(spec stem, goal name, fragment the solution must contain)` for the
-/// goals PR 3 flipped. The fragments pin the *shape* of the solution —
+/// goals PR 3 flipped, plus `append` (flipped by PR 5's budget ledger +
+/// incremental solver). The fragments pin the *shape* of the solution —
 /// a recursive call for the list traversals, the abduction-guarded
 /// constructor for `replicate` — without over-pinning binder names.
-const FLIPPED: [(&str, &str, &str); 4] = [
+const FLIPPED: [(&str, &str, &str); 5] = [
+    ("append", "append", "fix append"),
     ("delete", "list_delete", "list_delete"),
     ("drop", "drop", "drop"),
     ("elem", "list_member", "list_member"),

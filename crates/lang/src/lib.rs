@@ -27,3 +27,4 @@ pub mod spec;
 
 pub use benchmarks::{array_search_n, max_n, sygus, table1, table2, transcribed, Benchmark};
 pub use runner::{run_goal, RunResult, Variant};
+pub use synquid_core::SynthesisStats;

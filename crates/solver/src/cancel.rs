@@ -1,0 +1,56 @@
+//! Cooperative cancellation, observed all the way down in the DPLL(T)
+//! loop.
+//!
+//! The token used to live in `synquid-core`, where only the synthesizer's
+//! own deadline checks (between candidates, between enumeration levels)
+//! could observe it. A single liquid-abduction round can spend tens of
+//! seconds inside one fixpoint strengthening — thousands of SMT queries —
+//! so budget enforcement that stops *between* queries overshoots per-goal
+//! budgets by minutes. Defining the token here lets [`crate::smt::Smt`]
+//! poll it (together with a wall-clock deadline) inside its solving
+//! loops, which is what bounds a goal's overshoot to one SAT/LIA step.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between the thread driving a
+/// synthesis run and whoever may want to stop it early (the portfolio
+/// scheduler cancels losing rungs; a frontend may cancel on user
+/// interrupt). Cancellation is observed at the synthesizer's deadline
+/// checks *and* inside the SMT solving loops, and surfaces as a timeout.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// Requests cancellation; all clones of the token observe it.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](CancellationToken::cancel) has been called on
+    /// any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancellation_is_visible_through_clones() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+}

@@ -104,9 +104,45 @@ pub struct Encoded {
     /// Number of arithmetic variables used by the [`TheoryAtom::Compare`]
     /// atoms.
     pub num_arith_vars: usize,
+    /// Canonical names of the arithmetic variables, indexed by [`VarId`]
+    /// (`v:<name>` for program variables, `app:<term>` for purified
+    /// applications, …). Arithmetic variable *ids* are allocation-order
+    /// local to one encoder, so anything that must be compared across
+    /// queries — the incremental solver's learned theory conflicts above
+    /// all — goes through these names instead (see
+    /// [`Encoded::portable_atom_key`]).
+    pub arith_names: Vec<String>,
 }
 
 impl Encoded {
+    /// A canonical, *encoder-independent* key for a theory atom, used to
+    /// match learned theory conflicts across queries. Comparison atoms are
+    /// sign-normalized to `d ≤ 0` / `d < 0` and rendered over the
+    /// arithmetic variables' canonical names (sorted), so `x ≤ y` in one
+    /// query and `y ≥ x` in another produce the same key even though
+    /// their [`VarId`]s differ. Opaque atoms have no arithmetic content
+    /// and never participate in theory conflicts, so they yield `None`.
+    pub fn portable_atom_key(&self, atom: usize) -> Option<String> {
+        let TheoryAtom::Compare(op, lhs, rhs) = &self.atoms[atom] else {
+            return None;
+        };
+        let diff = lhs.minus(rhs);
+        let (tag, diff) = match op {
+            BinOp::Le => ("le", diff),
+            BinOp::Lt => ("lt", diff),
+            BinOp::Ge => ("le", diff.scaled(-Rational::ONE)),
+            BinOp::Gt => ("lt", diff.scaled(-Rational::ONE)),
+            _ => return None,
+        };
+        let mut parts: Vec<String> = diff
+            .coeffs
+            .iter()
+            .map(|(v, c)| format!("{c:?}*[{}]", self.arith_names[*v]))
+            .collect();
+        parts.sort();
+        Some(format!("{tag}:{:?}:{}", diff.constant, parts.join("+")))
+    }
+
     /// Converts a comparison atom (with the given truth value) into a LIA
     /// constraint. Opaque atoms yield `None`.
     pub fn atom_constraint(&self, atom: usize, positive: bool) -> Option<Constraint> {
@@ -172,11 +208,16 @@ impl Encoder {
     /// constraints and returns the full problem for the given skeleton.
     pub fn finish(&mut self, skeleton: Skeleton) -> Encoded {
         self.add_congruence_conditions();
+        let mut arith_names = vec![String::new(); self.arith_vars.len()];
+        for (name, id) in &self.arith_vars {
+            arith_names[*id] = name.clone();
+        }
         Encoded {
             skeleton,
             side_conditions: self.side_conditions.clone(),
             atoms: self.atoms.clone(),
             num_arith_vars: self.arith_vars.len(),
+            arith_names,
         }
     }
 

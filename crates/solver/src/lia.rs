@@ -416,12 +416,22 @@ impl Simplex {
 pub struct LiaSolver {
     /// Maximum number of branch-and-bound nodes explored before giving up.
     pub branch_budget: usize,
+    /// Wall-clock deadline: checked once per branch-and-bound node (each
+    /// node is one simplex solve, the natural polling granularity), so a
+    /// single `check` call can overshoot a synthesis budget by at most
+    /// one simplex solve instead of a whole 200-node search tree.
+    /// Crossing it returns [`LiaResult::Unknown`]; the caller must treat
+    /// that as budget exhaustion (and never cache it as a verdict).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl LiaSolver {
     /// Creates a solver with the default branch-and-bound budget.
     pub fn new() -> LiaSolver {
-        LiaSolver { branch_budget: 200 }
+        LiaSolver {
+            branch_budget: 200,
+            deadline: None,
+        }
     }
 
     /// Checks a conjunction of constraints; `num_vars` is the number of
@@ -437,6 +447,11 @@ impl LiaSolver {
         constraints: Vec<Constraint>,
         budget: &mut usize,
     ) -> LiaResult {
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() > deadline {
+                return LiaResult::Unknown;
+            }
+        }
         // Constant constraints can be discharged immediately.
         for c in &constraints {
             if c.expr.is_constant() && !c.holds(&BTreeMap::new()) {

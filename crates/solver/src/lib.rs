@@ -33,6 +33,7 @@
 //! ```
 
 pub mod cache;
+pub mod cancel;
 pub mod encode;
 pub mod lia;
 pub mod mus;
@@ -41,6 +42,7 @@ pub mod sat;
 pub mod smt;
 
 pub use cache::{NormalizedQuery, SharedValidityCache, ValidityCacheStats};
+pub use cancel::CancellationToken;
 pub use mus::{enumerate_mus, enumerate_mus_smt, MusConfig};
 pub use rational::Rational;
 pub use sat::{Lit, SatResult, SatSolver};

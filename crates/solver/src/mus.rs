@@ -140,6 +140,13 @@ pub fn enumerate_mus(
 
 /// Enumerates the MUSes of `background ∧ soft` that contain all `required`
 /// soft constraints, using the SMT solver as the oracle.
+///
+/// Enumerations are memoized in the solver's incremental state: the
+/// liquid-abduction loop poses the *same* strengthening problem for every
+/// candidate that shares a VC skeleton, and the result is a pure function
+/// of `(background, soft, required, budgets)`. An enumeration whose
+/// oracle was interrupted by the solver's deadline is never memoized —
+/// its result reflects the budget, not the problem.
 pub fn enumerate_mus_smt(
     smt: &mut Smt,
     background: &Term,
@@ -147,11 +154,28 @@ pub fn enumerate_mus_smt(
     required: &BTreeSet<usize>,
     config: MusConfig,
 ) -> Vec<BTreeSet<usize>> {
-    enumerate_mus(soft.len(), required, config, |subset| {
+    let key = crate::smt::MusMemoKey {
+        background: background.clone(),
+        soft: soft.to_vec(),
+        required: required.iter().copied().collect(),
+        max_muses: config.max_muses,
+        max_checks: config.max_checks,
+    };
+    if let Some(cached) = smt.mus_memo_lookup(&key) {
+        return cached;
+    }
+    let mut interrupted = false;
+    let muses = enumerate_mus(soft.len(), required, config, |subset| {
         let mut formulas = vec![background.clone()];
         formulas.extend(subset.iter().map(|i| soft[*i].clone()));
-        matches!(smt.check_sat_conj(&formulas), SmtResult::Unsat)
-    })
+        let verdict = smt.check_sat_conj(&formulas);
+        interrupted |= smt.last_query_interrupted();
+        matches!(verdict, SmtResult::Unsat)
+    });
+    if !interrupted {
+        smt.mus_memo_insert(key, muses.clone());
+    }
+    muses
 }
 
 #[cfg(test)]

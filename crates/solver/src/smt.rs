@@ -15,9 +15,12 @@
 //! implementation (see DESIGN.md for the substitution rationale).
 
 use crate::cache::SharedValidityCache;
+use crate::cancel::CancellationToken;
 use crate::encode::{Encoded, Encoder, Skeleton, TheoryAtom};
 use crate::lia::{LiaResult, LiaSolver};
 use crate::sat::{Lit, SatResult, SatSolver};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 use synquid_logic::Term;
 
 /// Result of an SMT query.
@@ -59,6 +62,21 @@ pub struct SmtStats {
     pub sat_calls: usize,
     /// Number of LIA checks across all queries.
     pub theory_calls: usize,
+    /// Theory conflicts learned and persisted across queries (the
+    /// incremental DPLL(T) state).
+    pub conflicts_learned: usize,
+    /// Persisted theory conflicts replayed into a later query that shared
+    /// the conflict's atoms — each replay pre-prunes every boolean model
+    /// that would have re-triggered the same theory conflict.
+    pub conflicts_reused: usize,
+    /// Duplicate assumption conjuncts dropped by the environment's
+    /// assumption extractor before reaching this solver (recorded here so
+    /// the counter rides the existing stats plumbing).
+    pub assumptions_dropped: usize,
+    /// Whole MUS enumerations answered from the incremental memo — each
+    /// hit spares the complete MARCO loop (dozens of subset
+    /// satisfiability checks) the abduction loop would otherwise repeat.
+    pub mus_memo_hits: usize,
 }
 
 /// The SMT solver facade.
@@ -68,7 +86,7 @@ pub struct SmtStats {
 /// backtracks, so the cache removes most of the redundant work (the cache
 /// is sound because queries are self-contained formulas with no
 /// incremental assertions).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Smt {
     stats: SmtStats,
     /// Maximum number of DPLL(T) iterations per query.
@@ -78,6 +96,84 @@ pub struct Smt {
     /// consulted after the local memo, keyed by normalized
     /// `(antecedent, consequent)` pairs.
     shared: Option<SharedValidityCache>,
+    /// Wall-clock deadline; solving loops poll it and abort with
+    /// [`SmtResult::Unknown`] once it passes.
+    deadline: Option<Instant>,
+    /// Cooperative cancellation, polled alongside the deadline.
+    cancel: Option<CancellationToken>,
+    /// True when the *last* query aborted on deadline/cancellation — its
+    /// `Unknown` reflects the budget, not the formula, and must never be
+    /// cached.
+    interrupted: bool,
+    /// The incremental DPLL(T) state persisted across `check_query`
+    /// calls: theory conflicts learned in one query, replayed into every
+    /// later query that contains the conflict's atoms. `None` disables
+    /// persistence (the from-scratch baseline the parity tests compare
+    /// against).
+    lemmas: Option<LemmaStore>,
+    /// Memoized MUS enumerations (see [`crate::mus::enumerate_mus_smt`]):
+    /// the liquid-abduction loop re-derives the *same* strengthening
+    /// problem for every candidate program that shares a VC skeleton, so
+    /// the full MARCO enumeration — dozens of subset oracle calls plus
+    /// their bookkeeping — repeats verbatim. The enumeration result is a
+    /// pure function of `(background, soft, required, budgets)`, so it is
+    /// persisted alongside the theory lemmas (and disabled with them).
+    mus_memo: Option<HashMap<MusMemoKey, Vec<std::collections::BTreeSet<usize>>>>,
+}
+
+/// Key of one memoized MUS enumeration. The enumeration budgets are part
+/// of the key so differently-configured calls can never alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct MusMemoKey {
+    pub(crate) background: Term,
+    pub(crate) soft: Vec<Term>,
+    pub(crate) required: Vec<usize>,
+    pub(crate) max_muses: usize,
+    pub(crate) max_checks: usize,
+}
+
+/// Learned theory conflicts, keyed portably (see
+/// [`Encoded::portable_atom_key`]) so they survive the per-query atom
+/// renumbering. A lemma `{(a₁,v₁) … (aₖ,vₖ)}` records that the theory
+/// atoms `aᵢ` taken at truth values `vᵢ` are jointly LIA-inconsistent —
+/// a fact about the formulas themselves, valid in any query in which all
+/// of them appear.
+#[derive(Debug, Default)]
+struct LemmaStore {
+    /// Each lemma's literals, sorted by key.
+    lemmas: Vec<Vec<(String, bool)>>,
+    /// First (smallest) key of each lemma → lemma indices, for cheap
+    /// applicability probing.
+    index: HashMap<String, Vec<usize>>,
+    /// Dedup guard.
+    seen: HashSet<Vec<(String, bool)>>,
+}
+
+impl LemmaStore {
+    /// Hard bound on persisted lemmas: enough for the longest synthesis
+    /// runs observed (a few thousand distinct conflicts), small enough
+    /// that applicability probing stays cheap.
+    const MAX_LEMMAS: usize = 8_192;
+
+    fn insert(&mut self, mut lemma: Vec<(String, bool)>) -> bool {
+        if self.lemmas.len() >= Self::MAX_LEMMAS {
+            return false;
+        }
+        lemma.sort();
+        if !self.seen.insert(lemma.clone()) {
+            return false;
+        }
+        let id = self.lemmas.len();
+        self.index.entry(lemma[0].0.clone()).or_default().push(id);
+        self.lemmas.push(lemma);
+        true
+    }
+}
+
+impl Default for Smt {
+    fn default() -> Smt {
+        Smt::new()
+    }
 }
 
 impl Smt {
@@ -88,7 +184,81 @@ impl Smt {
             max_iterations: 2_000,
             cache: std::collections::HashMap::new(),
             shared: None,
+            deadline: None,
+            cancel: None,
+            interrupted: false,
+            lemmas: Some(LemmaStore::default()),
+            mus_memo: Some(HashMap::new()),
         }
+    }
+
+    /// Looks up a memoized MUS enumeration.
+    pub(crate) fn mus_memo_lookup(
+        &mut self,
+        key: &MusMemoKey,
+    ) -> Option<Vec<std::collections::BTreeSet<usize>>> {
+        let found = self.mus_memo.as_ref().and_then(|m| m.get(key).cloned());
+        if found.is_some() {
+            self.stats.mus_memo_hits += 1;
+        }
+        found
+    }
+
+    /// Memoizes a completed MUS enumeration. Callers must not memoize
+    /// enumerations whose oracle was interrupted by the deadline — those
+    /// results reflect the budget, not the problem.
+    pub(crate) fn mus_memo_insert(
+        &mut self,
+        key: MusMemoKey,
+        muses: Vec<std::collections::BTreeSet<usize>>,
+    ) {
+        const MAX_ENTRIES: usize = 50_000;
+        if let Some(memo) = &mut self.mus_memo {
+            if memo.len() < MAX_ENTRIES || memo.contains_key(&key) {
+                memo.insert(key, muses);
+            }
+        }
+    }
+
+    /// Sets (or clears) the wall-clock deadline polled inside the solving
+    /// loops. A query running when the deadline passes aborts with
+    /// [`SmtResult::Unknown`]; callers treat that as "possibly sat",
+    /// which can only make proofs fail, never succeed spuriously.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Attaches a cancellation token, polled alongside the deadline.
+    pub fn set_cancellation(&mut self, cancel: Option<CancellationToken>) {
+        self.cancel = cancel;
+    }
+
+    /// Enables or disables the incremental DPLL(T) state (cross-query
+    /// theory-conflict persistence). Enabled by default; disabling resets
+    /// the store, giving the from-scratch behaviour.
+    pub fn set_incremental(&mut self, incremental: bool) {
+        self.lemmas = incremental.then(LemmaStore::default);
+        self.mus_memo = incremental.then(HashMap::new);
+    }
+
+    /// True if the deadline has passed or cancellation was requested.
+    /// Cheap enough to poll once per SAT/LIA step.
+    fn interrupt_requested(&self) -> bool {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(d) => Instant::now() > d,
+            None => false,
+        }
+    }
+
+    /// True when the last query aborted on deadline/cancellation rather
+    /// than deciding the formula.
+    pub fn last_query_interrupted(&self) -> bool {
+        self.interrupted
     }
 
     /// Creates a solver attached to a shared validity cache.
@@ -112,6 +282,13 @@ impl Smt {
     /// Statistics collected so far.
     pub fn stats(&self) -> SmtStats {
         self.stats
+    }
+
+    /// Records duplicate assumption conjuncts dropped upstream (by the
+    /// typing environment's assumption extractor) so the counter reaches
+    /// reports through the existing stats plumbing.
+    pub fn add_assumptions_dropped(&mut self, n: usize) {
+        self.stats.assumptions_dropped += n;
     }
 
     /// Checks whether `formula` is satisfiable.
@@ -155,6 +332,7 @@ impl Smt {
     /// cache layers under consistent `(antecedent, consequent)` keys.
     fn check_query(&mut self, antecedent: Term, consequent: Term) -> SmtResult {
         self.stats.queries += 1;
+        self.interrupted = false;
         let formula = if consequent.is_false() {
             antecedent.clone()
         } else {
@@ -183,15 +361,33 @@ impl Smt {
             }
             self.stats.shared_misses += 1;
         }
+        // Out of budget: answer `Unknown` without solving or caching (the
+        // verdict reflects the budget, not the formula).
+        if self.interrupt_requested() {
+            self.interrupted = true;
+            return SmtResult::Unknown;
+        }
         let mut encoder = Encoder::new();
         let skeleton = encoder.encode(&formula);
         let problem = encoder.finish(skeleton);
         let result = self.solve_encoded(&problem, &[]);
+        if self.interrupted {
+            return result;
+        }
         if self.cache.len() < 200_000 {
             self.cache.insert(formula, result);
         }
-        if let (Some(shared), Some(query)) = (&self.shared, &query) {
-            shared.insert_normalized(query, result);
+        // `Sat`/`Unsat` are pure functions of the formula and safe to
+        // share. A budget `Unknown` (DPLL(T) iteration or LIA branch
+        // limit) is *not*: whether those limits are hit depends on this
+        // instance's accumulated lemma store, so publishing it would make
+        // other goals' verdicts depend on which worker got there first.
+        // The instance-local cache may keep it — a single instance's
+        // lemma store grows along one deterministic execution.
+        if !matches!(result, SmtResult::Unknown) {
+            if let (Some(shared), Some(query)) = (&self.shared, &query) {
+                shared.insert_normalized(query, result);
+            }
         }
         result
     }
@@ -226,8 +422,67 @@ impl Smt {
             sat.add_clause(clause);
         }
 
-        let lia = LiaSolver::new();
+        // Replay persisted theory conflicts whose atoms all occur in this
+        // problem: each replayed lemma is asserted as a blocking clause up
+        // front, pruning every boolean model that would have re-derived
+        // the same conflict through a SAT + LIA round trip.
+        let atom_keys: Vec<Option<String>> = if self.lemmas.is_some() {
+            (0..problem.atoms.len())
+                .map(|i| problem.portable_atom_key(i))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if let Some(store) = &self.lemmas {
+            let mut by_key: HashMap<&str, usize> = HashMap::new();
+            for (idx, key) in atom_keys.iter().enumerate() {
+                if let Some(key) = key {
+                    // First occurrence wins; duplicates cannot arise from
+                    // one encoder, which dedups atoms by key.
+                    by_key.entry(key).or_insert(idx);
+                }
+            }
+            // Probe the store by this problem's atom keys (each lemma is
+            // indexed under exactly one bucket — its smallest key — so no
+            // lemma is visited twice): cost proportional to the query's
+            // atoms, not to the whole accumulated store.
+            let mut replayed: Vec<Vec<Lit>> = Vec::new();
+            for first_key in by_key.keys() {
+                let Some(ids) = store.index.get(*first_key) else {
+                    continue;
+                };
+                'lemma: for &id in ids {
+                    let lemma = &store.lemmas[id];
+                    let mut clause = Vec::with_capacity(lemma.len());
+                    for (key, value) in lemma {
+                        match by_key.get(key.as_str()) {
+                            Some(&idx) => clause.push(Lit::new(idx, !*value)),
+                            None => continue 'lemma,
+                        }
+                    }
+                    replayed.push(clause);
+                }
+            }
+            // HashMap iteration order is nondeterministic; the clause set
+            // is order-independent for correctness, but sort anyway so a
+            // run's SAT search (and hence its timing profile) is
+            // reproducible.
+            replayed.sort();
+            self.stats.conflicts_reused += replayed.len();
+            for clause in replayed {
+                sat.add_clause(clause);
+            }
+        }
+
+        let mut lia = LiaSolver::new();
+        // A single branch-and-bound search must not outlive the query
+        // budget: the LIA solver polls the deadline once per node.
+        lia.deadline = self.deadline;
         for _ in 0..self.max_iterations {
+            if self.interrupt_requested() {
+                self.interrupted = true;
+                return SmtResult::Unknown;
+            }
             self.stats.sat_calls += 1;
             let model = match sat.solve() {
                 SatResult::Unsat(_) => return SmtResult::Unsat,
@@ -247,7 +502,15 @@ impl Smt {
             let constraints: Vec<_> = literals.iter().map(|(_, _, c)| c.clone()).collect();
             match lia.check(problem.num_arith_vars, &constraints) {
                 LiaResult::Sat(_) => return SmtResult::Sat,
-                LiaResult::Unknown => return SmtResult::Unknown,
+                LiaResult::Unknown => {
+                    // A branch-budget `Unknown` is a deterministic verdict
+                    // and may be cached; one caused by the deadline
+                    // reflects the budget and must not be.
+                    if self.interrupt_requested() {
+                        self.interrupted = true;
+                    }
+                    return SmtResult::Unknown;
+                }
                 LiaResult::Unsat => {
                     if literals.is_empty() {
                         return SmtResult::Unsat;
@@ -264,8 +527,20 @@ impl Smt {
                     let mut core = literals;
                     let mut block = core.len().div_ceil(2);
                     loop {
+                        if self.interrupt_requested() {
+                            self.interrupted = true;
+                            return SmtResult::Unknown;
+                        }
                         let mut i = 0;
                         while i < core.len() {
+                            // Each pass issues up to `core.len()` LIA
+                            // checks; poll between them, not just per
+                            // pass, so the budget overshoot stays
+                            // bounded by one check.
+                            if self.interrupt_requested() {
+                                self.interrupted = true;
+                                return SmtResult::Unknown;
+                            }
                             let end = (i + block).min(core.len());
                             let mut candidate = core.clone();
                             candidate.drain(i..end);
@@ -281,6 +556,26 @@ impl Smt {
                             break;
                         }
                         block = block.div_ceil(2);
+                    }
+                    // Persist the shrunk conflict for later queries: the
+                    // core's atoms at these polarities are jointly
+                    // LIA-inconsistent whatever boolean skeleton
+                    // surrounds them.
+                    if let Some(store) = &mut self.lemmas {
+                        let lemma: Option<Vec<(String, bool)>> = core
+                            .iter()
+                            .map(|(idx, value, _)| {
+                                atom_keys
+                                    .get(*idx)
+                                    .and_then(|k| k.clone())
+                                    .map(|k| (k, *value))
+                            })
+                            .collect();
+                        if let Some(lemma) = lemma {
+                            if !lemma.is_empty() && store.insert(lemma) {
+                                self.stats.conflicts_learned += 1;
+                            }
+                        }
                     }
                     let blocking: Vec<Lit> = core
                         .iter()

@@ -152,12 +152,33 @@ impl Environment {
     /// The assumption extractor `⟦Γ⟧ψ` of the paper: the conjunction of all
     /// path conditions and of the refinements of every scalar variable
     /// that is (transitively) mentioned by the path conditions or by `ψ`.
+    ///
+    /// The result is deduplicated: see [`Environment::assumptions_counted`].
     pub fn assumptions(&self, relevant_to: &Term) -> Term {
+        self.assumptions_counted(relevant_to).0
+    }
+
+    /// Like [`Environment::assumptions`], and additionally reports how
+    /// many duplicate conjuncts were dropped.
+    ///
+    /// Transitive refinement collection re-derives the same atoms many
+    /// times over: a variable's refinement is pulled in once per
+    /// *mention*, nested match arms re-state the scrutinee facts their
+    /// enclosing environment already carries, and measure non-negativity
+    /// facts repeat per occurrence. Every duplicate conjunct inflates the
+    /// SMT encoding (more atoms, quadratically more ordering axioms), so
+    /// the extractor flattens all facts into atomic conjuncts and keeps
+    /// only the first occurrence of each, in derivation order — the
+    /// conjunction is logically unchanged.
+    pub fn assumptions_counted(&self, relevant_to: &Term) -> (Term, usize) {
         let mut relevant: BTreeSet<String> = relevant_to.free_vars().keys().cloned().collect();
         for pc in &self.path_conditions {
             relevant.extend(pc.free_vars().keys().cloned());
         }
-        let mut conjuncts: Vec<Term> = self.path_conditions.clone();
+        let mut dedup = DedupConjunction::new();
+        for pc in &self.path_conditions {
+            dedup.push(pc);
+        }
         let mut seen: BTreeSet<String> = BTreeSet::new();
         let mut worklist: Vec<String> = relevant.into_iter().collect();
         while let Some(name) = worklist.pop() {
@@ -174,30 +195,35 @@ impl Environment {
                 let fact = schema.ty.refinement_for(&name);
                 if !fact.is_true() {
                     worklist.extend(fact.free_vars().keys().cloned());
-                    conjuncts.push(fact);
+                    dedup.push(&fact);
                 }
             }
         }
-        let mut result = Term::conjunction(conjuncts);
-        let nonneg = self.nonneg_measure_facts(&result.clone().and(relevant_to.clone()));
-        result = result.and(nonneg);
-        result
+        let body = Term::conjunction(dedup.conjuncts.iter().cloned());
+        let nonneg = self.nonneg_measure_facts(&body.and(relevant_to.clone()));
+        dedup.push(&nonneg);
+        let dropped = dedup.dropped;
+        (Term::conjunction(dedup.conjuncts), dropped)
     }
 
     /// All assumptions regardless of relevance (used as the environment
-    /// assumption for liquid abduction consistency checks).
+    /// assumption for liquid abduction consistency checks), deduplicated
+    /// like [`Environment::assumptions_counted`].
     pub fn all_assumptions(&self) -> Term {
-        let mut conjuncts: Vec<Term> = self.path_conditions.clone();
+        let mut dedup = DedupConjunction::new();
+        for pc in &self.path_conditions {
+            dedup.push(pc);
+        }
         for name in &self.var_order {
             let schema = &self.vars[name];
             if schema.is_monomorphic() && schema.ty.is_scalar() {
                 let fact = schema.ty.refinement_for(name);
                 if !fact.is_true() {
-                    conjuncts.push(fact);
+                    dedup.push(&fact);
                 }
             }
         }
-        Term::conjunction(conjuncts)
+        Term::conjunction(dedup.conjuncts)
     }
 
     /// Non-negativity facts for termination measures: for every application
@@ -367,6 +393,37 @@ impl Environment {
     }
 }
 
+/// An order-preserving conjunct accumulator: facts are flattened into
+/// atomic conjuncts and only the first occurrence of each is kept.
+struct DedupConjunction {
+    conjuncts: Vec<Term>,
+    seen: BTreeSet<Term>,
+    dropped: usize,
+}
+
+impl DedupConjunction {
+    fn new() -> DedupConjunction {
+        DedupConjunction {
+            conjuncts: Vec::new(),
+            seen: BTreeSet::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, fact: &Term) {
+        for atom in synquid_logic::simplify::conjuncts(fact) {
+            if atom.is_true() {
+                continue;
+            }
+            if self.seen.insert(atom.clone()) {
+                self.conjuncts.push(atom);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+}
+
 fn collect_refinements(ty: &RType, out: &mut Vec<Term>) {
     match ty {
         RType::Scalar { base, refinement } => {
@@ -443,6 +500,54 @@ mod tests {
         assert!(s.contains("m < n"));
         assert!(s.contains("n >= 0"));
         assert!(!s.contains("unrelated"));
+    }
+
+    #[test]
+    fn assumptions_deduplicate_conjuncts_of_a_nested_match_environment() {
+        // The shape a nested match produces: the scrutinee's refinement is
+        // re-stated as a path fact at every level, and the inner arm's
+        // fact conjoins what the outer arm already established.
+        let mut env = Environment::new();
+        env.add_datatype(list_datatype());
+        let list_sort = Sort::data("List", vec![Sort::Int]);
+        let list_base = BaseType::Data("List".into(), vec![RType::int()]);
+        let len = |t: Term| Term::app("len", vec![t], Sort::Int);
+        let xs = Term::var("xs", list_sort.clone());
+        let t = Term::var("t", list_sort.clone());
+        env.add_var(
+            "xs",
+            RType::refined(
+                list_base.clone(),
+                len(Term::value_var(list_sort.clone())).ge(Term::int(1)),
+            ),
+        );
+        env.add_var(
+            "t",
+            RType::refined(
+                list_base,
+                len(Term::value_var(list_sort.clone())).eq(len(xs.clone()).minus(Term::int(1))),
+            ),
+        );
+        // Outer arm re-derives the scrutinee refinement; the inner arm
+        // re-states it again together with its own fact.
+        env.add_path_condition(len(xs.clone()).ge(Term::int(1)));
+        env.add_path_condition(
+            len(xs.clone())
+                .ge(Term::int(1))
+                .and(len(t.clone()).ge(Term::int(0))),
+        );
+        let (assumptions, dropped) = env.assumptions_counted(&len(t).ge(Term::int(0)));
+        assert!(
+            dropped >= 2,
+            "the re-derived scrutinee facts must be dropped, got {dropped}"
+        );
+        let atoms = synquid_logic::simplify::conjuncts(&assumptions);
+        let distinct: BTreeSet<&Term> = atoms.iter().collect();
+        assert_eq!(
+            atoms.len(),
+            distinct.len(),
+            "assumption conjuncts must be pairwise distinct: {assumptions}"
+        );
     }
 
     #[test]

@@ -271,7 +271,8 @@ impl ConstraintSolver {
         if fact.is_true() {
             return Ok(());
         }
-        let assumptions = env.assumptions(fact);
+        let (assumptions, dropped) = env.assumptions_counted(fact);
+        smt.add_assumptions_dropped(dropped);
         let constraint = HornConstraint::new(assumptions, fact.clone(), label);
         self.fixpoint
             .add_constraint(constraint, smt)
@@ -471,7 +472,8 @@ impl ConstraintSolver {
             return Ok(());
         }
         let relevant = ref_l.clone().and(ref_r.clone());
-        let assumptions = env.assumptions(&relevant);
+        let (assumptions, dropped) = env.assumptions_counted(&relevant);
+        smt.add_assumptions_dropped(dropped);
         let lhs = assumptions.and(ref_l.clone());
         let constraint = HornConstraint::new(lhs, ref_r.clone(), label);
         self.fixpoint
@@ -539,7 +541,8 @@ impl ConstraintSolver {
                 let r1 = self.apply_assignment(r1);
                 let r2 = self.apply_assignment(r2);
                 let relevant = r1.clone().and(r2.clone());
-                let assumptions = env.assumptions(&relevant);
+                let (assumptions, dropped) = env.assumptions_counted(&relevant);
+                smt.add_assumptions_dropped(dropped);
                 let formula = assumptions.and(r1).and(r2);
                 match smt.check_sat(&formula) {
                     SmtResult::Unsat => Err(TypeError::new(format!(

@@ -160,12 +160,16 @@ fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
             None => "-".to_string(),
         };
         print!(
-            "  stats: rung {rung}, {} rung(s) run, {} cancelled, {} out of budget",
-            outcome.rungs_run, outcome.rungs_cancelled, outcome.rungs_out_of_budget
+            "  stats: rung {rung}, {} rung(s) run, {} cancelled, {} skipped, {} out of budget, {:.2}s budget consumed",
+            outcome.rungs_run,
+            outcome.rungs_cancelled,
+            outcome.rungs_skipped,
+            outcome.rungs_out_of_budget,
+            outcome.consumed_secs,
         );
         if let Some(stats) = &result.stats {
             print!(
-                ", {} enumerated, {} checked, {} pruned early, {} memo hits / {} misses, {} branches, {} matches, {} SMT queries ({} local hits, {} shared hits / {} misses)",
+                ", {} enumerated, {} checked, {} pruned early, {} memo hits / {} misses, {} branches, {} matches, {} SMT queries ({} local hits, {} shared hits / {} misses), {} conflicts learned / {} replayed, {} assumptions dropped",
                 stats.terms_enumerated,
                 stats.eterms_checked,
                 stats.pruned_early,
@@ -177,6 +181,9 @@ fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
                 stats.smt_cache_hits,
                 stats.shared_cache_hits,
                 stats.shared_cache_misses,
+                stats.smt_conflicts_learned,
+                stats.smt_conflicts_reused,
+                stats.assumptions_dropped,
             );
         }
         println!();
