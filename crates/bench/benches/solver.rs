@@ -1,0 +1,39 @@
+//! Criterion bench over the solver-microbenchmark fixtures: each
+//! captured DPLL(T)/LIA/MUS workload is timed against a fresh solver
+//! instance per iteration (see `synquid_bench::solver_bench`).
+
+//! Requires the `criterion` feature (and the external `criterion` crate —
+//! uncomment the dev-dependency in this crate's Cargo.toml as well);
+//! without both, the bench compiles to an empty shell so that offline
+//! `cargo test`/`cargo bench` still build. The dependency-free smoke
+//! variant of the same fixtures runs via `report solver-bench --smoke`.
+
+#[cfg(feature = "criterion")]
+mod real {
+
+    use criterion::{criterion_group, Criterion};
+    use synquid_bench::solver_bench::run_fixture;
+
+    fn bench_solver(c: &mut Criterion) {
+        let mut group = c.benchmark_group("solver");
+        group.sample_size(20);
+        for fixture in synquid_bench::fixtures::all() {
+            group.bench_function(fixture.name, |b| {
+                b.iter(|| run_fixture(&fixture, 1));
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_solver);
+}
+
+fn main() {
+    #[cfg(feature = "criterion")]
+    {
+        real::benches();
+        criterion::Criterion::default()
+            .configure_from_args()
+            .final_summary();
+    }
+}

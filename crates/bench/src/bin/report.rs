@@ -6,18 +6,26 @@
 //! report fig7   [--max-n N]   [--timeout SECS]
 //! report batch  [--jobs N]    [--timeout SECS] [--out PATH]
 //!               [--compare OLD.json] [--readme]
+//! report solver-bench [--smoke] [--iters N] [--out PATH]
 //! report all
 //! ```
 //!
 //! `batch` runs the whole `specs/` corpus through the parallel engine
-//! and writes the machine-readable `BENCH_pr5.json` timing report (per
-//! goal: solved/timings/winning rung/budget-ledger accounting/
-//! enumeration and incremental-solver counters; plus the validity-cache
-//! counters). `--compare` prints per-goal deltas against a previous
-//! artifact (solved↔timeout flips, time ratios) and **exits nonzero if
-//! a previously solved goal regressed to a timeout**; `--readme` prints
-//! the markdown corpus table embedded in the README's "Reproduction
-//! status" section.
+//! (with span profiling on, so every goal entry carries its per-phase
+//! timing split) and writes the machine-readable `BENCH_pr5.json`
+//! timing report (per goal: solved/timings/winning rung/budget-ledger
+//! accounting/enumeration and incremental-solver counters; plus the
+//! validity-cache counters). `--compare` prints per-goal deltas against
+//! a previous artifact (solved↔timeout flips, time ratios, phase-split
+//! movements when both artifacts carry phase data) and **exits nonzero
+//! if a previously solved goal regressed to a timeout or a still-solved
+//! goal got more than 1.5× slower**; `--readme` prints the markdown
+//! corpus table embedded in the README's "Reproduction status" section.
+//!
+//! `solver-bench` times the captured DPLL(T)/LIA/MUS workloads of
+//! `synquid_bench::fixtures` against fresh solver instances and writes
+//! `BENCH_solver.json` (`--smoke` is the CI mode: 3 iterations per
+//! fixture, verdicts asserted).
 
 use std::time::Duration;
 use synquid_bench::{
@@ -66,6 +74,9 @@ fn main() {
                 .and_then(|i| args.get(i + 1))
                 .cloned();
             let readme = args.iter().any(|a| a == "--readme");
+            // Phase splits ride the artifact (schema v2): profile every
+            // batch run so `--compare` can show where time moved.
+            synquid_telemetry::set_profiling(true);
             eprintln!(
                 "== Batch: specs/ corpus through the engine ({jobs} worker(s), {}s/goal) ==",
                 timeout.as_secs()
@@ -103,11 +114,22 @@ fn main() {
                         match std::fs::read_to_string(&old_path) {
                             Ok(text) => {
                                 let deltas = compare_batch(&parse_batch_json(&text), &report);
-                                println!("== Deltas against {old_path} ==\n{}", deltas.text);
+                                println!(
+                                    "== Deltas against {old_path} (schema v{}) ==\n{}",
+                                    synquid_bench::batch_schema_version(&text),
+                                    deltas.text
+                                );
                                 if deltas.regressed > 0 {
                                     eprintln!(
                                         "{} goal(s) solved in {old_path} regressed to unsolved",
                                         deltas.regressed
+                                    );
+                                    std::process::exit(1);
+                                }
+                                if deltas.time_regressed > 0 {
+                                    eprintln!(
+                                        "{} still-solved goal(s) got more than 1.5x slower than {old_path}",
+                                        deltas.time_regressed
                                     );
                                     std::process::exit(1);
                                 }
@@ -125,6 +147,26 @@ fn main() {
                 }
             }
         }
+        "solver-bench" => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let iters = parse_flag(&args, "--iters").unwrap_or(if smoke { 3 } else { 10 }) as usize;
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_solver.json".to_string());
+            synquid_telemetry::set_profiling(true);
+            eprintln!("== Solver microbenchmarks ({iters} iteration(s) per fixture) ==");
+            let results = synquid_bench::solver_bench::run_all(iters);
+            println!("{}", synquid_bench::solver_bench::format_results(&results));
+            let json = synquid_bench::solver_bench::solver_report_json(&results);
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("failed to write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {out}: {} fixture(s), all verdicts ok", results.len());
+        }
         "all" => {
             println!("== Table 1: benchmarks and Synquid results ==");
             println!("{}", format_table1(&run_table1(timeout, ablations)));
@@ -134,7 +176,9 @@ fn main() {
             println!("{}", format_fig7(&run_fig7(max_n, timeout)));
         }
         other => {
-            eprintln!("unknown report '{other}': expected table1, table2, fig7, batch, or all");
+            eprintln!(
+                "unknown report '{other}': expected table1, table2, fig7, batch, solver-bench, or all"
+            );
             std::process::exit(2);
         }
     }

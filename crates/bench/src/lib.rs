@@ -26,6 +26,15 @@ use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob};
 use synquid_lang::benchmarks::{sygus, table1, table2, Benchmark};
 pub use synquid_lang::runner::goal_label;
 use synquid_lang::runner::{run_goal, RunResult, Variant};
+use synquid_telemetry::PhaseProfile;
+
+pub mod fixtures;
+pub mod solver_bench;
+
+/// Version stamped into every BENCH JSON artifact this crate emits.
+/// History: absent = v1 (PR 2–5, no phase data); 2 = per-goal `phases`
+/// map and top-level `schema_version` (PR 6).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// One row of the regenerated Table 1.
 #[derive(Debug, Clone)]
@@ -267,6 +276,7 @@ pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"report\": \"BENCH_pr5\",\n");
+    out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
     out.push_str(&format!("  \"timeout_secs\": {},\n", timeout.as_secs()));
     out.push_str(&format!("  \"wall_secs\": {:.3},\n", report.wall_secs));
@@ -290,8 +300,18 @@ pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
             Some(s) => f(s).to_string(),
             None => "null".to_string(),
         };
+        // `phases` stays last on the line so the flat field extractors
+        // above it never cut inside the nested object; an empty profile
+        // is omitted entirely (the schema makes absence mean "no phase
+        // data", matching v1 artifacts).
+        let phases = match &r.stats {
+            Some(s) if !s.phases.is_empty() => {
+                format!(", \"phases\": {}", s.phases.to_json())
+            }
+            _ => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"consumed_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_skipped\": {}, \"rungs_out_of_budget\": {}, \"terms_enumerated\": {}, \"eterms_checked\": {}, \"pruned_early\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \"smt_conflicts_learned\": {}, \"smt_conflicts_reused\": {}, \"assumptions_dropped\": {}}}{}\n",
+            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"consumed_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_skipped\": {}, \"rungs_out_of_budget\": {}, \"terms_enumerated\": {}, \"eterms_checked\": {}, \"pruned_early\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \"smt_conflicts_learned\": {}, \"smt_conflicts_reused\": {}, \"assumptions_dropped\": {}{phases}}}{}\n",
             json_escape(&o.source),
             json_escape(&r.name),
             r.solved,
@@ -399,6 +419,9 @@ pub struct ParsedGoal {
     pub solved: bool,
     /// Wall-clock seconds.
     pub time_secs: f64,
+    /// Per-phase timing split, when the artifact carries one
+    /// (schema v2+ with profiling enabled; `None` for v1 artifacts).
+    pub phases: Option<PhaseProfile>,
 }
 
 fn json_str_field(line: &str, key: &str) -> Option<String> {
@@ -417,6 +440,37 @@ fn json_raw_field(line: &str, key: &str) -> Option<String> {
     Some(rest[..end].trim().to_string())
 }
 
+/// Extracts a brace-balanced `"key": {…}` object from a line (the flat
+/// extractor above would cut at the first `,` inside the object).
+fn json_object_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": {{");
+    let start = line.find(&tag)? + tag.len() - 1;
+    let rest = &line[start..];
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Reads the `schema_version` stamp of a batch artifact. Artifacts from
+/// before the stamp existed (PR 2–5) report version 1.
+pub fn batch_schema_version(text: &str) -> u64 {
+    text.lines()
+        .find_map(|line| json_raw_field(line, "schema_version"))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Parses the per-goal entries back out of a `BENCH_pr2.json` /
 /// `BENCH_pr3.json` artifact. The reports are emitted one goal per line
 /// by [`batch_report_json`], so a line-oriented scan is exact for our own
@@ -429,11 +483,14 @@ pub fn parse_batch_json(text: &str) -> Vec<ParsedGoal> {
             let name = json_str_field(line, "name")?;
             let solved = json_raw_field(line, "solved")? == "true";
             let time_secs = json_raw_field(line, "time_secs")?.parse().ok()?;
+            let phases =
+                json_object_field(line, "phases").and_then(|obj| PhaseProfile::parse_json(&obj));
             Some(ParsedGoal {
                 file,
                 name,
                 solved,
                 time_secs,
+                phases,
             })
         })
         .collect()
@@ -449,6 +506,18 @@ pub struct BatchComparison {
     /// Goals solved in the old artifact that no longer solve — the
     /// regression condition CI fails on.
     pub regressed: usize,
+    /// Goals still solved but more than 1.5× slower than before (and by
+    /// more than half a second, so fast goals aren't flagged for noise) —
+    /// the second regression condition CI fails on.
+    pub time_regressed: usize,
+}
+
+/// The time-regression gate: a still-solved goal counts as regressed
+/// when it got more than 1.5× slower **and** lost more than half a
+/// second of wall time (the absolute floor keeps sub-second goals from
+/// tripping the gate on scheduling noise).
+pub fn is_time_regression(prev_secs: f64, new_secs: f64) -> bool {
+    new_secs > 1.5 * prev_secs && new_secs - prev_secs > 0.5
 }
 
 /// Compares a previous batch artifact with the current run: solved↔
@@ -463,6 +532,8 @@ pub fn compare_batch(old: &[ParsedGoal], report: &BatchReport) -> BatchCompariso
     ));
     let mut flips_solved = 0usize;
     let mut flips_lost = 0usize;
+    let mut time_regressed = 0usize;
+    let mut phase_deltas = String::new();
     for o in &report.outcomes {
         let r = &o.result;
         let label = synquid_lang::runner::goal_label(&r.name, &o.source);
@@ -482,7 +553,12 @@ pub fn compare_batch(old: &[ParsedGoal], report: &BatchReport) -> BatchCompariso
             continue;
         };
         let ratio = if prev.solved && r.solved && r.time_secs > 0.0 {
-            format!("{:.2}x", prev.time_secs / r.time_secs)
+            if is_time_regression(prev.time_secs, r.time_secs) {
+                time_regressed += 1;
+                format!("{:.2}x SLOW", prev.time_secs / r.time_secs)
+            } else {
+                format!("{:.2}x", prev.time_secs / r.time_secs)
+            }
         } else if !prev.solved && r.solved {
             flips_solved += 1;
             "FIXED".to_string()
@@ -498,15 +574,45 @@ pub fn compare_batch(old: &[ParsedGoal], report: &BatchReport) -> BatchCompariso
             cell(r.solved, r.time_secs),
             ratio
         ));
+        // Phase-split deltas, when both artifacts carry phase data for
+        // this goal: where inside the solver did the time move?
+        if let (Some(old_phases), Some(new_phases)) = (
+            &prev.phases,
+            r.stats
+                .as_ref()
+                .map(|s| &s.phases)
+                .filter(|p| !p.is_empty()),
+        ) {
+            let mut lines = String::new();
+            for phase in synquid_telemetry::Phase::ALL {
+                let before = old_phases.get(phase).total_secs();
+                let after = new_phases.get(phase).total_secs();
+                if before.max(after) < 0.01 {
+                    continue;
+                }
+                lines.push_str(&format!(
+                    "    {:<16} {before:>9.3}s -> {after:>9.3}s ({:+.3}s)\n",
+                    phase.name(),
+                    after - before
+                ));
+            }
+            if !lines.is_empty() {
+                phase_deltas.push_str(&format!("  {label}\n{lines}"));
+            }
+        }
+    }
+    if !phase_deltas.is_empty() {
+        out.push_str(&format!("\nphase splits (self time):\n{phase_deltas}"));
     }
     out.push_str(&format!(
-        "\n{flips_solved} goal(s) newly solved, {flips_lost} regressed, {} total.\n",
+        "\n{flips_solved} goal(s) newly solved, {flips_lost} regressed, {time_regressed} slowed >1.5x, {} total.\n",
         report.outcomes.len()
     ));
     return BatchComparison {
         text: out,
         newly_solved: flips_solved,
         regressed: flips_lost,
+        time_regressed,
     };
 
     fn cell(solved: bool, time: f64) -> String {
@@ -568,6 +674,42 @@ mod tests {
         assert!(deltas.text.contains("0 goal(s) newly solved"));
         assert_eq!(deltas.newly_solved, 0);
         assert_eq!(deltas.regressed, 0, "self-comparison cannot regress");
+    }
+
+    #[test]
+    fn phases_survive_the_goal_line_round_trip() {
+        // A goal line as batch_report_json emits it (phases last, so the
+        // flat field extractors never cut inside the nested object).
+        let profile = PhaseProfile::parse_json(
+            "{\"sat\": {\"secs\": 1.25, \"count\": 46, \"max_secs\": 0.5}, \
+             \"lia\": {\"secs\": 0.75, \"count\": 43, \"max_secs\": 0.25}}",
+        )
+        .expect("hand-written phases JSON parses");
+        let line = format!(
+            "    {{\"file\": \"specs/take.sq\", \"name\": \"take\", \"solved\": true, \
+             \"time_secs\": 2.5, \"phases\": {}}},",
+            profile.to_json()
+        );
+        let goals = parse_batch_json(&line);
+        assert_eq!(goals.len(), 1);
+        let back = goals[0].phases.as_ref().expect("phases round-trip");
+        assert_eq!(back.counts(), profile.counts());
+        assert!((goals[0].time_secs - 2.5).abs() < 1e-9, "flat field intact");
+        // v1 artifacts (no stamp, no phases) parse with phases absent.
+        let v1 = "{\"file\": \"a.sq\", \"name\": \"g\", \"solved\": false, \"time_secs\": 0.0}";
+        assert_eq!(batch_schema_version(v1), 1);
+        assert!(parse_batch_json(v1)[0].phases.is_none());
+    }
+
+    #[test]
+    fn time_regression_gate_has_ratio_and_absolute_floors() {
+        assert!(is_time_regression(1.0, 2.0), "2x and +1s: regression");
+        assert!(!is_time_regression(1.0, 1.4), "under the 1.5x ratio floor");
+        assert!(
+            !is_time_regression(0.1, 0.4),
+            "4x but under the 0.5s absolute floor"
+        );
+        assert!(!is_time_regression(10.0, 9.0), "faster is never flagged");
     }
 
     #[test]

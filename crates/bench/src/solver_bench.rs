@@ -1,0 +1,191 @@
+//! The solver-microbenchmark harness: times the [`crate::fixtures`]
+//! workloads against a fresh solver instance per iteration and emits the
+//! `BENCH_solver.json` artifact.
+//!
+//! Two ways to run it:
+//!
+//! * **smoke mode** (`report solver-bench --smoke`, used by CI): a few
+//!   iterations per fixture, verdicts asserted, artifact written — a
+//!   dependency-free regression canary that finishes in seconds;
+//! * **criterion mode** (`cargo bench -p synquid-bench --features
+//!   criterion` after uncommenting the dev-dependency): statistically
+//!   rigorous timing of the same fixtures, for local investigation.
+//!
+//! Every iteration rebuilds the formula and a fresh [`Smt`] instance, so
+//! measurements never benefit from the validity cache or the lemma store
+//! of a previous iteration: what is timed is the full encode → DPLL(T) →
+//! core-shrink pipeline. Phase splits come from
+//! [`synquid_solver::SmtStats::phases`] when span profiling is enabled
+//! (the smoke runner enables it).
+
+use crate::fixtures::{self, Fixture, Workload, WorkloadKind};
+use std::collections::BTreeSet;
+use std::time::Instant;
+use synquid_solver::{enumerate_mus_smt, MusConfig, Smt};
+use synquid_telemetry::PhaseProfile;
+
+/// Timing summary of one fixture.
+pub struct FixtureResult {
+    /// The fixture that ran.
+    pub name: &'static str,
+    /// Query or MUS enumeration.
+    pub kind: WorkloadKind,
+    /// Where the workload was captured from.
+    pub source: &'static str,
+    /// Iterations timed.
+    pub iterations: usize,
+    /// Fastest iteration, seconds.
+    pub min_secs: f64,
+    /// Mean iteration, seconds.
+    pub mean_secs: f64,
+    /// Per-phase solver split summed over all iterations (empty when
+    /// span profiling is disabled).
+    pub phases: PhaseProfile,
+    /// Whether every iteration produced the expected verdict.
+    pub verdicts_ok: bool,
+}
+
+/// Runs one fixture for `iterations` iterations against fresh solvers.
+pub fn run_fixture(fixture: &Fixture, iterations: usize) -> FixtureResult {
+    let mut times = Vec::with_capacity(iterations);
+    let mut phases = PhaseProfile::default();
+    let mut verdicts_ok = true;
+    for _ in 0..iterations.max(1) {
+        let workload = (fixture.build)();
+        let mut smt = Smt::new();
+        let started = Instant::now();
+        let ok = match workload {
+            Workload::Query {
+                antecedent,
+                consequent,
+            } => {
+                let unsat = smt.entails(&antecedent, &consequent);
+                unsat == fixture.expect_unsat
+            }
+            Workload::Mus { background, soft } => {
+                let muses = enumerate_mus_smt(
+                    &mut smt,
+                    &background,
+                    &soft,
+                    &BTreeSet::new(),
+                    MusConfig::default(),
+                );
+                muses.is_empty() != fixture.expect_unsat
+            }
+        };
+        times.push(started.elapsed().as_secs_f64());
+        phases.merge(&smt.stats().phases);
+        verdicts_ok &= ok;
+    }
+    let min_secs = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_secs = times.iter().sum::<f64>() / times.len() as f64;
+    FixtureResult {
+        name: fixture.name,
+        kind: fixture.kind,
+        source: fixture.source,
+        iterations: times.len(),
+        min_secs,
+        mean_secs,
+        phases,
+        verdicts_ok,
+    }
+}
+
+/// Runs every fixture. Panics if any fixture's verdict deviates from the
+/// captured one — a wrong verdict means the transcription (or the
+/// solver) broke, and timing a wrong answer is worse than failing.
+pub fn run_all(iterations: usize) -> Vec<FixtureResult> {
+    fixtures::all()
+        .iter()
+        .map(|f| {
+            let result = run_fixture(f, iterations);
+            assert!(
+                result.verdicts_ok,
+                "fixture {} produced an unexpected verdict",
+                f.name
+            );
+            result
+        })
+        .collect()
+}
+
+/// Renders the results as the `BENCH_solver.json` artifact
+/// (schema-versioned like the batch report; hand-rolled JSON because the
+/// workspace resolves offline).
+pub fn solver_report_json(results: &[FixtureResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"report\": \"BENCH_solver\",\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        crate::BENCH_SCHEMA_VERSION
+    ));
+    out.push_str("  \"fixtures\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let kind = match r.kind {
+            WorkloadKind::Query => "query",
+            WorkloadKind::Mus => "mus",
+        };
+        let phases = if r.phases.is_empty() {
+            String::new()
+        } else {
+            format!(", \"phases\": {}", r.phases.to_json())
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{kind}\", \"source\": \"{}\", \"iterations\": {}, \"min_secs\": {:.6}, \"mean_secs\": {:.6}{phases}}}{}\n",
+            r.name,
+            r.source,
+            r.iterations,
+            r.min_secs,
+            r.mean_secs,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Formats a human-readable table of the results.
+pub fn format_results(results: &[FixtureResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:<6} {:>6} {:>12} {:>12}\n",
+        "fixture", "kind", "iters", "min(ms)", "mean(ms)"
+    ));
+    for r in results {
+        let kind = match r.kind {
+            WorkloadKind::Query => "query",
+            WorkloadKind::Mus => "mus",
+        };
+        out.push_str(&format!(
+            "{:<24} {:<6} {:>6} {:>12.3} {:>12.3}\n",
+            r.name,
+            kind,
+            r.iterations,
+            r.min_secs * 1e3,
+            r.mean_secs * 1e3
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_single_iteration_matches_captured_verdicts() {
+        // One iteration per fixture: verdicts are asserted inside
+        // run_all, so this test fails if a transcription drifts from its
+        // captured verdict.
+        let results = run_all(1);
+        assert_eq!(results.len(), fixtures::all().len());
+        let json = solver_report_json(&results);
+        assert!(json.contains("\"report\": \"BENCH_solver\""));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("take_guard_abduction"));
+        assert!(json.contains("double_branch_mus"));
+        let table = format_results(&results);
+        assert!(table.contains("insert_round_trip"));
+    }
+}

@@ -26,6 +26,7 @@ use std::time::Instant;
 use synquid_horn::{FixpointConfig, StrengthenBackend};
 use synquid_logic::{Sort, Substitution, Term};
 use synquid_solver::Smt;
+use synquid_telemetry::{events, events::Event, Phase, PhaseProfile};
 use synquid_types::{
     is_free_type_var, weaken_for_recursion, BaseType, ConstraintSolver, Environment, RType, Schema,
 };
@@ -143,6 +144,16 @@ pub struct SynthesisStats {
     /// was in scope) because the match-depth bound was exhausted — i.e. a
     /// deeper match bound could change the outcome.
     pub match_bound_hit: bool,
+    /// Per-phase wall-time attribution of the whole run (generation,
+    /// memo lookups, consistency, subtyping, abduction, and the SMT
+    /// phases below them), captured from the worker thread's span
+    /// profile when profiling is enabled (`--stats`, `SYNQUID_PROFILE=1`)
+    /// and empty otherwise. Phase *counts* are deterministic for a fixed
+    /// goal, configuration and cache regime; totals and maxima are wall
+    /// times. The SMT backend's own [`synquid_solver::SmtStats::phases`]
+    /// window is a subset of this one — fold in one or the other, never
+    /// both.
+    pub phases: PhaseProfile,
 }
 
 /// A successfully synthesized program together with statistics.
@@ -248,6 +259,10 @@ impl Synthesizer {
     /// Synthesizes a program for the goal.
     pub fn synthesize(&mut self, goal: &Goal) -> Result<Synthesized, SynthesisError> {
         let start = Instant::now();
+        // One synthesis run stays on one thread, so the run's phase
+        // profile is the delta of the thread-local span aggregation
+        // around it (no locks, no cross-worker bleed).
+        let profile_base = synquid_telemetry::profiling_enabled().then(synquid_telemetry::snapshot);
         let mut result = self.synthesize_goal(goal, start);
         // A search that exhausted its candidates *after* the deadline
         // passed (or cancellation fired) may have done so only because
@@ -264,6 +279,14 @@ impl Synthesizer {
         // Record wall time on failures too: [`Synthesizer::stats`] (and
         // `RunResult::stats`) are meaningful for timed-out runs.
         self.stats.elapsed_secs = start.elapsed().as_secs_f64();
+        if let Some(base) = profile_base {
+            self.stats.phases = synquid_telemetry::snapshot().delta_since(&base);
+        }
+        // Refresh the result's stats copy with the final elapsed time and
+        // the captured phase profile.
+        if let Ok(synthesized) = &mut result {
+            synthesized.stats = self.stats();
+        }
         result
     }
 
@@ -325,9 +348,13 @@ impl Synthesizer {
         match_depth: usize,
     ) -> Result<Program, SynthesisError> {
         self.check_deadline()?;
-        crate::trace!(
-            "synthesize_in goal={goal} branch_depth={branch_depth} match_depth={match_depth}"
-        );
+        events::emit(|| {
+            Event::new("search")
+                .str("goal", &self.goal_name)
+                .str("ty", goal.to_string())
+                .uint("branch_depth", branch_depth as u64)
+                .uint("match_depth", match_depth as u64)
+        });
 
         // Function goals: introduce lambdas (rule ABS).
         if goal.is_function() {
@@ -354,10 +381,14 @@ impl Synthesizer {
         for depth in 0..=self.config.max_app_depth {
             let candidates =
                 self.abduction_candidates(env, goal, depth, base_solver, &mut tried)?;
-            crate::trace!("depth {depth}: {} abduction candidates", candidates.len());
+            events::emit(|| {
+                Event::new("abduction_candidates")
+                    .str("goal", &self.goal_name)
+                    .uint("depth", depth as u64)
+                    .uint("n", candidates.len() as u64)
+            });
             for (program, solver, condition) in candidates {
                 self.check_deadline()?;
-                crate::trace!("  candidate {program} under condition {condition}");
                 if condition.is_true() {
                     return Ok(program);
                 }
@@ -366,10 +397,19 @@ impl Synthesizer {
                 }
                 // Synthesize a guard computing the abduced condition.
                 let Some(guard) = self.synthesize_guard(env, &condition, base_solver) else {
-                    crate::trace!("  no guard found for condition {condition}");
+                    events::emit(|| {
+                        Event::new("guard_missing")
+                            .str("goal", &self.goal_name)
+                            .str("condition", condition.to_string())
+                    });
                     continue;
                 };
-                crate::trace!("  guard {guard} for condition {condition}");
+                events::emit(|| {
+                    Event::new("guard_found")
+                        .str("goal", &self.goal_name)
+                        .str("guard", guard.to_string())
+                        .str("condition", condition.to_string())
+                });
                 self.stats.branches_abduced += 1;
                 // Synthesize the remaining branch under the negated condition.
                 let mut else_env = env.clone();
@@ -440,6 +480,13 @@ impl Synthesizer {
                 self.check_shaped(&cond_env, goal, cand, &solver)?
             {
                 let condition = cand_solver.apply_assignment(&p0);
+                events::emit(|| {
+                    Event::new("candidate_accept")
+                        .str("goal", &self.goal_name)
+                        .str("program", program.to_string())
+                        .bool("conditional", !condition.is_true())
+                        .str("condition", condition.to_string())
+                });
                 out.push((program, cand_solver, condition));
             }
         }
@@ -515,26 +562,52 @@ impl Synthesizer {
             .collect();
         // Round-trip pruning: the candidate's type must have a common
         // inhabitant with the goal before any strengthening is attempted.
-        if self.config.consistency
-            && s.consistent(&cenv, &ty, goal, &mut self.smt, &label)
-                .is_err()
-        {
-            crate::trace!("  check {label}: pruned by consistency");
-            self.stats.pruned_early += 1;
-            return Ok(None);
+        if self.config.consistency {
+            let consistent = {
+                let _span = synquid_telemetry::span(Phase::Consistency);
+                s.consistent(&cenv, &ty, goal, &mut self.smt, &label)
+            };
+            if consistent.is_err() {
+                events::emit(|| {
+                    Event::new("candidate_reject")
+                        .str("goal", &self.goal_name)
+                        .str("program", &label)
+                        .str("reason", "consistency")
+                });
+                self.stats.pruned_early += 1;
+                return Ok(None);
+            }
         }
         // Replay the argument-side condition abduced during generation
         // (e.g. `n >= 1` for `dec n` at type `Nat`) against the current
         // branch-condition unknown.
-        if s.require(&cenv, &cand.condition, &mut self.smt, &label)
-            .is_err()
-        {
-            crate::trace!("  check {label}: side condition {} failed", cand.condition);
+        let required = {
+            let _span = synquid_telemetry::span(Phase::Subtyping);
+            s.require(&cenv, &cand.condition, &mut self.smt, &label)
+        };
+        if required.is_err() {
+            events::emit(|| {
+                Event::new("candidate_reject")
+                    .str("goal", &self.goal_name)
+                    .str("program", &label)
+                    .str("reason", "side-condition")
+                    .str("condition", cand.condition.to_string())
+            });
             return Ok(None);
         }
         // The full subtyping constraint (liquid abduction happens here).
-        if let Err(e) = s.subtype(&cenv, &ty, goal, &mut self.smt, &label) {
-            crate::trace!("  check {label}: subtype failed: {e}");
+        let subtyped = {
+            let _span = synquid_telemetry::span(Phase::Subtyping);
+            s.subtype(&cenv, &ty, goal, &mut self.smt, &label)
+        };
+        if let Err(e) = subtyped {
+            events::emit(|| {
+                Event::new("candidate_reject")
+                    .str("goal", &self.goal_name)
+                    .str("program", &label)
+                    .str("reason", "subtype")
+                    .str("detail", e.to_string())
+            });
             return Ok(None);
         }
         // Synthesize deferred higher-order arguments now that the return
@@ -617,14 +690,24 @@ impl Synthesizer {
         depth: usize,
     ) -> Result<Arc<Vec<ShapedCandidate>>, SynthesisError> {
         self.check_deadline()?;
+        // Recursive calls nest `Generation` spans; self-time attribution
+        // charges each level only for its own work, so the phase total
+        // stays additive however deep the enumeration recurses.
+        let _generation_span = synquid_telemetry::span(Phase::Generation);
         let key = (env_key.to_string(), shape_key(shape), depth);
         if self.config.memoize {
-            if let Some(found) = self.memo.lookup(&key) {
+            let found = {
+                let _memo_span = synquid_telemetry::span(Phase::MemoLookup);
+                self.memo.lookup(&key)
+            };
+            if let Some(found) = found {
                 self.stats.memo_hits += 1;
+                events::emit(|| Event::new("cache_hit").str("layer", "enum-memo"));
                 self.note_frontier(depth, found.grew);
                 return Ok(found.set);
             }
             self.stats.memo_misses += 1;
+            events::emit(|| Event::new("cache_miss").str("layer", "enum-memo"));
         }
         let mut out: Vec<ShapedCandidate> = Vec::new();
         let mut seen: HashSet<Program> = HashSet::new();
@@ -1080,7 +1163,12 @@ impl Synthesizer {
                     .substitute_value(&Term::var(scrut.clone(), scrut_sort.clone()));
                 case_env.add_path_condition(fact);
                 self.stats.matches_generated += 1;
-                crate::trace!("match {scrut} case {}", ctor.name);
+                events::emit(|| {
+                    Event::new("match_case")
+                        .str("goal", &self.goal_name)
+                        .str("scrutinee", &scrut)
+                        .str("constructor", &ctor.name)
+                });
                 match self.synthesize_in(
                     &case_env,
                     goal,
@@ -1095,7 +1183,12 @@ impl Synthesizer {
                     }),
                     Err(timeout @ SynthesisError::Timeout(_)) => return Err(timeout),
                     Err(SynthesisError::NoSolution(_)) => {
-                        crate::trace!("match {scrut} case {} failed", ctor.name);
+                        events::emit(|| {
+                            Event::new("match_case_failed")
+                                .str("goal", &self.goal_name)
+                                .str("scrutinee", &scrut)
+                                .str("constructor", &ctor.name)
+                        });
                         continue 'scrutinee;
                     }
                 }

@@ -1,43 +1,44 @@
-//! Lightweight synthesis tracing, enabled with `SYNQUID_TRACE=1`.
+//! Deprecated ad-hoc tracing shim, kept for source compatibility.
 //!
-//! The synthesizer explores a large search space; when a goal unexpectedly
-//! fails or takes too long, the trace shows which candidates were
-//! enumerated, why they were rejected, and where the time went. Tracing is
-//! off by default and costs a single atomic load per call site when
-//! disabled.
+//! The original `trace!` macro wrote `[synquid] …` lines to stderr when
+//! `SYNQUID_TRACE=1` was set. Structured tracing now lives in
+//! [`synquid_telemetry::events`]: call sites emit typed events
+//! (candidate accept/reject, cache hit/miss, …) and the sink renders
+//! them as JSON Lines (`--trace-out` / `SYNQUID_TRACE_OUT`) or — when
+//! only `SYNQUID_TRACE=1` is set — as the same human-readable stderr
+//! lines as before. This module forwards to the sink so existing
+//! `trace!` users keep working, but new code should emit typed events
+//! directly.
 
-use std::sync::atomic::{AtomicU8, Ordering};
-
-static ENABLED: AtomicU8 = AtomicU8::new(2); // 2 = not yet read from env
-
-/// True if `SYNQUID_TRACE` is set to a non-empty, non-"0" value.
+/// True if any event sink is configured (`SYNQUID_TRACE=1`,
+/// `SYNQUID_TRACE_OUT`, or an explicit `--trace-out`).
+#[deprecated(note = "use synquid_telemetry::events::events_enabled")]
 pub fn enabled() -> bool {
-    match ENABLED.load(Ordering::Relaxed) {
-        0 => false,
-        1 => true,
-        _ => {
-            let on = std::env::var("SYNQUID_TRACE")
-                .map(|v| !v.is_empty() && v != "0")
-                .unwrap_or(false);
-            ENABLED.store(u8::from(on), Ordering::Relaxed);
-            on
-        }
-    }
+    synquid_telemetry::events::events_enabled()
 }
 
-/// Emits a trace line (to stderr) when tracing is enabled.
+/// Forwards a formatted line to the event sink as a `message` event.
+/// The closure only runs when a sink is configured.
+#[doc(hidden)]
+pub fn emit_message(text: impl FnOnce() -> String) {
+    synquid_telemetry::events::emit(|| {
+        synquid_telemetry::events::Event::new("message").str("text", text())
+    });
+}
+
+/// Emits an untyped trace line through the structured event sink.
+#[deprecated(note = "emit a typed synquid_telemetry::events::Event instead of a formatted message")]
 #[macro_export]
 macro_rules! trace {
     ($($arg:tt)*) => {
-        if $crate::trace::enabled() {
-            eprintln!("[synquid] {}", format!($($arg)*));
-        }
+        $crate::trace::emit_message(|| format!($($arg)*))
     };
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
+    #[allow(deprecated)]
     fn enabled_is_stable_across_calls() {
         let first = super::enabled();
         assert_eq!(first, super::enabled());

@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use synquid_core::{Goal, SolverContext, SynthesisConfig};
 use synquid_lang::runner::{run_goal_in_context, RunResult};
 use synquid_solver::{SharedValidityCache, ValidityCacheStats};
+use synquid_telemetry::{events, events::Event};
 
 /// Configuration of a batch run.
 #[derive(Debug, Clone)]
@@ -259,7 +260,14 @@ impl Engine {
                     continue;
                 }
                 if portfolio.skippable(rung_idx) {
+                    let (app, mat) = portfolio.rungs[rung_idx];
                     portfolio.record(rung_idx, RungOutcome::Skipped);
+                    events::emit(|| {
+                        Event::new("rung_skip")
+                            .str("goal", &jobs[goal_idx].goal.name)
+                            .uint("app_depth", app as u64)
+                            .uint("match_depth", mat as u64)
+                    });
                     continue;
                 }
                 let slice = portfolio.slice_for(rung_idx);
@@ -271,11 +279,24 @@ impl Engine {
                         state.queue.push_back((goal_idx, rung_idx));
                         Err(state.queue.len())
                     } else {
+                        let (app, mat) = portfolio.rungs[rung_idx];
                         portfolio.record(rung_idx, RungOutcome::OutOfBudget);
+                        events::emit(|| {
+                            Event::new("rung_out_of_budget")
+                                .str("goal", &jobs[goal_idx].goal.name)
+                                .uint("app_depth", app as u64)
+                                .uint("match_depth", mat as u64)
+                        });
                         continue;
                     }
                 } else {
                     portfolio.start(rung_idx, slice);
+                    events::emit(|| {
+                        Event::new("ledger_reserve")
+                            .str("goal", &jobs[goal_idx].goal.name)
+                            .f64("slice_secs", slice.as_secs_f64())
+                            .f64("available_secs", portfolio.available().as_secs_f64())
+                    });
                     let token = portfolio.tokens[rung_idx].clone();
                     let bounds = portfolio.rungs[rung_idx];
                     Ok((goal_idx, rung_idx, bounds, slice, token))
@@ -309,13 +330,44 @@ impl Engine {
                 cancel: token,
                 enum_cache: enum_cache.clone(),
             };
+            events::emit(|| {
+                Event::new("rung_start")
+                    .str("goal", &jobs[goal_idx].goal.name)
+                    .uint("app_depth", app_depth as u64)
+                    .uint("match_depth", match_depth as u64)
+                    .f64("slice_secs", slice.as_secs_f64())
+            });
             let started = Instant::now();
             let result = run_goal_in_context(&jobs[goal_idx].goal, config, &ctx);
             let elapsed = started.elapsed();
+            events::emit(|| {
+                let status = if result.solved {
+                    "solved"
+                } else if result.timed_out {
+                    "truncated"
+                } else {
+                    "exhausted"
+                };
+                Event::new("rung_finish")
+                    .str("goal", &jobs[goal_idx].goal.name)
+                    .uint("app_depth", app_depth as u64)
+                    .uint("match_depth", match_depth as u64)
+                    .str("status", status)
+                    .f64("time_secs", elapsed.as_secs_f64())
+            });
 
             let mut state = shared.lock().expect("scheduler state poisoned");
             let portfolio = &mut state.portfolios[goal_idx];
             portfolio.settle(rung_idx, slice, elapsed);
+            events::emit(|| {
+                Event::new("ledger_settle")
+                    .str("goal", &jobs[goal_idx].goal.name)
+                    .f64(
+                        "charged_secs",
+                        elapsed.as_secs_f64().min(slice.as_secs_f64()),
+                    )
+                    .f64("remaining_secs", portfolio.available().as_secs_f64())
+            });
             if !result.timed_out {
                 // Ran to completion: solved, or genuinely exhausted its
                 // search space (the synthesizer reports budget-truncated

@@ -282,6 +282,10 @@ impl FixpointSolver {
     /// One `Strengthen` step: all weakest consistent strengthenings of `l`
     /// that validate `c`.
     fn strengthen(&mut self, l: &Assignment, c: &HornConstraint, smt: &mut Smt) -> Vec<Assignment> {
+        // The liquid-abduction phase: everything below an occurrence of
+        // `strengthen` that is not a nested SMT/MUS span is charged to
+        // `Abduction` (qualifier filtering, valuation bookkeeping, …).
+        let _span = synquid_telemetry::span(synquid_telemetry::Phase::Abduction);
         self.stats.strengthenings += 1;
         // Occurrences of unknowns on the left-hand side, with their pending
         // substitutions.

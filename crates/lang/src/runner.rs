@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use synquid_core::{
     Goal, SolverContext, SynthesisConfig, SynthesisError, SynthesisStats, Synthesizer,
 };
+use synquid_telemetry::{events, events::Event};
 
 /// Which configuration of the synthesizer to run (the ablations of
 /// Table 1).
@@ -102,11 +103,28 @@ pub fn run_goal(goal: &Goal, config: SynthesisConfig) -> RunResult {
 /// context's cancellation token fires. This is the entry point the
 /// parallel engine drives.
 pub fn run_goal_in_context(goal: &Goal, config: SynthesisConfig, ctx: &SolverContext) -> RunResult {
+    events::emit(|| {
+        Event::new("goal_start")
+            .str("goal", &goal.name)
+            .uint("app_depth", config.max_app_depth as u64)
+            .uint("match_depth", config.max_match_depth as u64)
+    });
     let start = Instant::now();
     let mut synthesizer = Synthesizer::with_context(config, ctx);
     let outcome = synthesizer.synthesize(goal);
     let time_secs = start.elapsed().as_secs_f64();
     let stats = Some(synthesizer.stats());
+    events::emit(|| {
+        let status = match &outcome {
+            Ok(_) => "solved",
+            Err(SynthesisError::Timeout(_)) => "timeout",
+            Err(_) => "failed",
+        };
+        Event::new("goal_finish")
+            .str("goal", &goal.name)
+            .str("status", status)
+            .f64("time_secs", time_secs)
+    });
     match outcome {
         Ok(result) => RunResult {
             name: goal.name.clone(),

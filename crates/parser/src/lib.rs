@@ -91,12 +91,20 @@ pub fn load_str(src: &str) -> Result<SpecOutput, SpecError> {
 /// Parses and elaborates a `.sq` source string, naming the source for
 /// diagnostics.
 pub fn load_named_str(file: &str, src: &str) -> Result<SpecOutput, SpecError> {
-    let spec = parse(src).map_err(|diagnostics| SpecError {
+    let spec = {
+        let _span = synquid_telemetry::span(synquid_telemetry::Phase::Parse);
+        parse(src)
+    }
+    .map_err(|diagnostics| SpecError {
         file: file.to_string(),
         src: src.to_string(),
         diagnostics,
     })?;
-    desugar(&spec).map_err(|diagnostics| SpecError {
+    {
+        let _span = synquid_telemetry::span(synquid_telemetry::Phase::Desugar);
+        desugar(&spec)
+    }
+    .map_err(|diagnostics| SpecError {
         file: file.to_string(),
         src: src.to_string(),
         diagnostics,

@@ -162,8 +162,16 @@ pub fn enumerate_mus_smt(
         max_checks: config.max_checks,
     };
     if let Some(cached) = smt.mus_memo_lookup(&key) {
+        synquid_telemetry::events::emit(|| {
+            synquid_telemetry::events::Event::new("cache_hit").str("layer", "mus-memo")
+        });
         return cached;
     }
+    // Attributed to the same phase as the solver's unsat-core shrinking:
+    // both are "minimize the reason for UNSAT" work. Oracle sub-queries
+    // open their own spans, so self-time attribution keeps the totals
+    // additive.
+    let _span = synquid_telemetry::span(synquid_telemetry::Phase::CoreShrink);
     let mut interrupted = false;
     let muses = enumerate_mus(soft.len(), required, config, |subset| {
         let mut formulas = vec![background.clone()];

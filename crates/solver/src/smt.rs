@@ -22,6 +22,7 @@ use crate::sat::{Lit, SatResult, SatSolver};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use synquid_logic::Term;
+use synquid_telemetry::{events, events::Event, Phase, PhaseProfile};
 
 /// Result of an SMT query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,15 @@ pub struct SmtStats {
     /// hit spares the complete MARCO loop (dozens of subset
     /// satisfiability checks) the abduction loop would otherwise repeat.
     pub mus_memo_hits: usize,
+    /// Per-phase wall-time attribution of the work done *inside* this
+    /// instance's queries (cache-lookup, encode, SAT, LIA, core-shrink),
+    /// captured per `Smt::check_query` call when span profiling is on
+    /// (see [`synquid_telemetry`]) and empty otherwise. This is the
+    /// solver-side subset of a synthesis run's profile: the synthesizer
+    /// windows the whole run on the same thread-local spans, so these
+    /// timings are *already included* there — merge one or the other
+    /// into reports, never both.
+    pub phases: PhaseProfile,
 }
 
 /// The SMT solver facade.
@@ -330,7 +340,37 @@ impl Smt {
     /// through the local memo and the shared validity cache. Every public
     /// query entry point reduces to this, so all of them share both
     /// cache layers under consistent `(antecedent, consequent)` keys.
+    ///
+    /// When span profiling is on, the phase-time delta of the query is
+    /// folded into [`SmtStats::phases`]; when the event sink is open,
+    /// queries slower than 25 ms are captured with their formulas
+    /// (`smt_query` events — the raw material solver-benchmark fixtures
+    /// are transcribed from).
     fn check_query(&mut self, antecedent: Term, consequent: Term) -> SmtResult {
+        let profile_base = synquid_telemetry::profiling_enabled().then(synquid_telemetry::snapshot);
+        let capture = events::events_enabled().then(Instant::now);
+        let result = self.check_query_inner(&antecedent, &consequent);
+        if let Some(base) = profile_base {
+            self.stats
+                .phases
+                .merge(&synquid_telemetry::snapshot().delta_since(&base));
+        }
+        if let Some(started) = capture {
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            if elapsed_ms >= 25.0 {
+                events::emit(|| {
+                    Event::new("smt_query")
+                        .f64("elapsed_ms", elapsed_ms)
+                        .str("result", format!("{result:?}"))
+                        .str("antecedent", antecedent.to_string())
+                        .str("consequent", consequent.to_string())
+                });
+            }
+        }
+        result
+    }
+
+    fn check_query_inner(&mut self, antecedent: &Term, consequent: &Term) -> SmtResult {
         self.stats.queries += 1;
         self.interrupted = false;
         let formula = if consequent.is_false() {
@@ -338,8 +378,10 @@ impl Smt {
         } else {
             antecedent.clone().and(consequent.clone().not())
         };
+        let cache_span = synquid_telemetry::span(Phase::CacheLookup);
         if let Some(cached) = self.cache.get(&formula) {
             self.stats.cache_hits += 1;
+            events::emit(|| Event::new("cache_hit").str("layer", "local"));
             return *cached;
         }
         // Normalize once, outside the cache's lock, and reuse the
@@ -347,7 +389,7 @@ impl Smt {
         let query = self
             .shared
             .as_ref()
-            .map(|_| SharedValidityCache::normalize(&antecedent, &consequent));
+            .map(|_| SharedValidityCache::normalize(antecedent, consequent));
         if let (Some(shared), Some(query)) = (&self.shared, &query) {
             if let Some(cached) = shared.lookup_normalized(query) {
                 self.stats.shared_hits += 1;
@@ -357,19 +399,25 @@ impl Smt {
                 if self.cache.len() < 200_000 {
                     self.cache.insert(formula, cached);
                 }
+                events::emit(|| Event::new("cache_hit").str("layer", "shared"));
                 return cached;
             }
             self.stats.shared_misses += 1;
+            events::emit(|| Event::new("cache_miss").str("layer", "shared"));
         }
+        drop(cache_span);
         // Out of budget: answer `Unknown` without solving or caching (the
         // verdict reflects the budget, not the formula).
         if self.interrupt_requested() {
             self.interrupted = true;
             return SmtResult::Unknown;
         }
-        let mut encoder = Encoder::new();
-        let skeleton = encoder.encode(&formula);
-        let problem = encoder.finish(skeleton);
+        let problem = {
+            let _encode_span = synquid_telemetry::span(Phase::Encode);
+            let mut encoder = Encoder::new();
+            let skeleton = encoder.encode(&formula);
+            encoder.finish(skeleton)
+        };
         let result = self.solve_encoded(&problem, &[]);
         if self.interrupted {
             return result;
@@ -469,6 +517,9 @@ impl Smt {
             // reproducible.
             replayed.sort();
             self.stats.conflicts_reused += replayed.len();
+            if !replayed.is_empty() {
+                events::emit(|| Event::new("lemma_replay").uint("n", replayed.len() as u64));
+            }
             for clause in replayed {
                 sat.add_clause(clause);
             }
@@ -484,9 +535,12 @@ impl Smt {
                 return SmtResult::Unknown;
             }
             self.stats.sat_calls += 1;
-            let model = match sat.solve() {
-                SatResult::Unsat(_) => return SmtResult::Unsat,
-                SatResult::Sat(model) => model,
+            let model = {
+                let _sat_span = synquid_telemetry::span(Phase::Sat);
+                match sat.solve() {
+                    SatResult::Unsat(_) => return SmtResult::Unsat,
+                    SatResult::Sat(model) => model,
+                }
             };
             // Collect the arithmetic literals implied by the boolean model.
             let mut literals: Vec<(usize, bool, crate::lia::Constraint)> = Vec::new();
@@ -500,7 +554,14 @@ impl Smt {
             }
             self.stats.theory_calls += 1;
             let constraints: Vec<_> = literals.iter().map(|(_, _, c)| c.clone()).collect();
-            match lia.check(problem.num_arith_vars, &constraints) {
+            let verdict = {
+                // The `Lia` phase counts only these first checks of the
+                // DPLL(T) loop; theory checks issued while shrinking a
+                // conflict are attributed to `CoreShrink` below.
+                let _lia_span = synquid_telemetry::span(Phase::Lia);
+                lia.check(problem.num_arith_vars, &constraints)
+            };
+            match verdict {
                 LiaResult::Sat(_) => return SmtResult::Sat,
                 LiaResult::Unknown => {
                     // A branch-budget `Unknown` is a deterministic verdict
@@ -524,6 +585,10 @@ impl Smt {
                     // deletion — on measure-heavy synthesis queries the
                     // conflict sets run to dozens of literals, and this
                     // shrink loop dominates query time.
+                    // The whole shrink (including its theory checks) is
+                    // one `CoreShrink` span — matching how solver cost
+                    // was profiled by hand before this instrumentation.
+                    let _shrink_span = synquid_telemetry::span(Phase::CoreShrink);
                     let mut core = literals;
                     let mut block = core.len().div_ceil(2);
                     loop {
@@ -574,6 +639,9 @@ impl Smt {
                         if let Some(lemma) = lemma {
                             if !lemma.is_empty() && store.insert(lemma) {
                                 self.stats.conflicts_learned += 1;
+                                events::emit(|| {
+                                    Event::new("lemma_learn").uint("size", core.len() as u64)
+                                });
                             }
                         }
                     }

@@ -1,0 +1,417 @@
+//! The structured event sink: typed trace events as JSON Lines.
+//!
+//! Layers of the pipeline emit [`Event`]s — candidate accept/reject with
+//! a reason, rung start/finish/skip, ledger reserve/charge/settle, lemma
+//! learn/replay, cache hit/miss, goal lifecycle — through [`emit`]. The
+//! sink is configured once per process:
+//!
+//! * `--trace-out PATH` (CLI) or `SYNQUID_TRACE_OUT=PATH` → JSONL to the
+//!   file (`-` means stderr);
+//! * `SYNQUID_TRACE=1` (the historical ad-hoc switch) → human-readable
+//!   lines on stderr, one `[synquid] …` line per event;
+//! * neither → events are disabled and an [`emit`] call costs one relaxed
+//!   atomic load (the closure building the event never runs).
+//!
+//! Every JSON line carries the event kind (`ev`), a process-wide sequence
+//! number (`seq`), milliseconds since the sink was opened (`t_ms`) and a
+//! small per-thread id (`tid`). `seq`/`t_ms`/`tid` are best-effort
+//! scheduling artifacts; the typed payload fields are the stable part of
+//! the schema (see `docs/ARCHITECTURE.md`).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+const MODE_OFF: u8 = 0;
+const MODE_JSON: u8 = 1;
+const MODE_HUMAN: u8 = 2;
+const MODE_UNREAD: u8 = 3;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNREAD);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static TID: usize = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// True if some event sink is configured. One relaxed atomic load on the
+/// fast (disabled) path; the first call reads the environment.
+#[inline]
+pub fn events_enabled() -> bool {
+    mode() != MODE_OFF
+}
+
+#[inline]
+fn mode() -> u8 {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_UNREAD => init_from_env(),
+        m => m,
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    if let Ok(path) = std::env::var("SYNQUID_TRACE_OUT") {
+        if !path.is_empty() {
+            return match init_trace_file(&path) {
+                Ok(()) => MODE.load(Ordering::Relaxed),
+                Err(e) => {
+                    eprintln!("[synquid] cannot open SYNQUID_TRACE_OUT={path}: {e}");
+                    MODE.store(MODE_OFF, Ordering::Relaxed);
+                    MODE_OFF
+                }
+            };
+        }
+    }
+    let human = std::env::var("SYNQUID_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let mode = if human { MODE_HUMAN } else { MODE_OFF };
+    MODE.store(mode, Ordering::Relaxed);
+    mode
+}
+
+/// Routes events as JSON Lines to `path` (`-` for stderr). Overrides any
+/// environment-derived configuration; used by the CLI's `--trace-out`.
+pub fn init_trace_file(path: &str) -> std::io::Result<()> {
+    let out: Box<dyn Write + Send> = if path == "-" {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::fs::File::create(path)?)
+    };
+    *SINK.lock().expect("trace sink poisoned") = Some(out);
+    epoch();
+    MODE.store(MODE_JSON, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flushes the sink (file sinks are written line-at-a-time but the CLI
+/// flushes once more before exiting, out of caution).
+pub fn flush_trace() {
+    if let Some(out) = SINK.lock().expect("trace sink poisoned").as_mut() {
+        let _ = out.flush();
+    }
+}
+
+/// One field value. Numbers keep their type so JSON stays unquoted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    UInt(u64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn render_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => {
+                out.push('"');
+                escape_json_into(s, out);
+                out.push('"');
+            }
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::F64(f) => out.push_str(&format!("{f:.3}")),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+
+    fn render_human(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => out.push_str(s),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::F64(f) => out.push_str(&format!("{f:.3}")),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+/// A typed trace event: a kind plus ordered fields. Construct with the
+/// builder methods and hand to [`emit`].
+#[derive(Debug, Clone)]
+pub struct Event {
+    kind: &'static str,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Starts an event of the given kind.
+    pub fn new(kind: &'static str) -> Event {
+        Event {
+            kind,
+            fields: Vec::with_capacity(4),
+        }
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &'static str, value: impl Into<String>) -> Event {
+        self.fields.push((key, Value::Str(value.into())));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &'static str, value: i64) -> Event {
+        self.fields.push((key, Value::Int(value)));
+        self
+    }
+
+    /// Adds an unsigned field.
+    pub fn uint(mut self, key: &'static str, value: u64) -> Event {
+        self.fields.push((key, Value::UInt(value)));
+        self
+    }
+
+    /// Adds a float field (rendered with 3 decimals).
+    pub fn f64(mut self, key: &'static str, value: f64) -> Event {
+        self.fields.push((key, Value::F64(value)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &'static str, value: bool) -> Event {
+        self.fields.push((key, Value::Bool(value)));
+        self
+    }
+
+    /// Renders the event as one JSON line (without envelope metadata —
+    /// [`emit`] adds `seq`/`t_ms`/`tid`).
+    pub fn render_json(&self, seq: u64, t_ms: f64, tid: usize) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ev\":\"");
+        escape_json_into(self.kind, &mut out);
+        out.push_str(&format!(
+            "\",\"seq\":{seq},\"t_ms\":{t_ms:.3},\"tid\":{tid}"
+        ));
+        for (key, value) in &self.fields {
+            out.push_str(",\"");
+            escape_json_into(key, &mut out);
+            out.push_str("\":");
+            value.render_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the event as the historical human-readable stderr line.
+    /// A `message` event with a single `text` field reproduces the old
+    /// `trace!` output byte-for-byte.
+    pub fn render_human(&self) -> String {
+        if self.kind == "message" {
+            if let [(_, Value::Str(text))] = self.fields.as_slice() {
+                return format!("[synquid] {text}");
+            }
+        }
+        let mut out = format!("[synquid] {}", self.kind);
+        for (key, value) in &self.fields {
+            out.push(' ');
+            out.push_str(key);
+            out.push('=');
+            value.render_human(&mut out);
+        }
+        out
+    }
+}
+
+/// Emits an event. The closure only runs when a sink is configured, so a
+/// disabled call site costs one atomic load and never formats anything.
+#[inline]
+pub fn emit(build: impl FnOnce() -> Event) {
+    let mode = mode();
+    if mode == MODE_OFF {
+        return;
+    }
+    emit_now(build(), mode);
+}
+
+#[cold]
+fn emit_now(event: Event, mode: u8) {
+    if mode == MODE_HUMAN {
+        eprintln!("{}", event.render_human());
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let t_ms = epoch().elapsed().as_secs_f64() * 1e3;
+    let tid = TID.with(|t| *t);
+    let mut line = event.render_json(seq, t_ms, tid);
+    line.push('\n');
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(out) = sink.as_mut() {
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses one JSON event line back into `(key, raw value)` pairs, with
+/// string values unescaped and numbers/booleans returned as their token
+/// text. Only the flat shape [`Event::render_json`] produces is
+/// supported — this is the test-side half of the schema round-trip.
+pub fn parse_line(line: &str) -> Option<Vec<(String, String)>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = Vec::new();
+    let bytes = body.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Key.
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let (key, next) = parse_string(body, i)?;
+        i = next;
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        // Value: string or bare token up to the next top-level comma.
+        let value = if bytes.get(i) == Some(&b'"') {
+            let (value, next) = parse_string(body, i)?;
+            i = next;
+            value
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            body[start..i].to_string()
+        };
+        out.push((key, value));
+        if bytes.get(i) == Some(&b',') {
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+/// Parses the JSON string literal starting at byte `at` (which must be a
+/// quote); returns the unescaped contents and the index after the
+/// closing quote.
+fn parse_string(text: &str, at: usize) -> Option<(String, usize)> {
+    let bytes = text.as_bytes();
+    debug_assert_eq!(bytes.get(at), Some(&b'"'));
+    let mut out = String::new();
+    let mut i = at + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                let esc = *bytes.get(i + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = text.get(i + 2..i + 6)?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole char.
+                let c = text[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_round_trips_through_parse_line() {
+        let event = Event::new("candidate_reject")
+            .str("goal", "take")
+            .str("reason", "subtype")
+            .str("program", "Cons x (take \"xs\" n)")
+            .int("depth", 2)
+            .bool("conditional", false)
+            .f64("elapsed_ms", 1.5);
+        let line = event.render_json(7, 12.3456, 2);
+        let fields = parse_line(&line).expect("parse back");
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("ev").as_deref(), Some("candidate_reject"));
+        assert_eq!(get("seq").as_deref(), Some("7"));
+        assert_eq!(get("tid").as_deref(), Some("2"));
+        assert_eq!(get("goal").as_deref(), Some("take"));
+        assert_eq!(get("reason").as_deref(), Some("subtype"));
+        assert_eq!(get("program").as_deref(), Some("Cons x (take \"xs\" n)"));
+        assert_eq!(get("depth").as_deref(), Some("2"));
+        assert_eq!(get("conditional").as_deref(), Some("false"));
+        assert_eq!(get("elapsed_ms").as_deref(), Some("1.500"));
+    }
+
+    #[test]
+    fn human_rendering_preserves_the_old_trace_format() {
+        let event = Event::new("message").str("text", "depth 2: 31 abduction candidates");
+        assert_eq!(
+            event.render_human(),
+            "[synquid] depth 2: 31 abduction candidates"
+        );
+        let typed = Event::new("cache_hit").str("layer", "shared").uint("n", 3);
+        assert_eq!(typed.render_human(), "[synquid] cache_hit layer=shared n=3");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_newlines_and_controls() {
+        let event = Event::new("message").str("text", "a\"b\\c\nd\te\u{1}");
+        let line = event.render_json(0, 0.0, 0);
+        assert!(line.contains("\\\"b\\\\c\\nd\\te\\u0001"));
+        let fields = parse_line(&line).unwrap();
+        let text = &fields.iter().find(|(k, _)| k == "text").unwrap().1;
+        assert_eq!(text, "a\"b\\c\nd\te\u{1}");
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let event = Event::new("message").str("text", "goal=νλ→ ≤");
+        let line = event.render_json(0, 0.0, 0);
+        let fields = parse_line(&line).unwrap();
+        assert_eq!(
+            fields.iter().find(|(k, _)| k == "text").unwrap().1,
+            "goal=νλ→ ≤"
+        );
+    }
+}

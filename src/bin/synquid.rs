@@ -11,7 +11,10 @@
 //!   --app-depth <N>       fix the application depth (default: portfolio)
 //!   --match-depth <N>     fix the match depth (default: portfolio)
 //!   --goal <NAME>         only synthesize the named goal (repeatable)
-//!   --stats               print per-goal statistics and cache counters
+//!   --stats               print per-goal statistics, phase timings, and
+//!                         cache counters
+//!   --trace-out <PATH>    write structured JSONL trace events to PATH
+//!                         ("-" for stderr)
 //!   --list                list the goals without synthesizing
 //!   -h, --help            print this help
 //! ```
@@ -33,6 +36,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 use synquid::engine::{Engine, EngineConfig, GoalJob, GoalOutcome, DEFAULT_RUNGS};
+use synquid::telemetry;
 
 const USAGE: &str = "\
 Usage: synquid [OPTIONS] <SPEC.sq>...
@@ -45,7 +49,10 @@ Options:
   --app-depth <N>       fix the application depth (default: portfolio)
   --match-depth <N>     fix the match depth (default: portfolio)
   --goal <NAME>         only synthesize the named goal (repeatable)
-  --stats               print per-goal statistics and cache counters
+  --stats               print per-goal statistics, phase timings, and
+                        cache counters
+  --trace-out <PATH>    write structured JSONL trace events to PATH
+                        (\"-\" for stderr)
   --list                list the goals without synthesizing
   -h, --help            print this help
 
@@ -62,6 +69,7 @@ struct Options {
     match_depth: Option<usize>,
     only: Vec<String>,
     stats: bool,
+    trace_out: Option<String>,
     list: bool,
 }
 
@@ -74,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match_depth: None,
         only: Vec::new(),
         stats: false,
+        trace_out: None,
         list: false,
     };
     let mut it = args.iter();
@@ -116,6 +125,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--goal" => opts.only.push(value("--goal")?),
             "--stats" => opts.stats = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--list" => opts.list = true,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             file => opts.files.push(file.to_string()),
@@ -187,6 +197,12 @@ fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
             );
         }
         println!();
+        if let Some(stats) = &result.stats {
+            if !stats.phases.is_empty() {
+                println!("  phases:");
+                print!("{}", stats.phases.table("    "));
+            }
+        }
     }
 }
 
@@ -202,6 +218,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.stats {
+        telemetry::set_profiling(true);
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = telemetry::events::init_trace_file(path) {
+            eprintln!("error: cannot open trace output {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    // Parse/desugar run on this thread; snapshot so the batch summary can
+    // attribute frontend time alongside the workers' synthesis phases.
+    let profile_base = telemetry::profiling_enabled().then(telemetry::snapshot);
 
     // Load every spec file up front; any malformed file aborts the batch
     // before synthesis starts.
@@ -308,7 +336,22 @@ fn main() -> ExitCode {
             cache.entries,
             cache.interned_nodes,
         );
+        // Aggregate phase split: the main thread's parse/desugar time
+        // plus every goal's synthesis-side profile.
+        let mut aggregate = profile_base
+            .map(|base| telemetry::snapshot().delta_since(&base))
+            .unwrap_or_default();
+        for outcome in &report.outcomes {
+            if let Some(stats) = &outcome.result.stats {
+                aggregate.merge(&stats.phases);
+            }
+        }
+        if !aggregate.is_empty() {
+            println!("batch phases (self time, summed across threads):");
+            print!("{}", aggregate.table("  "));
+        }
     }
+    telemetry::events::flush_trace();
 
     if any_failed {
         ExitCode::from(1)

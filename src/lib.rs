@@ -88,6 +88,7 @@ pub use synquid_lang as lang;
 pub use synquid_logic as logic;
 pub use synquid_parser as parser;
 pub use synquid_solver as solver;
+pub use synquid_telemetry as telemetry;
 pub use synquid_types as types;
 
 /// Commonly used items.
