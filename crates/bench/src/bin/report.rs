@@ -6,13 +6,14 @@
 //! report fig7   [--max-n N]   [--timeout SECS]
 //! report batch  [--jobs N]    [--timeout SECS] [--out PATH]
 //!               [--compare OLD.json] [--readme]
+//! report trace  <TRACE.jsonl> [--perfetto OUT.json] [--top K]
 //! report solver-bench [--smoke] [--iters N] [--out PATH]
 //! report all
 //! ```
 //!
 //! `batch` runs the whole `specs/` corpus through the parallel engine
 //! (with span profiling on, so every goal entry carries its per-phase
-//! timing split) and writes the machine-readable `BENCH_pr5.json`
+//! timing split) and writes the machine-readable `BENCH_pr7.json`
 //! timing report (per goal: solved/timings/winning rung/budget-ledger
 //! accounting/enumeration and incremental-solver counters; plus the
 //! validity-cache counters). `--compare` prints per-goal deltas against
@@ -21,6 +22,13 @@
 //! if a previously solved goal regressed to a timeout or a still-solved
 //! goal got more than 1.5× slower**; `--readme` prints the markdown
 //! corpus table embedded in the README's "Reproduction status" section.
+//!
+//! `trace` is offline forensics over a `--trace-out` JSONL artifact
+//! (e.g. the batch job's): per-goal budget attribution by rung × phase,
+//! the slowest SMT queries, the candidate-rejection taxonomy, and cache
+//! hit rates; a malformed stream (unknown event kind, missing envelope
+//! field) exits nonzero, which is what CI keys on. `--perfetto` also
+//! writes Chrome trace-event JSON loadable in `chrome://tracing`.
 //!
 //! `solver-bench` times the captured DPLL(T)/LIA/MUS workloads of
 //! `synquid_bench::fixtures` against fresh solver instances and writes
@@ -67,7 +75,7 @@ fn main() {
                 .position(|a| a == "--out")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+                .unwrap_or_else(|| "BENCH_pr7.json".to_string());
             let compare = args
                 .iter()
                 .position(|a| a == "--compare")
@@ -147,6 +155,42 @@ fn main() {
                 }
             }
         }
+        "trace" => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: report trace <TRACE.jsonl> [--perfetto OUT.json] [--top K]");
+                std::process::exit(2);
+            };
+            let top_k = parse_flag(&args, "--top").unwrap_or(5) as usize;
+            let perfetto = args
+                .iter()
+                .position(|a| a == "--perfetto")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let trace = match synquid_trace::parse_trace(&text) {
+                Ok(trace) => trace,
+                Err(e) => {
+                    eprintln!("{path}: malformed trace: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let report = synquid_trace::analyze(&trace);
+            print!("{}", report.render(top_k));
+            if let Some(out) = perfetto {
+                let json = synquid_trace::to_chrome_trace(&trace);
+                if let Err(e) = std::fs::write(&out, &json) {
+                    eprintln!("failed to write {out}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {out} (load in chrome://tracing or ui.perfetto.dev)");
+            }
+        }
         "solver-bench" => {
             let smoke = args.iter().any(|a| a == "--smoke");
             let iters = parse_flag(&args, "--iters").unwrap_or(if smoke { 3 } else { 10 }) as usize;
@@ -177,7 +221,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown report '{other}': expected table1, table2, fig7, batch, solver-bench, or all"
+                "unknown report '{other}': expected table1, table2, fig7, batch, trace, solver-bench, or all"
             );
             std::process::exit(2);
         }

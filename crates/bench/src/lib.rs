@@ -16,7 +16,7 @@
 //! binary's `batch` subcommand additionally runs the whole `specs/`
 //! corpus through the parallel engine and emits a machine-readable
 //! timing report ([`batch_report_json`], uploaded by CI as
-//! `BENCH_pr5.json`), the markdown corpus table embedded in the README
+//! `BENCH_pr7.json`), the markdown corpus table embedded in the README
 //! ([`corpus_markdown_table`]), and per-goal deltas against a previous
 //! artifact ([`compare_batch`] — CI fails when a previously solved goal
 //! regressed to a timeout).
@@ -265,7 +265,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr5.json`
+/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr7.json`
 /// artifact: per-goal timings, budget-ledger accounting (rungs run /
 /// cancelled / skipped / out of budget, budget consumed), the
 /// enumeration counters (terms enumerated, pruned early, memo hits),
@@ -275,7 +275,7 @@ fn json_escape(s: &str) -> String {
 pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"report\": \"BENCH_pr5\",\n");
+    out.push_str("  \"report\": \"BENCH_pr7\",\n");
     out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
     out.push_str(&format!("  \"timeout_secs\": {},\n", timeout.as_secs()));
@@ -641,7 +641,7 @@ mod tests {
             report.outcomes.len()
         );
         let json = batch_report_json(&report, timeout);
-        assert!(json.contains("\"report\": \"BENCH_pr5\""));
+        assert!(json.contains("\"report\": \"BENCH_pr7\""));
         assert!(json.contains("\"validity_cache\""));
         assert!(json.contains("\"terms_enumerated\""));
         assert!(json.contains("\"pruned_early\""));

@@ -19,6 +19,7 @@ use crate::synthesis::Goal;
 use synquid_horn::FixpointConfig;
 use synquid_logic::{Sort, Substitution, Term};
 use synquid_solver::Smt;
+use synquid_telemetry::events::{self, Event};
 use synquid_types::{
     weaken_for_recursion, BaseType, ConstraintSolver, Environment, RType, Schema, TypeError,
 };
@@ -29,6 +30,13 @@ pub struct TypeChecker {
     /// The SMT backend shared across all checks.
     pub smt: Smt,
     fresh_counter: usize,
+    /// Derivation-node ids for the checking judgment, mirroring the
+    /// synthesizer's scheme: preorder allocation over the `check` call
+    /// tree, reset per top-level check, `current_node` = frame on the
+    /// stack (0 = root's parent sentinel). Ids land on the `check_step` /
+    /// `check_step_finish` trace events.
+    node_counter: u64,
+    current_node: u64,
 }
 
 impl Default for TypeChecker {
@@ -43,6 +51,8 @@ impl TypeChecker {
         TypeChecker {
             smt: Smt::new(),
             fresh_counter: 0,
+            node_counter: 0,
+            current_node: 0,
         }
     }
 
@@ -53,6 +63,8 @@ impl TypeChecker {
         TypeChecker {
             smt: context.make_smt(),
             fresh_counter: 0,
+            node_counter: 0,
+            current_node: 0,
         }
     }
 
@@ -71,6 +83,8 @@ impl TypeChecker {
     /// Returns the first [`TypeError`] encountered; the error message names
     /// the sub-term and the constraint that failed.
     pub fn check_goal(&mut self, goal: &Goal, program: &Program) -> Result<(), TypeError> {
+        self.node_counter = 0;
+        self.current_node = 0;
         if !program.is_complete() {
             return Err(TypeError::new("program contains holes"));
         }
@@ -107,6 +121,8 @@ impl TypeChecker {
         program: &Program,
         ty: &RType,
     ) -> Result<(), TypeError> {
+        self.node_counter = 0;
+        self.current_node = 0;
         let mut solver = ConstraintSolver::new(FixpointConfig::default());
         self.check(env, &mut solver, program, ty)
     }
@@ -115,7 +131,39 @@ impl TypeChecker {
     // Checking judgment  Γ ⊢ t ↓ T
     // -----------------------------------------------------------------
 
+    /// One derivation node per checking-judgment frame: allocates the node
+    /// id, brackets the frame with `check_step` / `check_step_finish`
+    /// events, and dispatches to [`TypeChecker::check_node`].
     fn check(
+        &mut self,
+        env: &Environment,
+        solver: &mut ConstraintSolver,
+        program: &Program,
+        goal: &RType,
+    ) -> Result<(), TypeError> {
+        let parent = self.current_node;
+        self.node_counter += 1;
+        let node = self.node_counter;
+        self.current_node = node;
+        events::emit(|| {
+            Event::new("check_step")
+                .uint("node", node)
+                .uint("parent", parent)
+                .str("rule", check_rule(program))
+                .str("term", program.to_string())
+                .str("ty", goal.to_string())
+        });
+        let result = self.check_node(env, solver, program, goal);
+        events::emit(|| {
+            Event::new("check_step_finish")
+                .uint("node", node)
+                .str("status", if result.is_ok() { "ok" } else { "error" })
+        });
+        self.current_node = parent;
+        result
+    }
+
+    fn check_node(
         &mut self,
         env: &Environment,
         solver: &mut ConstraintSolver,
@@ -384,6 +432,18 @@ impl TypeChecker {
             )?;
         }
         Ok((app_env, result))
+    }
+}
+
+/// The Fig. 4 rule a checking-judgment frame dispatches to, for the
+/// `check_step` trace event.
+fn check_rule(program: &Program) -> &'static str {
+    match program {
+        Program::Abs(_, _) => "ABS",
+        Program::Fix(_, _) => "FIX",
+        Program::If(_, _, _) => "IF",
+        Program::Match(_, _) => "MATCH",
+        _ => "IE",
     }
 }
 

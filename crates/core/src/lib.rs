@@ -21,7 +21,6 @@ pub mod eval;
 pub mod memo;
 pub mod options;
 pub mod synthesis;
-pub mod trace;
 
 pub use ast::{Case, Program};
 pub use check::TypeChecker;

@@ -181,6 +181,15 @@ pub struct Synthesizer {
     /// attribution in batch runs.
     goal_name: String,
     fresh_counter: usize,
+    /// Derivation-node ids: `node_counter` allocates ids in preorder over
+    /// the `synthesize_in` call tree (reset per [`Synthesizer::synthesize`]
+    /// run, so ids are deterministic for a fixed goal, configuration and
+    /// cache regime); `current_node` is the id of the frame currently on
+    /// the stack (0 = root's parent sentinel). Trace consumers scope ids
+    /// to one `goal_start`..`goal_finish` window per thread, because each
+    /// rung attempt restarts the counter.
+    node_counter: u64,
+    current_node: u64,
 }
 
 impl Synthesizer {
@@ -212,6 +221,8 @@ impl Synthesizer {
             memo: context.enum_cache.clone(),
             goal_name: String::new(),
             fresh_counter: 0,
+            node_counter: 0,
+            current_node: 0,
         }
     }
 
@@ -259,6 +270,8 @@ impl Synthesizer {
     /// Synthesizes a program for the goal.
     pub fn synthesize(&mut self, goal: &Goal) -> Result<Synthesized, SynthesisError> {
         let start = Instant::now();
+        self.node_counter = 0;
+        self.current_node = 0;
         // One synthesis run stays on one thread, so the run's phase
         // profile is the delta of the thread-local span aggregation
         // around it (no locks, no cross-worker bleed).
@@ -339,6 +352,15 @@ impl Synthesizer {
     }
 
     /// Synthesizes a term of the given (possibly functional) goal type.
+    ///
+    /// Every call is one derivation node. This wrapper allocates the node
+    /// id, brackets the frame with `search` / `node_finish` events (parent
+    /// link, wall time, per-node cache provenance, and — when profiling is
+    /// on — a phase split *inclusive of children*), and restores the
+    /// parent id on the way out; the search itself lives in
+    /// [`Synthesizer::synthesize_in_node`]. The counter advances even when
+    /// no sink is configured, so ids never depend on whether tracing was
+    /// on.
     fn synthesize_in(
         &mut self,
         env: &Environment,
@@ -347,14 +369,75 @@ impl Synthesizer {
         branch_depth: usize,
         match_depth: usize,
     ) -> Result<Program, SynthesisError> {
-        self.check_deadline()?;
+        let parent = self.current_node;
+        self.node_counter += 1;
+        let node = self.node_counter;
+        self.current_node = node;
+        let enabled = events::events_enabled();
+        let started = enabled.then(Instant::now);
+        let provenance_base = enabled.then(|| {
+            (
+                self.stats.memo_hits,
+                self.stats.memo_misses,
+                self.smt.stats().conflicts_reused,
+            )
+        });
+        let phase_base =
+            (enabled && synquid_telemetry::profiling_enabled()).then(synquid_telemetry::snapshot);
         events::emit(|| {
             Event::new("search")
+                .uint("node", node)
+                .uint("parent", parent)
                 .str("goal", &self.goal_name)
                 .str("ty", goal.to_string())
                 .uint("branch_depth", branch_depth as u64)
                 .uint("match_depth", match_depth as u64)
         });
+        let result = self.synthesize_in_node(env, goal, base_solver, branch_depth, match_depth);
+        if let (Some(started), Some((hits0, misses0, replayed0))) = (started, provenance_base) {
+            let status = match &result {
+                Ok(_) => "solved",
+                Err(SynthesisError::Timeout(_)) => "timeout",
+                Err(SynthesisError::NoSolution(_)) => "exhausted",
+            };
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            let memo_hits = (self.stats.memo_hits - hits0) as u64;
+            let memo_misses = (self.stats.memo_misses - misses0) as u64;
+            let lemmas_replayed = (self.smt.stats().conflicts_reused - replayed0) as u64;
+            let phases = phase_base
+                .map(|base| synquid_telemetry::snapshot().delta_since(&base))
+                .filter(|delta| !delta.is_empty());
+            events::emit(|| {
+                let mut event = Event::new("node_finish")
+                    .uint("node", node)
+                    .str("goal", &self.goal_name)
+                    .str("status", status)
+                    .f64("elapsed_ms", elapsed_ms)
+                    .uint("memo_hits", memo_hits)
+                    .uint("memo_misses", memo_misses)
+                    .uint("lemmas_replayed", lemmas_replayed);
+                if let Ok(program) = &result {
+                    event = event.str("term", program.to_string());
+                }
+                if let Some(phases) = &phases {
+                    event = event.str("phases", phases.to_json());
+                }
+                event
+            });
+        }
+        self.current_node = parent;
+        result
+    }
+
+    fn synthesize_in_node(
+        &mut self,
+        env: &Environment,
+        goal: &RType,
+        base_solver: &ConstraintSolver,
+        branch_depth: usize,
+        match_depth: usize,
+    ) -> Result<Program, SynthesisError> {
+        self.check_deadline()?;
 
         // Function goals: introduce lambdas (rule ABS).
         if goal.is_function() {
@@ -383,6 +466,7 @@ impl Synthesizer {
                 self.abduction_candidates(env, goal, depth, base_solver, &mut tried)?;
             events::emit(|| {
                 Event::new("abduction_candidates")
+                    .uint("node", self.current_node)
                     .str("goal", &self.goal_name)
                     .uint("depth", depth as u64)
                     .uint("n", candidates.len() as u64)
@@ -399,6 +483,7 @@ impl Synthesizer {
                 let Some(guard) = self.synthesize_guard(env, &condition, base_solver) else {
                     events::emit(|| {
                         Event::new("guard_missing")
+                            .uint("node", self.current_node)
                             .str("goal", &self.goal_name)
                             .str("condition", condition.to_string())
                     });
@@ -406,6 +491,7 @@ impl Synthesizer {
                 };
                 events::emit(|| {
                     Event::new("guard_found")
+                        .uint("node", self.current_node)
                         .str("goal", &self.goal_name)
                         .str("guard", guard.to_string())
                         .str("condition", condition.to_string())
@@ -482,6 +568,7 @@ impl Synthesizer {
                 let condition = cand_solver.apply_assignment(&p0);
                 events::emit(|| {
                     Event::new("candidate_accept")
+                        .uint("node", self.current_node)
                         .str("goal", &self.goal_name)
                         .str("program", program.to_string())
                         .bool("conditional", !condition.is_true())
@@ -570,6 +657,7 @@ impl Synthesizer {
             if consistent.is_err() {
                 events::emit(|| {
                     Event::new("candidate_reject")
+                        .uint("node", self.current_node)
                         .str("goal", &self.goal_name)
                         .str("program", &label)
                         .str("reason", "consistency")
@@ -588,6 +676,7 @@ impl Synthesizer {
         if required.is_err() {
             events::emit(|| {
                 Event::new("candidate_reject")
+                    .uint("node", self.current_node)
                     .str("goal", &self.goal_name)
                     .str("program", &label)
                     .str("reason", "side-condition")
@@ -603,6 +692,7 @@ impl Synthesizer {
         if let Err(e) = subtyped {
             events::emit(|| {
                 Event::new("candidate_reject")
+                    .uint("node", self.current_node)
                     .str("goal", &self.goal_name)
                     .str("program", &label)
                     .str("reason", "subtype")
@@ -702,12 +792,20 @@ impl Synthesizer {
             };
             if let Some(found) = found {
                 self.stats.memo_hits += 1;
-                events::emit(|| Event::new("cache_hit").str("layer", "enum-memo"));
+                events::emit(|| {
+                    Event::new("cache_hit")
+                        .str("layer", "enum-memo")
+                        .uint("node", self.current_node)
+                });
                 self.note_frontier(depth, found.grew);
                 return Ok(found.set);
             }
             self.stats.memo_misses += 1;
-            events::emit(|| Event::new("cache_miss").str("layer", "enum-memo"));
+            events::emit(|| {
+                Event::new("cache_miss")
+                    .str("layer", "enum-memo")
+                    .uint("node", self.current_node)
+            });
         }
         let mut out: Vec<ShapedCandidate> = Vec::new();
         let mut seen: HashSet<Program> = HashSet::new();
@@ -1165,6 +1263,7 @@ impl Synthesizer {
                 self.stats.matches_generated += 1;
                 events::emit(|| {
                     Event::new("match_case")
+                        .uint("node", self.current_node)
                         .str("goal", &self.goal_name)
                         .str("scrutinee", &scrut)
                         .str("constructor", &ctor.name)
@@ -1185,6 +1284,7 @@ impl Synthesizer {
                     Err(SynthesisError::NoSolution(_)) => {
                         events::emit(|| {
                             Event::new("match_case_failed")
+                                .uint("node", self.current_node)
                                 .str("goal", &self.goal_name)
                                 .str("scrutinee", &scrut)
                                 .str("constructor", &ctor.name)

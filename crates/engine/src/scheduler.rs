@@ -264,6 +264,7 @@ impl Engine {
                     portfolio.record(rung_idx, RungOutcome::Skipped);
                     events::emit(|| {
                         Event::new("rung_skip")
+                            .uint("rung", rung_idx as u64)
                             .str("goal", &jobs[goal_idx].goal.name)
                             .uint("app_depth", app as u64)
                             .uint("match_depth", mat as u64)
@@ -283,6 +284,7 @@ impl Engine {
                         portfolio.record(rung_idx, RungOutcome::OutOfBudget);
                         events::emit(|| {
                             Event::new("rung_out_of_budget")
+                                .uint("rung", rung_idx as u64)
                                 .str("goal", &jobs[goal_idx].goal.name)
                                 .uint("app_depth", app as u64)
                                 .uint("match_depth", mat as u64)
@@ -293,6 +295,7 @@ impl Engine {
                     portfolio.start(rung_idx, slice);
                     events::emit(|| {
                         Event::new("ledger_reserve")
+                            .uint("rung", rung_idx as u64)
                             .str("goal", &jobs[goal_idx].goal.name)
                             .f64("slice_secs", slice.as_secs_f64())
                             .f64("available_secs", portfolio.available().as_secs_f64())
@@ -332,6 +335,7 @@ impl Engine {
             };
             events::emit(|| {
                 Event::new("rung_start")
+                    .uint("rung", rung_idx as u64)
                     .str("goal", &jobs[goal_idx].goal.name)
                     .uint("app_depth", app_depth as u64)
                     .uint("match_depth", match_depth as u64)
@@ -349,6 +353,7 @@ impl Engine {
                     "exhausted"
                 };
                 Event::new("rung_finish")
+                    .uint("rung", rung_idx as u64)
                     .str("goal", &jobs[goal_idx].goal.name)
                     .uint("app_depth", app_depth as u64)
                     .uint("match_depth", match_depth as u64)
@@ -361,6 +366,7 @@ impl Engine {
             portfolio.settle(rung_idx, slice, elapsed);
             events::emit(|| {
                 Event::new("ledger_settle")
+                    .uint("rung", rung_idx as u64)
                     .str("goal", &jobs[goal_idx].goal.name)
                     .f64(
                         "charged_secs",

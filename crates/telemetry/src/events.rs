@@ -20,8 +20,27 @@
 
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Version of the trace-event schema. Stamped into the `trace_meta`
+/// event that opens every JSON sink; a stream *without* a `trace_meta`
+/// line is version 1 (the PR 6 streams, before derivation node ids).
+///
+/// History:
+/// * 1 — envelope (`ev`/`seq`/`t_ms`/`tid`) + the ~20 PR 6 event kinds;
+/// * 2 — `trace_meta` header; derivation node ids (`node`/`parent` on
+///   `search`, `node` on candidate/guard/match/cache events); the
+///   `node_finish` kind (status, term, per-node cache provenance, and an
+///   optional `phases` split); `check_step` kinds from the round-trip
+///   checker; `rung` indices on the rung/ledger lifecycle events.
+///
+/// Versioning rules (see `docs/ARCHITECTURE.md`): *adding* a field to an
+/// existing kind or adding a new kind bumps this constant but keeps old
+/// consumers working (consumers must tolerate unknown fields); renaming
+/// or removing a field or kind is a breaking change and additionally
+/// renames the event kind.
+pub const EVENT_SCHEMA_VERSION: u64 = 2;
 
 const MODE_OFF: u8 = 0;
 const MODE_JSON: u8 = 1;
@@ -30,6 +49,9 @@ const MODE_UNREAD: u8 = 3;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNREAD);
 static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+/// Side handle onto the in-memory sink installed by
+/// [`init_trace_buffer`], so [`take_trace_buffer`] can drain it.
+static BUFFER: Mutex<Option<Arc<Mutex<Vec<u8>>>>> = Mutex::new(None);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
 
@@ -87,10 +109,59 @@ pub fn init_trace_file(path: &str) -> std::io::Result<()> {
     } else {
         Box::new(std::fs::File::create(path)?)
     };
+    *BUFFER.lock().expect("trace buffer poisoned") = None;
     *SINK.lock().expect("trace sink poisoned") = Some(out);
     epoch();
     MODE.store(MODE_JSON, Ordering::Relaxed);
+    emit_meta();
     Ok(())
+}
+
+/// Routes events as JSON Lines into an in-memory buffer, drained by
+/// [`take_trace_buffer`]. This is how `synquid explain` captures the
+/// trace of a run it is about to replay into a derivation tree without
+/// touching the filesystem. Overrides any other sink.
+pub fn init_trace_buffer() {
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+
+    struct BufferSink(Arc<Mutex<Vec<u8>>>);
+    impl Write for BufferSink {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("trace buffer poisoned").extend(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    *BUFFER.lock().expect("trace buffer poisoned") = Some(buffer.clone());
+    *SINK.lock().expect("trace sink poisoned") = Some(Box::new(BufferSink(buffer)));
+    epoch();
+    MODE.store(MODE_JSON, Ordering::Relaxed);
+    emit_meta();
+}
+
+/// Drains the in-memory sink installed by [`init_trace_buffer`] and
+/// returns its contents (one JSON event per line). Returns `None` when
+/// no buffer sink is active. Events emitted after the drain keep
+/// accumulating in the same buffer.
+pub fn take_trace_buffer() -> Option<String> {
+    let guard = BUFFER.lock().expect("trace buffer poisoned");
+    let buffer = guard.as_ref()?;
+    let bytes = std::mem::take(&mut *buffer.lock().expect("trace buffer poisoned"));
+    Some(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// The stream header: every JSON sink opens with a `trace_meta` event
+/// carrying the schema version, so consumers can tell v1 streams (no
+/// header) from current ones without sniffing payload fields.
+fn emit_meta() {
+    emit(|| {
+        Event::new("trace_meta")
+            .uint("schema", EVENT_SCHEMA_VERSION)
+            .str("tool", "synquid")
+    });
 }
 
 /// Flushes the sink (file sinks are written line-at-a-time but the CLI

@@ -270,7 +270,9 @@ impl PhaseProfile {
     }
 
     /// Renders an aligned text table of the non-empty phases, largest
-    /// exclusive total first, each line prefixed with `indent`.
+    /// exclusive total first, each line prefixed with `indent`. Each row
+    /// shows both absolute seconds and the share of the profile's total,
+    /// so a dominant phase is visible at a glance whatever the scale.
     pub fn table(&self, indent: &str) -> String {
         let mut rows: Vec<(Phase, PhaseStat)> = Phase::ALL
             .into_iter()
@@ -278,15 +280,22 @@ impl PhaseProfile {
             .filter(|(_, s)| s.count > 0)
             .collect();
         rows.sort_by_key(|row| std::cmp::Reverse(row.1.total_nanos));
+        let total = self.total_secs();
         let mut out = format!(
-            "{indent}{:<14} {:>10} {:>10} {:>10}\n",
-            "phase", "self(s)", "count", "max(s)"
+            "{indent}{:<14} {:>10} {:>7} {:>10} {:>10}\n",
+            "phase", "self(s)", "%", "count", "max(s)"
         );
         for (phase, stat) in rows {
+            let share = if total > 0.0 {
+                100.0 * stat.total_secs() / total
+            } else {
+                0.0
+            };
             out.push_str(&format!(
-                "{indent}{:<14} {:>10.3} {:>10} {:>10.3}\n",
+                "{indent}{:<14} {:>10.3} {:>6.1}% {:>10} {:>10.3}\n",
                 phase.name(),
                 stat.total_secs(),
+                share,
                 stat.count,
                 stat.max_secs()
             ));

@@ -1,0 +1,424 @@
+//! Timeout forensics: per-goal aggregation of a trace stream.
+//!
+//! Answers "where did the 30 seconds go" for a goal that timed out, from
+//! events alone: budget attribution by rung × phase, the most expensive
+//! SMT queries, the candidate-rejection taxonomy (which head symbols were
+//! tried and why they were pruned), and per-layer cache hit rates.
+//!
+//! Solver-side events (`smt_query`, `cache_hit`/`cache_miss`,
+//! `lemma_*`) carry no goal or node field — the solver does not know what
+//! it is solving for. They are attributed to the goal window open on
+//! their thread when they fired, which is exact: one synthesizer run
+//! stays on one thread.
+
+use std::collections::BTreeMap;
+
+use synquid_telemetry::{Phase, PhaseProfile};
+
+use crate::event::Trace;
+use crate::tree::DerivationForest;
+
+/// One expensive SMT query (the producer only emits `smt_query` events
+/// for queries at or above its threshold, 25 ms).
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    pub goal: String,
+    pub elapsed_ms: f64,
+    pub result: String,
+    pub antecedent: String,
+    pub consequent: String,
+}
+
+/// Per-layer cache counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheRate {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheRate {
+    pub fn rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregates for one goal.
+#[derive(Debug, Clone, Default)]
+pub struct GoalForensics {
+    pub goal: String,
+    /// True if any attempt solved the goal.
+    pub solved: bool,
+    /// Seconds spent across all rung attempts.
+    pub total_secs: f64,
+    /// Per rung: (rung index or `u64::MAX` for standalone runs, seconds,
+    /// status, phase split of the attempt's root node when profiling was
+    /// on).
+    pub rungs: BTreeMap<u64, RungForensics>,
+    /// Candidate rejections by `(head symbol, prune reason)`.
+    pub rejections: BTreeMap<(String, String), u64>,
+    /// Cache traffic by layer (`local`, `shared`, `enum-memo`,
+    /// `mus-memo`), attributed via the goal window.
+    pub caches: BTreeMap<String, CacheRate>,
+    /// Conflict lemmas learned / replayed inside this goal's windows.
+    pub lemmas_learned: u64,
+    pub lemmas_replayed: u64,
+    /// `smt_query` events attributed to this goal.
+    pub slow_queries: Vec<SlowQuery>,
+}
+
+/// Aggregates for one rung of one goal (attempts at the same rung index
+/// merge, which only happens for re-queued rungs).
+#[derive(Debug, Clone, Default)]
+pub struct RungForensics {
+    pub secs: f64,
+    pub attempts: u64,
+    pub statuses: Vec<String>,
+    pub phases: PhaseProfile,
+}
+
+/// The whole report: per-goal forensics plus stream-level counters.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    pub goals: BTreeMap<String, GoalForensics>,
+    pub schema_version: u64,
+    pub events: usize,
+}
+
+/// The sentinel rung index for attempts that ran outside the engine
+/// scheduler (single-goal `synquid` runs have no portfolio).
+pub const NO_RUNG: u64 = u64::MAX;
+
+/// Aggregates a parsed trace into its forensics report.
+pub fn analyze(trace: &Trace) -> TraceReport {
+    let forest = DerivationForest::build(trace);
+    let mut report = TraceReport {
+        schema_version: trace.schema_version,
+        events: trace.events.len(),
+        ..TraceReport::default()
+    };
+
+    // Per-attempt aggregates from the reconstructed forest.
+    for attempt in &forest.attempts {
+        let goal = report
+            .goals
+            .entry(attempt.goal.clone())
+            .or_insert_with(|| GoalForensics {
+                goal: attempt.goal.clone(),
+                ..GoalForensics::default()
+            });
+        goal.solved |= attempt.status == "solved";
+        goal.total_secs += attempt.time_secs;
+        let rung = goal
+            .rungs
+            .entry(attempt.rung.unwrap_or(NO_RUNG))
+            .or_default();
+        rung.secs += attempt.time_secs;
+        rung.attempts += 1;
+        rung.statuses.push(attempt.status.clone());
+        if let Some(phases) = attempt.root().and_then(|r| r.phases.as_ref()) {
+            rung.phases.merge(phases);
+        }
+    }
+
+    // Event-level aggregates needing window attribution: walk the stream
+    // again with the same per-thread window discipline the tree builder
+    // uses.
+    let mut open_goal: BTreeMap<u64, String> = BTreeMap::new();
+    for event in &trace.events {
+        match event.kind.as_str() {
+            "goal_start" => {
+                open_goal.insert(event.tid, event.get("goal").unwrap_or_default().to_string());
+            }
+            "goal_finish" => {
+                open_goal.remove(&event.tid);
+            }
+            "candidate_reject" => {
+                let Some(goal) = open_goal.get(&event.tid) else {
+                    continue;
+                };
+                let Some(forensics) = report.goals.get_mut(goal) else {
+                    continue;
+                };
+                let head = event
+                    .get("program")
+                    .and_then(|p| p.trim_start_matches('(').split_whitespace().next())
+                    .unwrap_or("?")
+                    .to_string();
+                let reason = event.get("reason").unwrap_or("?").to_string();
+                *forensics.rejections.entry((head, reason)).or_insert(0) += 1;
+            }
+            "cache_hit" | "cache_miss" => {
+                let Some(goal) = open_goal.get(&event.tid) else {
+                    continue;
+                };
+                let Some(forensics) = report.goals.get_mut(goal) else {
+                    continue;
+                };
+                let layer = event.get("layer").unwrap_or("?").to_string();
+                let rate = forensics.caches.entry(layer).or_default();
+                if event.kind == "cache_hit" {
+                    rate.hits += 1;
+                } else {
+                    rate.misses += 1;
+                }
+            }
+            "lemma_learn" | "lemma_replay" => {
+                let Some(goal) = open_goal.get(&event.tid) else {
+                    continue;
+                };
+                let Some(forensics) = report.goals.get_mut(goal) else {
+                    continue;
+                };
+                if event.kind == "lemma_learn" {
+                    forensics.lemmas_learned += 1;
+                } else {
+                    forensics.lemmas_replayed += event.get_u64("n").unwrap_or(1);
+                }
+            }
+            "smt_query" => {
+                let Some(goal) = open_goal.get(&event.tid) else {
+                    continue;
+                };
+                let Some(forensics) = report.goals.get_mut(goal) else {
+                    continue;
+                };
+                forensics.slow_queries.push(SlowQuery {
+                    goal: goal.clone(),
+                    elapsed_ms: event.get_f64("elapsed_ms").unwrap_or(0.0),
+                    result: event.get("result").unwrap_or("?").to_string(),
+                    antecedent: event.get("antecedent").unwrap_or_default().to_string(),
+                    consequent: event.get("consequent").unwrap_or_default().to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    for forensics in report.goals.values_mut() {
+        forensics.slow_queries.sort_by(|a, b| {
+            b.elapsed_ms
+                .partial_cmp(&a.elapsed_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+    report
+}
+
+impl TraceReport {
+    /// Renders the report as text: a summary table, then per-goal
+    /// sections with the "where the time went" breakdown for unsolved
+    /// goals first. `top_k` bounds the slow-query and rejection lists.
+    pub fn render(&self, top_k: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} events, schema v{}, {} goals ({} solved)\n\n",
+            self.events,
+            self.schema_version,
+            self.goals.len(),
+            self.goals.values().filter(|g| g.solved).count(),
+        ));
+
+        // Unsolved goals first: they are what forensics is for.
+        let mut goals: Vec<&GoalForensics> = self.goals.values().collect();
+        goals.sort_by(|a, b| {
+            (a.solved, std::cmp::Reverse((b.total_secs * 1e6) as u64))
+                .cmp(&(b.solved, std::cmp::Reverse((a.total_secs * 1e6) as u64)))
+        });
+        for goal in goals {
+            out.push_str(&goal.render(top_k));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl GoalForensics {
+    /// Renders one goal's section.
+    pub fn render(&self, top_k: usize) -> String {
+        let mut out = String::new();
+        let verdict = if self.solved { "solved" } else { "UNSOLVED" };
+        out.push_str(&format!(
+            "== {} — {verdict}, {:.2}s across {} rung(s) ==\n",
+            self.goal,
+            self.total_secs,
+            self.rungs.len()
+        ));
+
+        // Budget attribution by rung × phase: where the seconds went.
+        out.push_str("  rung  secs    attempts  outcome            dominant phases\n");
+        for (rung, forensics) in &self.rungs {
+            let rung_label = if *rung == NO_RUNG {
+                "-".to_string()
+            } else {
+                rung.to_string()
+            };
+            let outcome = forensics.statuses.join(",");
+            let phases = dominant_phases(&forensics.phases, 3);
+            out.push_str(&format!(
+                "  {rung_label:<5} {:<7.2} {:<9} {outcome:<18} {phases}\n",
+                forensics.secs, forensics.attempts
+            ));
+        }
+
+        // Per-layer cache hit rates.
+        if !self.caches.is_empty() {
+            out.push_str("  caches: ");
+            let mut parts = Vec::new();
+            for (layer, rate) in &self.caches {
+                parts.push(format!(
+                    "{layer} {:.0}% ({}/{})",
+                    rate.rate() * 100.0,
+                    rate.hits,
+                    rate.hits + rate.misses
+                ));
+            }
+            out.push_str(&parts.join(", "));
+            out.push('\n');
+        }
+        if self.lemmas_learned + self.lemmas_replayed > 0 {
+            out.push_str(&format!(
+                "  lemmas: {} learned, {} replayed\n",
+                self.lemmas_learned, self.lemmas_replayed
+            ));
+        }
+
+        // Candidate-rejection taxonomy by head symbol × prune reason.
+        if !self.rejections.is_empty() {
+            let mut rows: Vec<(&(String, String), &u64)> = self.rejections.iter().collect();
+            rows.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+            out.push_str("  rejections (head × reason):\n");
+            for ((head, reason), n) in rows.into_iter().take(top_k) {
+                out.push_str(&format!("    {n:>6}  {head}  [{reason}]\n"));
+            }
+        }
+
+        // Most expensive SMT queries.
+        if !self.slow_queries.is_empty() {
+            out.push_str(&format!(
+                "  slowest SMT queries (of {} ≥ threshold):\n",
+                self.slow_queries.len()
+            ));
+            for query in self.slow_queries.iter().take(top_k) {
+                out.push_str(&format!(
+                    "    {:>8.1}ms  {:<8} {} ⊢ {}\n",
+                    query.elapsed_ms,
+                    query.result,
+                    truncate(&query.antecedent, 60),
+                    truncate(&query.consequent, 40),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The `k` phases with the largest share of a profile, as
+/// `"name 1.23s (45%)"` fragments.
+fn dominant_phases(profile: &PhaseProfile, k: usize) -> String {
+    let total = profile.total_secs();
+    if total <= 0.0 {
+        return "(no profile — run the producer with --stats)".into();
+    }
+    let mut split: Vec<(&'static str, f64)> = Phase::ALL
+        .into_iter()
+        .map(|p| (p.name(), profile.get(p).total_secs()))
+        .filter(|(_, s)| *s > 0.0)
+        .collect();
+    split.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    split
+        .into_iter()
+        .take(k)
+        .map(|(name, secs)| format!("{name} {secs:.2}s ({:.0}%)", 100.0 * secs / total))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn truncate(text: &str, max: usize) -> String {
+    if text.chars().count() <= max {
+        text.to_string()
+    } else {
+        let prefix: String = text.chars().take(max.saturating_sub(1)).collect();
+        format!("{prefix}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+
+    #[test]
+    fn rejections_caches_and_queries_attribute_to_the_open_goal() {
+        let mut text = String::new();
+        let mut seq = 0u64;
+        let mut push = |ev: &str, tid: u64, rest: &str| {
+            text.push_str(&format!(
+                "{{\"ev\":\"{ev}\",\"seq\":{seq},\"t_ms\":{seq}.000,\"tid\":{tid}{rest}}}\n"
+            ));
+            seq += 1;
+        };
+        // Two goals interleaved on two threads.
+        push(
+            "goal_start",
+            0,
+            ",\"goal\":\"alpha\",\"app_depth\":1,\"match_depth\":0",
+        );
+        push(
+            "goal_start",
+            1,
+            ",\"goal\":\"beta\",\"app_depth\":1,\"match_depth\":0",
+        );
+        push(
+            "candidate_reject",
+            0,
+            ",\"node\":1,\"goal\":\"alpha\",\"program\":\"Cons x xs\",\"reason\":\"subtype\"",
+        );
+        push(
+            "candidate_reject",
+            0,
+            ",\"node\":1,\"goal\":\"alpha\",\"program\":\"Cons y ys\",\"reason\":\"subtype\"",
+        );
+        push("cache_hit", 1, ",\"layer\":\"shared\"");
+        push("cache_miss", 1, ",\"layer\":\"shared\"");
+        push(
+            "smt_query",
+            1,
+            ",\"elapsed_ms\":31.500,\"result\":\"Unsat\",\"antecedent\":\"a\",\"consequent\":\"b\"",
+        );
+        push("lemma_replay", 1, ",\"n\":3");
+        push(
+            "goal_finish",
+            0,
+            ",\"goal\":\"alpha\",\"status\":\"timeout\",\"time_secs\":30.000",
+        );
+        push(
+            "goal_finish",
+            1,
+            ",\"goal\":\"beta\",\"status\":\"solved\",\"time_secs\":1.000",
+        );
+
+        let report = analyze(&parse_trace(&text).unwrap());
+        let alpha = &report.goals["alpha"];
+        assert!(!alpha.solved);
+        assert_eq!(
+            alpha.rejections[&("Cons".to_string(), "subtype".to_string())],
+            2
+        );
+        assert!(alpha.caches.is_empty());
+        let beta = &report.goals["beta"];
+        assert!(beta.solved);
+        assert_eq!(beta.caches["shared"].hits, 1);
+        assert_eq!(beta.caches["shared"].misses, 1);
+        assert_eq!(beta.slow_queries.len(), 1);
+        assert_eq!(beta.lemmas_replayed, 3);
+
+        let rendered = report.render(5);
+        assert!(rendered.contains("UNSOLVED"));
+        assert!(rendered.contains("Cons  [subtype]"));
+        assert!(rendered.contains("31.5ms"));
+    }
+}

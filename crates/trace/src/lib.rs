@@ -1,0 +1,27 @@
+//! # synquid-trace
+//!
+//! The consumer side of the telemetry pipeline: parses the JSONL event
+//! streams produced by `synquid_telemetry::events` (`--trace-out`),
+//! replays them into first-class derivation trees, aggregates per-goal
+//! timeout forensics, and exports Chrome trace-event JSON for
+//! `chrome://tracing` / the Perfetto UI.
+//!
+//! Consumed by the `synquid explain` subcommand (derivation rendering of
+//! a live run) and `report trace` (offline forensics over a batch trace
+//! artifact). The reconstructed [`tree::DerivationForest`] is the data
+//! structure later resumable-session and pruning-refinement work builds
+//! on: it is the addressable form of what the search actually did.
+//!
+//! Schema compatibility: unknown event *fields* are tolerated (newer
+//! producers may add them — see the versioning rules in
+//! `docs/ARCHITECTURE.md`), unknown event *kinds* are a parse error.
+
+pub mod analyze;
+pub mod event;
+pub mod perfetto;
+pub mod tree;
+
+pub use analyze::{analyze, GoalForensics, TraceReport};
+pub use event::{parse_event, parse_trace, Trace, TraceError, TraceEvent, KNOWN_EVENT_KINDS};
+pub use perfetto::to_chrome_trace;
+pub use tree::{DerivationForest, DerivationNode, RungAttempt};

@@ -1,0 +1,215 @@
+//! Chrome trace-event export (`chrome://tracing`, Perfetto UI).
+//!
+//! Maps the JSONL stream onto the trace-event JSON format: matched
+//! `rung_start`/`rung_finish`, `goal_start`/`goal_finish` and
+//! `search`/`node_finish` pairs become complete (`"ph":"X"`) duration
+//! events; `smt_query` events (which carry their own `elapsed_ms`)
+//! become complete events ending at their emission time; ledger and
+//! skip events become instants. Threads are named after the sink's
+//! `tid`, so a multi-worker batch run shows one swim-lane per worker.
+//!
+//! All timestamps are microseconds (`t_ms × 1000`), the unit the format
+//! requires; nesting needs no explicit stack because every span pair is
+//! emitted synchronously on its own thread.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::event::{Trace, TraceEvent};
+
+/// Converts a parsed trace into Chrome trace-event JSON.
+pub fn to_chrome_trace(trace: &Trace) -> String {
+    let mut out = Vec::new();
+    let mut tids = BTreeSet::new();
+    // Open span starts, keyed per thread: rung/goal are one-deep, node
+    // spans nest by id.
+    let mut open_rung: BTreeMap<u64, &TraceEvent> = BTreeMap::new();
+    let mut open_goal: BTreeMap<u64, &TraceEvent> = BTreeMap::new();
+    let mut open_node: BTreeMap<(u64, u64), &TraceEvent> = BTreeMap::new();
+
+    for event in &trace.events {
+        tids.insert(event.tid);
+        match event.kind.as_str() {
+            "rung_start" => {
+                open_rung.insert(event.tid, event);
+            }
+            "rung_finish" => {
+                if let Some(start) = open_rung.remove(&event.tid) {
+                    let name = format!(
+                        "rung {} {} (a{} m{}) {}",
+                        event.get("rung").unwrap_or("-"),
+                        event.get("goal").unwrap_or("?"),
+                        event.get("app_depth").unwrap_or("?"),
+                        event.get("match_depth").unwrap_or("?"),
+                        event.get("status").unwrap_or(""),
+                    );
+                    out.push(complete(&name, "rung", start.t_ms, event.t_ms, event.tid));
+                }
+            }
+            "goal_start" => {
+                open_goal.insert(event.tid, event);
+            }
+            "goal_finish" => {
+                if let Some(start) = open_goal.remove(&event.tid) {
+                    let name = format!(
+                        "goal {} {}",
+                        event.get("goal").unwrap_or("?"),
+                        event.get("status").unwrap_or(""),
+                    );
+                    out.push(complete(&name, "goal", start.t_ms, event.t_ms, event.tid));
+                }
+            }
+            "search" => {
+                if let Some(node) = event.get_u64("node") {
+                    open_node.insert((event.tid, node), event);
+                }
+            }
+            "node_finish" => {
+                if let Some(node) = event.get_u64("node") {
+                    if let Some(start) = open_node.remove(&(event.tid, node)) {
+                        let name = format!(
+                            "node {} {} {}",
+                            node,
+                            start.get("ty").unwrap_or("?"),
+                            event.get("status").unwrap_or(""),
+                        );
+                        out.push(complete(&name, "node", start.t_ms, event.t_ms, event.tid));
+                    }
+                }
+            }
+            "smt_query" => {
+                let dur_ms = event.get_f64("elapsed_ms").unwrap_or(0.0);
+                let name = format!("smt {}", event.get("result").unwrap_or("?"));
+                out.push(complete(
+                    &name,
+                    "smt",
+                    (event.t_ms - dur_ms).max(0.0),
+                    event.t_ms,
+                    event.tid,
+                ));
+            }
+            "ledger_reserve" | "ledger_settle" | "rung_skip" | "rung_out_of_budget" => {
+                let name = format!("{} {}", event.kind, event.get("goal").unwrap_or(""),);
+                out.push(instant(&name, "ledger", event.t_ms, event.tid));
+            }
+            _ => {}
+        }
+    }
+
+    // Thread-name metadata so the UI labels the swim-lanes.
+    let mut entries: Vec<String> = tids
+        .into_iter()
+        .map(|tid| {
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"worker {tid}\"}}}}"
+            )
+        })
+        .collect();
+    entries.extend(out);
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        entries.join(",")
+    )
+}
+
+/// A complete (`"ph":"X"`) duration event; timestamps in ms are scaled
+/// to the format's microseconds.
+fn complete(name: &str, cat: &str, start_ms: f64, end_ms: f64, tid: u64) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.0},\"dur\":{:.0},\"pid\":1,\"tid\":{tid}}}",
+        escape(name),
+        escape(cat),
+        start_ms * 1e3,
+        (end_ms - start_ms).max(0.0) * 1e3,
+    )
+}
+
+/// A thread-scoped instant (`"ph":"i"`) event.
+fn instant(name: &str, cat: &str, at_ms: f64, tid: u64) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.0},\"pid\":1,\"tid\":{tid}}}",
+        escape(name),
+        escape(cat),
+        at_ms * 1e3,
+    )
+}
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+
+    #[test]
+    fn spans_and_instants_round_trip_to_trace_event_json() {
+        let mut text = String::new();
+        let mut seq = 0u64;
+        let mut push = |ev: &str, t_ms: f64, rest: &str| {
+            text.push_str(&format!(
+                "{{\"ev\":\"{ev}\",\"seq\":{seq},\"t_ms\":{t_ms:.3},\"tid\":0{rest}}}\n"
+            ));
+            seq += 1;
+        };
+        push(
+            "rung_start",
+            1.0,
+            ",\"rung\":0,\"goal\":\"g\",\"app_depth\":1,\"match_depth\":0,\"slice_secs\":1.0",
+        );
+        push(
+            "goal_start",
+            1.2,
+            ",\"goal\":\"g\",\"app_depth\":1,\"match_depth\":0",
+        );
+        push(
+            "search",
+            1.3,
+            ",\"node\":1,\"parent\":0,\"ty\":\"Int\",\"branch_depth\":1,\"match_depth\":0",
+        );
+        push(
+            "smt_query",
+            30.0,
+            ",\"elapsed_ms\":25.500,\"result\":\"Unsat\",\"antecedent\":\"a\",\"consequent\":\"b\"",
+        );
+        push("node_finish", 40.0, ",\"node\":1,\"status\":\"solved\",\"elapsed_ms\":38.700,\"memo_hits\":0,\"memo_misses\":0,\"lemmas_replayed\":0,\"term\":\"x\"");
+        push(
+            "goal_finish",
+            40.5,
+            ",\"goal\":\"g\",\"status\":\"solved\",\"time_secs\":0.039",
+        );
+        push(
+            "ledger_settle",
+            40.6,
+            ",\"rung\":0,\"goal\":\"g\",\"charged_secs\":0.039,\"remaining_secs\":0.961",
+        );
+        push("rung_finish", 40.7, ",\"rung\":0,\"goal\":\"g\",\"app_depth\":1,\"match_depth\":0,\"status\":\"solved\",\"time_secs\":0.039");
+
+        let json = to_chrome_trace(&parse_trace(&text).unwrap());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        // rung span: 1.0ms → 40.7ms = ts 1000, dur 39700 (µs).
+        assert!(json.contains("\"ts\":1000,\"dur\":39700"));
+        // smt span ends at emission time: ts (30-25.5)*1000 = 4500.
+        assert!(json.contains("\"ts\":4500,\"dur\":25500"));
+        assert!(json.contains("\"ph\":\"i\""));
+        // Every entry is itself valid flat JSON (no stray commas).
+        assert!(!json.contains(",,"));
+        assert!(!json.contains("[,"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Derivation reconstruction round-trip: a solved run's event stream,
+//! replayed through `DerivationForest`, must reproduce the synthesized
+//! program — the winning attempt's root term is the program, and every
+//! leaf of the winning derivation occurs in it. This is the acceptance
+//! gate for `synquid explain`.
+//!
+//! Separate test binary from `conformance.rs`: the trace sink is
+//! process-global, so each sink-owning integration test gets its own
+//! process.
+
+use std::time::Duration;
+use synquid_engine::{Engine, EngineConfig, GoalJob};
+use synquid_lang::spec::goal_from_corpus;
+use synquid_telemetry::events::{init_trace_buffer, take_trace_buffer};
+use synquid_trace::{parse_trace, DerivationForest};
+
+fn flatten(term: &str) -> String {
+    term.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[test]
+fn winning_derivation_matches_synthesized_term() {
+    synquid_telemetry::set_profiling(true);
+    init_trace_buffer();
+
+    let goal = goal_from_corpus("is_empty").expect("is_empty in specs/ corpus");
+    let engine = Engine::new(EngineConfig {
+        jobs: 1,
+        timeout: Duration::from_secs(20),
+        ..EngineConfig::default()
+    });
+    let report = engine.run(vec![GoalJob::new("corpus:is_empty", goal)]);
+    let outcome = &report.outcomes[0];
+    assert!(
+        outcome.result.solved,
+        "is_empty must solve well under budget"
+    );
+    let program = flatten(outcome.result.program.as_deref().expect("solved ⇒ program"));
+
+    let text = take_trace_buffer().expect("buffer sink was installed");
+    let trace = parse_trace(&text).expect("solved run emits a parseable trace");
+    let forest = DerivationForest::build(&trace);
+
+    let winning = forest
+        .winning("is_empty")
+        .expect("forest has a solved attempt for is_empty");
+    assert_eq!(winning.status, "solved");
+
+    // The root of the winning attempt carries the program body (the
+    // argument-introducing lambdas are peeled off before the recursive
+    // search opens node 1, so the body is a suffix of the program)…
+    let root = winning.root().expect("winning attempt has a root node");
+    assert_eq!(root.status.as_deref(), Some("solved"));
+    let root_term = flatten(root.term.as_deref().expect("solved root carries its term"));
+    assert!(
+        program.ends_with(&root_term),
+        "root term {root_term:?} is not the body of program {program:?}"
+    );
+
+    // …and every leaf of the contributing subtree occurs inside it.
+    let leaves = winning.winning_leaves();
+    assert!(!leaves.is_empty(), "winning derivation has leaves");
+    for leaf in &leaves {
+        assert!(
+            program.contains(&flatten(leaf)),
+            "leaf term {leaf:?} does not occur in program {program:?}"
+        );
+    }
+
+    // Node ids are preorder within the attempt: every child id is
+    // greater than its parent's, and the root is node 1.
+    for node in winning.nodes.values() {
+        if node.parent != 0 {
+            assert!(
+                node.id > node.parent,
+                "preorder violated at node {}",
+                node.id
+            );
+        }
+    }
+    assert!(winning.nodes.contains_key(&1), "root node has id 1");
+}

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! Usage: synquid [OPTIONS] <SPEC.sq>...
+//!        synquid explain <GOAL> [@] <SPEC.sq> [--timeout <SECS>] [--full]
 //!
 //! Options:
 //!   --jobs <N>            worker threads for the batch (default: 1)
@@ -18,6 +19,13 @@
 //!   --list                list the goals without synthesizing
 //!   -h, --help            print this help
 //! ```
+//!
+//! `synquid explain` synthesizes one goal with an in-memory trace sink
+//! and replays the captured events into the winning derivation tree:
+//! one line per `synthesize_in` frame, annotated with wall time, memo
+//! and lemma provenance, and the dominant phases. `--full` renders every
+//! node of the winning rung attempt (abandoned subsearches included)
+//! instead of just the derivation of the solution.
 //!
 //! When no explicit bounds are given, each goal becomes a *portfolio*:
 //! the iterative-deepening rungs — `(1,0), (1,1), (2,1), (3,1), (3,2)` —
@@ -40,8 +48,11 @@ use synquid::telemetry;
 
 const USAGE: &str = "\
 Usage: synquid [OPTIONS] <SPEC.sq>...
+       synquid explain <GOAL> [@] <SPEC.sq> [--timeout <SECS>] [--full]
 
 Synthesizes every goal declared in the given Synquid-style spec files.
+The `explain` subcommand synthesizes one goal and prints the winning
+derivation as an annotated tree (wall time, cache provenance, phases).
 
 Options:
   --jobs <N>            worker threads for the batch (default: 1)
@@ -206,8 +217,127 @@ fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
     }
 }
 
+/// `synquid explain <goal> [@] <file.sq>`: synthesize one goal with an
+/// in-memory trace sink and print the winning derivation tree.
+fn explain_main(args: &[String]) -> ExitCode {
+    let mut goal_name: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut timeout = Duration::from_secs(30);
+    let mut full = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            "--timeout" => {
+                let Some(secs) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("error: --timeout needs a number of seconds");
+                    return ExitCode::from(2);
+                };
+                timeout = Duration::from_secs(secs);
+            }
+            "--full" => full = true,
+            "@" => {}
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            positional if goal_name.is_none() => goal_name = Some(positional.to_string()),
+            positional if file.is_none() => file = Some(positional.to_string()),
+            extra => {
+                eprintln!("error: unexpected argument `{extra}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(goal_name), Some(file)) = (goal_name, file) else {
+        eprintln!("error: explain needs a goal name and a spec file\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let spec = match synquid::parser::load_file(&file) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(goal) = spec.goals.into_iter().find(|g| g.name == goal_name) else {
+        eprintln!("error: {file} declares no goal named {goal_name}");
+        return ExitCode::from(2);
+    };
+
+    // Capture everything the run emits: phase profiling feeds per-node
+    // phase splits into `node_finish`, the buffer sink collects the
+    // stream this process is about to replay.
+    telemetry::set_profiling(true);
+    telemetry::events::init_trace_buffer();
+    let engine = Engine::new(EngineConfig {
+        jobs: 1,
+        timeout,
+        ..EngineConfig::default()
+    });
+    let report = engine.run(vec![GoalJob::new(file.clone(), goal)]);
+    let outcome = &report.outcomes[0];
+
+    let text = telemetry::events::take_trace_buffer().unwrap_or_default();
+    let trace = match synquid::trace::parse_trace(&text) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("error: the run produced an unreadable trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let forest = synquid::trace::DerivationForest::build(&trace);
+
+    if outcome.result.solved {
+        println!(
+            "{} = {}   -- solved in {:.2}s\n",
+            goal_name,
+            outcome.result.program.as_deref().unwrap_or("<missing>"),
+            outcome.result.time_secs,
+        );
+        match forest.winning(&goal_name) {
+            Some(attempt) => {
+                println!("derivation (wall time, memo hits/misses, lemmas, dominant phases):");
+                let rendered = if full {
+                    attempt.render()
+                } else {
+                    attempt.render_winning()
+                };
+                print!("{rendered}");
+            }
+            None => eprintln!("warning: no solved rung attempt found in the trace"),
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{goal_name}: no solution within {:.0}s — forensics:\n",
+            timeout.as_secs_f64()
+        );
+        let report = synquid::trace::analyze(&trace);
+        if let Some(forensics) = report.goals.get(&goal_name) {
+            print!("{}", forensics.render(10));
+        }
+        if full {
+            for attempt in forest.for_goal(&goal_name) {
+                println!();
+                print!("{}", attempt.render());
+            }
+        }
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explain") {
+        return explain_main(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
         Err(msg) => {

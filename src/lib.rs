@@ -21,7 +21,10 @@
 //!   helpers, and runners;
 //! * [`engine`] — the parallel execution layer: multi-goal scheduler,
 //!   portfolio search over deepening rungs, and the shared validity
-//!   cache.
+//!   cache;
+//! * [`trace`] — search forensics over `--trace-out` JSONL streams:
+//!   derivation-tree reconstruction, per-goal timeout attribution, and
+//!   Chrome trace-event export.
 //!
 //! ## Quickstart: synthesize from a textual spec
 //!
@@ -89,6 +92,7 @@ pub use synquid_logic as logic;
 pub use synquid_parser as parser;
 pub use synquid_solver as solver;
 pub use synquid_telemetry as telemetry;
+pub use synquid_trace as trace;
 pub use synquid_types as types;
 
 /// Commonly used items.
