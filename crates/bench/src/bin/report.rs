@@ -8,6 +8,7 @@
 //!               [--compare OLD.json] [--readme]
 //! report trace  <TRACE.jsonl> [--perfetto OUT.json] [--top K]
 //! report solver-bench [--smoke] [--iters N] [--out PATH]
+//! report fuzz   <SUMMARY.json>
 //! report all
 //! ```
 //!
@@ -34,11 +35,17 @@
 //! `synquid_bench::fixtures` against fresh solver instances and writes
 //! `BENCH_solver.json` (`--smoke` is the CI mode: 3 iterations per
 //! fixture, verdicts asserted).
+//!
+//! `fuzz` re-parses a `synquid fuzz --out` summary artifact and renders
+//! the per-goal oracle table; it exits nonzero when the artifact records
+//! any postcondition violation or differential divergence, so CI can
+//! gate on the uploaded artifact independently of the run that wrote it.
 
 use std::time::Duration;
 use synquid_bench::{
-    batch_report_json, compare_batch, corpus_markdown_table, format_fig7, format_table1,
-    format_table2, parse_batch_json, run_corpus_batch, run_fig7, run_table1, run_table2,
+    batch_report_json, compare_batch, corpus_markdown_table, format_fig7, format_fuzz_summary,
+    format_table1, format_table2, parse_batch_json, parse_fuzz_json, run_corpus_batch, run_fig7,
+    run_table1, run_table2,
 };
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
@@ -211,6 +218,32 @@ fn main() {
             }
             eprintln!("wrote {out}: {} fixture(s), all verdicts ok", results.len());
         }
+        "fuzz" => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: report fuzz <SUMMARY.json>");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let summary = parse_fuzz_json(&text);
+            if summary.goals.is_empty() {
+                eprintln!("{path}: no per-goal entries — not a fuzz summary?");
+                std::process::exit(1);
+            }
+            print!("{}", format_fuzz_summary(&summary));
+            if summary.total_violations > 0 || summary.total_divergences > 0 {
+                eprintln!(
+                    "{} violation(s) and {} divergence(s) recorded in {path}",
+                    summary.total_violations, summary.total_divergences
+                );
+                std::process::exit(1);
+            }
+        }
         "all" => {
             println!("== Table 1: benchmarks and Synquid results ==");
             println!("{}", format_table1(&run_table1(timeout, ablations)));
@@ -221,7 +254,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown report '{other}': expected table1, table2, fig7, batch, trace, solver-bench, or all"
+                "unknown report '{other}': expected table1, table2, fig7, batch, trace, solver-bench, fuzz, or all"
             );
             std::process::exit(2);
         }

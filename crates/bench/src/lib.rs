@@ -496,6 +496,128 @@ pub fn parse_batch_json(text: &str) -> Vec<ParsedGoal> {
         .collect()
 }
 
+/// One per-goal entry parsed back out of a `synquid fuzz --out` summary
+/// artifact (see `synquid_oracle::summary_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFuzzGoal {
+    /// Goal name.
+    pub goal: String,
+    /// Stable spec-file label (`specs/<name>.sq`).
+    pub source: String,
+    /// Why the goal was skipped (unsolved, higher-order, …), if it was.
+    pub skipped: Option<String>,
+    /// Cases whose output satisfied the postcondition.
+    pub pass: u64,
+    /// Cases whose output violated the postcondition — the soundness
+    /// signal the whole oracle exists for.
+    pub violation: u64,
+    /// Cases where evaluation itself failed.
+    pub crash: u64,
+    /// Cases abandoned because rejection sampling could not hit the
+    /// precondition within its retry budget.
+    pub gave_up: u64,
+    /// Cases where the oracle could not decide (fuel, unsupported term).
+    pub undecidable: u64,
+    /// Generator draws discarded by precondition refinements.
+    pub rejected: u64,
+}
+
+/// A parsed `synquid fuzz` summary: the header counters plus every
+/// per-goal line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzSummary {
+    /// The seed the run was keyed on (same seed ⇒ byte-identical artifact).
+    pub seed: u64,
+    /// Requested cases per goal.
+    pub cases: u64,
+    /// Postcondition violations across all goals.
+    pub total_violations: u64,
+    /// Differential divergences (ablated engine disagreed) across all goals.
+    pub total_divergences: u64,
+    /// Per-goal entries in corpus order.
+    pub goals: Vec<ParsedFuzzGoal>,
+}
+
+/// Parses a `synquid fuzz --out` artifact. Like [`parse_batch_json`],
+/// this is a line-oriented scan over our own one-goal-per-line emitter,
+/// not a general JSON parser.
+pub fn parse_fuzz_json(text: &str) -> FuzzSummary {
+    let header = |key: &str| {
+        text.lines()
+            .find_map(|line| json_raw_field(line, key))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let count = |line: &str, key: &str| {
+        json_raw_field(line, key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let goals = text
+        .lines()
+        .filter_map(|line| {
+            let goal = json_str_field(line, "goal")?;
+            let source = json_str_field(line, "source")?;
+            Some(ParsedFuzzGoal {
+                goal,
+                source,
+                skipped: json_str_field(line, "skipped"),
+                pass: count(line, "pass"),
+                violation: count(line, "violation"),
+                crash: count(line, "crash"),
+                gave_up: count(line, "gave_up"),
+                undecidable: count(line, "undecidable"),
+                rejected: count(line, "rejected"),
+            })
+        })
+        .collect();
+    FuzzSummary {
+        seed: header("seed"),
+        cases: header("cases"),
+        total_violations: header("total_violations"),
+        total_divergences: header("total_divergences"),
+        goals,
+    }
+}
+
+/// Renders a parsed fuzz artifact as the per-goal table `report fuzz`
+/// prints. The caller decides the exit code from
+/// [`FuzzSummary::total_violations`] / [`FuzzSummary::total_divergences`].
+pub fn format_fuzz_summary(summary: &FuzzSummary) -> String {
+    let mut out = format!(
+        "{:<45} {:>6} {:>9} {:>8} {:>8}\n",
+        "goal", "pass", "violation", "gave up", "rejected"
+    );
+    let mut fuzzed = 0usize;
+    for g in &summary.goals {
+        let label = synquid_lang::runner::goal_label(&g.goal, &g.source);
+        match &g.skipped {
+            Some(reason) => out.push_str(&format!("{label:<45} skipped ({reason})\n")),
+            None => {
+                fuzzed += 1;
+                let odd = g.crash + g.undecidable;
+                out.push_str(&format!(
+                    "{label:<45} {:>6} {:>9} {:>8} {:>8}{}\n",
+                    g.pass,
+                    g.violation,
+                    g.gave_up,
+                    g.rejected,
+                    if odd > 0 {
+                        format!("  ({} crash/undecidable)", odd)
+                    } else {
+                        String::new()
+                    }
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\n{fuzzed} goal(s) fuzzed at {} case(s) each (seed {}), {} violation(s), {} divergence(s).\n",
+        summary.cases, summary.seed, summary.total_violations, summary.total_divergences
+    ));
+    out
+}
+
 /// The result of comparing a batch run against a previous artifact.
 #[derive(Debug, Clone)]
 pub struct BatchComparison {
@@ -710,6 +832,45 @@ mod tests {
             "4x but under the 0.5s absolute floor"
         );
         assert!(!is_time_regression(10.0, 9.0), "faster is never flagged");
+    }
+
+    #[test]
+    fn fuzz_summary_round_trips_through_the_line_scanner() {
+        // The exact shape `synquid_oracle::summary_json` emits: header
+        // counters on their own lines, one goal per line, optional
+        // skipped / violations / differential fields.
+        let artifact = concat!(
+            "{\n",
+            "  \"seed\": 42,\n",
+            "  \"cases\": 25,\n",
+            "  \"total_violations\": 1,\n",
+            "  \"total_divergences\": 0,\n",
+            "  \"goals\": [\n",
+            "    {\"goal\": \"append\", \"source\": \"specs/append.sq\", \"skipped\": \"synthesis failed or timed out\"},\n",
+            "    {\"goal\": \"length\", \"source\": \"specs/length.sq\", \"pass\": 25, \"violation\": 0, \"crash\": 0, \"gave_up\": 0, \"undecidable\": 0, \"rejected\": 3},\n",
+            "    {\"goal\": \"drop\", \"source\": \"specs/drop.sq\", \"pass\": 24, \"violation\": 1, \"crash\": 0, \"gave_up\": 0, \"undecidable\": 0, \"rejected\": 147, \"violations\": [{\"case\": 7, \"kind\": \"violation\", \"shrunk\": [\"0\", \"Nil\"]}]}\n",
+            "  ]\n",
+            "}\n",
+        );
+        let summary = parse_fuzz_json(artifact);
+        assert_eq!(summary.seed, 42);
+        assert_eq!(summary.cases, 25);
+        assert_eq!(summary.total_violations, 1);
+        assert_eq!(summary.total_divergences, 0);
+        assert_eq!(summary.goals.len(), 3);
+        assert_eq!(
+            summary.goals[0].skipped.as_deref(),
+            Some("synthesis failed or timed out")
+        );
+        assert_eq!(summary.goals[1].pass, 25);
+        assert_eq!(summary.goals[1].rejected, 3);
+        // The scalar "violation" count must not be confused with the
+        // "violations" witness array on the same line.
+        assert_eq!(summary.goals[2].violation, 1);
+        assert_eq!(summary.goals[2].pass, 24);
+        let table = format_fuzz_summary(&summary);
+        assert!(table.contains("skipped"));
+        assert!(table.contains("1 violation(s)"));
     }
 
     #[test]

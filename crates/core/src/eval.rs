@@ -2,16 +2,18 @@
 //!
 //! The paper's guarantee is static — synthesized programs are correct by
 //! construction of their typing derivation — but being able to *run* the
-//! results is invaluable for testing this reproduction: the integration
-//! tests execute synthesized programs on concrete inputs and compare the
-//! observable behaviour against a reference implementation, catching any
-//! mismatch between the type system and the intended semantics.
+//! results is invaluable for testing this reproduction: the runtime
+//! soundness oracle (`synquid-oracle`) executes synthesized programs on
+//! generated inputs and checks the postcondition refinement with the
+//! measure interpreter, catching any mismatch between the type system and
+//! the intended semantics.
 //!
 //! The interpreter understands the program forms of Fig. 2 (variables,
 //! applications, abstractions, fixpoints, conditionals, matches) plus the
 //! standard component library of `synquid-lang` (integer arithmetic,
-//! comparisons, boolean connectives), and treats any other capitalized
-//! name as a datatype constructor.
+//! comparisons, boolean connectives, and the goal-local list helpers
+//! `snoc`, `append`, `insert`, `umember`), and treats any other
+//! capitalized name as a datatype constructor.
 
 use crate::ast::Program;
 use std::collections::BTreeMap;
@@ -53,12 +55,19 @@ impl Value {
     /// Converts a `List` value back into a vector; `None` if the value is
     /// not a proper list.
     pub fn as_list(&self) -> Option<Vec<Value>> {
+        self.as_cons_chain("Nil", "Cons")
+    }
+
+    /// Converts any nil/cons-shaped value (e.g. `List`, `IList`, `UList`)
+    /// into a vector of its elements; `None` if the spine does not consist
+    /// of exactly the given constructors.
+    pub fn as_cons_chain(&self, nil: &str, cons: &str) -> Option<Vec<Value>> {
         let mut out = Vec::new();
         let mut current = self;
         loop {
             match current {
-                Value::Ctor(name, args) if name == "Nil" && args.is_empty() => return Some(out),
-                Value::Ctor(name, args) if name == "Cons" && args.len() == 2 => {
+                Value::Ctor(name, args) if name == nil && args.is_empty() => return Some(out),
+                Value::Ctor(name, args) if name == cons && args.len() == 2 => {
                     out.push(args[0].clone());
                     current = &args[1];
                 }
@@ -80,6 +89,18 @@ impl Value {
         match self {
             Value::Bool(b) => Some(*b),
             _ => None,
+        }
+    }
+
+    /// A short description of the value's shape, used in error messages.
+    fn shape(&self) -> String {
+        match self {
+            Value::Int(_) => "an integer".into(),
+            Value::Bool(_) => "a boolean".into(),
+            Value::Ctor(name, _) => format!("constructor {name}"),
+            Value::Closure(..) => "a closure".into(),
+            Value::Fixpoint(..) => "a fixpoint".into(),
+            Value::Builtin(name, _) => format!("builtin {name}"),
         }
     }
 }
@@ -104,24 +125,103 @@ impl fmt::Display for Value {
     }
 }
 
-/// An evaluation error.
+/// A typed evaluation error. Every malformed program or value is reported
+/// as one of these variants — the interpreter never panics on bad input,
+/// which the fuzzing oracle relies on to distinguish "the synthesized
+/// program is wrong" from "the harness fed it garbage".
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EvalError {
-    /// Human-readable description.
-    pub message: String,
+pub enum EvalError {
+    /// A variable was not bound and is not a builtin or constructor.
+    UnboundVariable(String),
+    /// A `Value::Builtin` named a component that is not registered.
+    UnknownBuiltin(String),
+    /// A builtin was invoked with the wrong number of arguments.
+    ArityMismatch {
+        /// The builtin's name.
+        name: String,
+        /// Its registered arity.
+        expected: usize,
+        /// The number of arguments it received.
+        got: usize,
+    },
+    /// A builtin received a value of the wrong shape.
+    SortMismatch {
+        /// The builtin's name.
+        name: String,
+        /// What it expected (e.g. "an integer").
+        expected: &'static str,
+        /// What it got, rendered.
+        got: String,
+    },
+    /// An `if` condition evaluated to a non-boolean.
+    NonBooleanCondition(String),
+    /// A `match` scrutinee evaluated to a non-constructor value.
+    BadScrutinee(String),
+    /// No case matched the scrutinee's constructor.
+    NonExhaustiveMatch(String),
+    /// A pattern binds a different number of values than the constructor
+    /// carries.
+    PatternArity {
+        /// The constructor's name.
+        constructor: String,
+        /// How many values it carries.
+        carries: usize,
+        /// How many the pattern binds.
+        binds: usize,
+    },
+    /// A non-function value was applied to an argument.
+    NotAFunction(String),
+    /// The program contains a hole.
+    Hole,
+    /// The step budget was exhausted (guards against divergence).
+    FuelExhausted,
 }
 
 impl EvalError {
-    fn new(message: impl Into<String>) -> EvalError {
-        EvalError {
-            message: message.into(),
+    fn sort(name: &str, expected: &'static str, got: &Value) -> EvalError {
+        EvalError::SortMismatch {
+            name: name.to_string(),
+            expected,
+            got: got.shape(),
         }
     }
 }
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "evaluation error: {}", self.message)
+        write!(f, "evaluation error: ")?;
+        match self {
+            EvalError::UnboundVariable(name) => write!(f, "unbound variable {name}"),
+            EvalError::UnknownBuiltin(name) => write!(f, "unknown builtin {name}"),
+            EvalError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => write!(f, "{name} expects {expected} argument(s), got {got}"),
+            EvalError::SortMismatch {
+                name,
+                expected,
+                got,
+            } => write!(f, "{name} expects {expected}, got {got}"),
+            EvalError::NonBooleanCondition(v) => {
+                write!(f, "condition evaluated to non-boolean {v}")
+            }
+            EvalError::BadScrutinee(v) => {
+                write!(f, "match scrutinee is not a constructor value: {v}")
+            }
+            EvalError::NonExhaustiveMatch(name) => write!(f, "non-exhaustive match: {name}"),
+            EvalError::PatternArity {
+                constructor,
+                carries,
+                binds,
+            } => write!(
+                f,
+                "constructor {constructor} carries {carries} values but the pattern binds {binds}"
+            ),
+            EvalError::NotAFunction(v) => write!(f, "cannot apply non-function {v}"),
+            EvalError::Hole => write!(f, "cannot evaluate a hole"),
+            EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted"),
+        }
     }
 }
 
@@ -162,45 +262,94 @@ impl Evaluator {
         }
     }
 
-    /// An evaluator pre-loaded with the semantics of the standard component
-    /// library of `synquid-lang` (`zero`, `inc`, `dec`, `plus`, comparisons
-    /// over integers and over ordered opaque values, boolean connectives).
+    /// An evaluator pre-loaded with the semantics of every component the
+    /// benchmark environments of `synquid-lang` can emit: the standard
+    /// library (`zero`, `inc`, `dec`, `plus`, comparisons over integers and
+    /// over ordered opaque values, boolean connectives, `c<n>` constants)
+    /// plus the goal-local helper components (`snoc`, `append`, `insert`,
+    /// `umember`, `is_private`).
     pub fn with_standard_components() -> Evaluator {
         let mut eval = Evaluator::new();
         eval.register_const("zero", Value::Int(0));
         eval.register_const("one", Value::Int(1));
         eval.register_const("true", Value::Bool(true));
         eval.register_const("false", Value::Bool(false));
-        eval.register("inc", 1, |args| int_op(args, |a, _| a + 1));
-        eval.register("dec", 1, |args| int_op(args, |a, _| a - 1));
-        eval.register("neg", 1, |args| int_op(args, |a, _| -a));
-        eval.register("plus", 2, |args| int_op2(args, |a, b| a + b));
-        eval.register("minus", 2, |args| int_op2(args, |a, b| a - b));
+        eval.register("inc", 1, |args| int_op("inc", args, |a| a + 1));
+        eval.register("dec", 1, |args| int_op("dec", args, |a| a - 1));
+        eval.register("neg", 1, |args| int_op("neg", args, |a| -a));
+        eval.register("plus", 2, |args| int_op2("plus", args, |a, b| a + b));
+        eval.register("minus", 2, |args| int_op2("minus", args, |a, b| a - b));
         eval.register("not", 1, |args| {
+            expect_arity("not", args, 1)?;
             let b = args[0]
                 .as_bool()
-                .ok_or_else(|| EvalError::new("not expects a boolean"))?;
+                .ok_or_else(|| EvalError::sort("not", "a boolean", &args[0]))?;
             Ok(Value::Bool(!b))
         });
-        eval.register("and", 2, |args| bool_op2(args, |a, b| a && b));
-        eval.register("or", 2, |args| bool_op2(args, |a, b| a || b));
-        for (name, generic) in [
-            ("leq", false),
-            ("lt", false),
-            ("eq", false),
-            ("neq", false),
-            ("leqg", true),
-            ("ltg", true),
-            ("eqg", true),
-            ("neqg", true),
-        ] {
+        eval.register("and", 2, |args| bool_op2("and", args, |a, b| a && b));
+        eval.register("or", 2, |args| bool_op2("or", args, |a, b| a || b));
+        for name in ["leq", "lt", "eq", "neq", "leqg", "ltg", "eqg", "neqg"] {
             let base = name.trim_end_matches('g').to_string();
-            let _ = generic;
             eval.register(name, 2, move |args| compare(&base, args));
         }
-        for i in 0..=8 {
-            eval.register_const(format!("c{i}"), Value::Int(i));
-        }
+        // Goal-local components from the Table-1 transcriptions.
+        eval.register("snoc", 2, |args| {
+            expect_arity("snoc", args, 2)?;
+            let mut items = args[0]
+                .as_list()
+                .ok_or_else(|| EvalError::sort("snoc", "a list", &args[0]))?;
+            items.push(args[1].clone());
+            Ok(Value::list(items))
+        });
+        eval.register("append", 2, |args| {
+            expect_arity("append", args, 2)?;
+            let mut xs = args[0]
+                .as_list()
+                .ok_or_else(|| EvalError::sort("append", "a list", &args[0]))?;
+            let ys = args[1]
+                .as_list()
+                .ok_or_else(|| EvalError::sort("append", "a list", &args[1]))?;
+            xs.extend(ys);
+            Ok(Value::list(xs))
+        });
+        eval.register("insert", 2, |args| {
+            // insert :: x: α → xs: IList α → IList α, keeping the list sorted.
+            expect_arity("insert", args, 2)?;
+            let x = args[0]
+                .as_int()
+                .ok_or_else(|| EvalError::sort("insert", "an integer", &args[0]))?;
+            let mut items = args[1]
+                .as_cons_chain("INil", "ICons")
+                .ok_or_else(|| EvalError::sort("insert", "an increasing list", &args[1]))?;
+            let pos = items
+                .iter()
+                .position(|v| v.as_int().is_none_or(|n| x <= n))
+                .unwrap_or(items.len());
+            items.insert(pos, Value::Int(x));
+            Ok(items
+                .into_iter()
+                .rev()
+                .fold(Value::Ctor("INil".into(), vec![]), |acc, v| {
+                    Value::Ctor("ICons".into(), vec![v, acc])
+                }))
+        });
+        eval.register("umember", 2, |args| {
+            expect_arity("umember", args, 2)?;
+            let items = args[1]
+                .as_cons_chain("UNil", "UCons")
+                .ok_or_else(|| EvalError::sort("umember", "a unique list", &args[1]))?;
+            Ok(Value::Bool(items.contains(&args[0])))
+        });
+        eval.register("is_private", 1, |args| {
+            // The address-book benchmarks only require *some* deterministic
+            // classifier α → Bool; negative integers are "private".
+            expect_arity("is_private", args, 1)?;
+            Ok(Value::Bool(match &args[0] {
+                Value::Int(n) => *n < 0,
+                Value::Bool(b) => *b,
+                _ => false,
+            }))
+        });
         eval
     }
 
@@ -218,6 +367,21 @@ impl Evaluator {
     pub fn register_const(&mut self, name: impl Into<String>, value: Value) {
         self.builtins
             .insert(name.into(), (0, Rc::new(move |_| Ok(value.clone()))));
+    }
+
+    /// Whether the evaluator has executable semantics for the named
+    /// component: a registered builtin, an integer constant `c<n>` (the
+    /// SyGuS benchmarks declare these up to arbitrary `n`), or a
+    /// capitalized name (treated as a datatype constructor).
+    pub fn covers(&self, name: &str) -> bool {
+        self.builtins.contains_key(name)
+            || int_constant(name).is_some()
+            || name.chars().next().is_some_and(char::is_uppercase)
+    }
+
+    /// The names of all registered builtins, in sorted order.
+    pub fn builtin_names(&self) -> Vec<&str> {
+        self.builtins.keys().map(String::as_str).collect()
     }
 
     /// Evaluates a closed program (typically a synthesized function) and
@@ -238,13 +402,13 @@ impl Evaluator {
     /// Evaluates a program under the given bindings.
     pub fn eval(&mut self, program: &Program, bindings: &Bindings) -> Result<Value, EvalError> {
         if self.fuel == 0 {
-            return Err(EvalError::new("evaluation fuel exhausted"));
+            return Err(EvalError::FuelExhausted);
         }
         self.fuel -= 1;
         match program {
             Program::IntLit(n) => Ok(Value::Int(*n)),
             Program::BoolLit(b) => Ok(Value::Bool(*b)),
-            Program::Hole => Err(EvalError::new("cannot evaluate a hole")),
+            Program::Hole => Err(EvalError::Hole),
             Program::Var(name) => self.lookup(name, bindings),
             Program::Abs(arg, body) => Ok(Value::Closure(
                 arg.clone(),
@@ -266,28 +430,24 @@ impl Evaluator {
                 match cv {
                     Value::Bool(true) => self.eval(t, bindings),
                     Value::Bool(false) => self.eval(e, bindings),
-                    other => Err(EvalError::new(format!(
-                        "condition evaluated to non-boolean {other}"
-                    ))),
+                    other => Err(EvalError::NonBooleanCondition(other.to_string())),
                 }
             }
             Program::Match(scrutinee, cases) => {
                 let sv = self.eval(scrutinee, bindings)?;
                 let Value::Ctor(name, args) = sv else {
-                    return Err(EvalError::new(format!(
-                        "match scrutinee is not a constructor value: {sv}"
-                    )));
+                    return Err(EvalError::BadScrutinee(sv.to_string()));
                 };
                 let case = cases
                     .iter()
                     .find(|c| c.constructor == name)
-                    .ok_or_else(|| EvalError::new(format!("non-exhaustive match: {name}")))?;
+                    .ok_or_else(|| EvalError::NonExhaustiveMatch(name.clone()))?;
                 if case.binders.len() != args.len() {
-                    return Err(EvalError::new(format!(
-                        "constructor {name} carries {} values but the pattern binds {}",
-                        args.len(),
-                        case.binders.len()
-                    )));
+                    return Err(EvalError::PatternArity {
+                        constructor: name,
+                        carries: args.len(),
+                        binds: case.binders.len(),
+                    });
                 }
                 let mut inner = bindings.clone();
                 for (binder, value) in case.binders.iter().zip(args) {
@@ -308,16 +468,21 @@ impl Evaluator {
             }
             return Ok(Value::Builtin(name.to_string(), Vec::new()));
         }
+        // The SyGuS benchmarks declare `c0 … cn` for arbitrary `n`; resolve
+        // them dynamically instead of pre-registering a fixed prefix.
+        if let Some(n) = int_constant(name) {
+            return Ok(Value::Int(n));
+        }
         if name.chars().next().is_some_and(char::is_uppercase) {
             return Ok(Value::Ctor(name.to_string(), Vec::new()));
         }
-        Err(EvalError::new(format!("unbound variable {name}")))
+        Err(EvalError::UnboundVariable(name.to_string()))
     }
 
     /// Applies a function value to an argument value.
     pub fn apply(&mut self, function: Value, arg: Value) -> Result<Value, EvalError> {
         if self.fuel == 0 {
-            return Err(EvalError::new("evaluation fuel exhausted"));
+            return Err(EvalError::FuelExhausted);
         }
         self.fuel -= 1;
         match function {
@@ -337,9 +502,15 @@ impl Evaluator {
                     .builtins
                     .get(&name)
                     .cloned()
-                    .ok_or_else(|| EvalError::new(format!("unknown builtin {name}")))?;
+                    .ok_or_else(|| EvalError::UnknownBuiltin(name.clone()))?;
                 if args.len() == arity {
                     f(&args)
+                } else if args.len() > arity {
+                    Err(EvalError::ArityMismatch {
+                        name,
+                        expected: arity,
+                        got: args.len(),
+                    })
                 } else {
                     Ok(Value::Builtin(name, args))
                 }
@@ -348,35 +519,62 @@ impl Evaluator {
                 args.push(arg);
                 Ok(Value::Ctor(name, args))
             }
-            other => Err(EvalError::new(format!("cannot apply non-function {other}"))),
+            other => Err(EvalError::NotAFunction(other.to_string())),
         }
     }
 }
 
-fn int_op(args: &[Value], f: impl Fn(i64, i64) -> i64) -> Result<Value, EvalError> {
-    let a = args[0]
-        .as_int()
-        .ok_or_else(|| EvalError::new("expected an integer argument"))?;
-    Ok(Value::Int(f(a, 0)))
+/// Parses an integer-constant component name `c<n>` (e.g. `c0`, `c12`).
+fn int_constant(name: &str) -> Option<i64> {
+    let digits = name.strip_prefix('c')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
 }
 
-fn int_op2(args: &[Value], f: impl Fn(i64, i64) -> i64) -> Result<Value, EvalError> {
+fn expect_arity(name: &str, args: &[Value], expected: usize) -> Result<(), EvalError> {
+    if args.len() != expected {
+        return Err(EvalError::ArityMismatch {
+            name: name.to_string(),
+            expected,
+            got: args.len(),
+        });
+    }
+    Ok(())
+}
+
+fn int_op(name: &str, args: &[Value], f: impl Fn(i64) -> i64) -> Result<Value, EvalError> {
+    expect_arity(name, args, 1)?;
     let a = args[0]
         .as_int()
-        .ok_or_else(|| EvalError::new("expected an integer argument"))?;
+        .ok_or_else(|| EvalError::sort(name, "an integer", &args[0]))?;
+    Ok(Value::Int(f(a)))
+}
+
+fn int_op2(name: &str, args: &[Value], f: impl Fn(i64, i64) -> i64) -> Result<Value, EvalError> {
+    expect_arity(name, args, 2)?;
+    let a = args[0]
+        .as_int()
+        .ok_or_else(|| EvalError::sort(name, "an integer", &args[0]))?;
     let b = args[1]
         .as_int()
-        .ok_or_else(|| EvalError::new("expected an integer argument"))?;
+        .ok_or_else(|| EvalError::sort(name, "an integer", &args[1]))?;
     Ok(Value::Int(f(a, b)))
 }
 
-fn bool_op2(args: &[Value], f: impl Fn(bool, bool) -> bool) -> Result<Value, EvalError> {
+fn bool_op2(
+    name: &str,
+    args: &[Value],
+    f: impl Fn(bool, bool) -> bool,
+) -> Result<Value, EvalError> {
+    expect_arity(name, args, 2)?;
     let a = args[0]
         .as_bool()
-        .ok_or_else(|| EvalError::new("expected a boolean argument"))?;
+        .ok_or_else(|| EvalError::sort(name, "a boolean", &args[0]))?;
     let b = args[1]
         .as_bool()
-        .ok_or_else(|| EvalError::new("expected a boolean argument"))?;
+        .ok_or_else(|| EvalError::sort(name, "a boolean", &args[1]))?;
     Ok(Value::Bool(f(a, b)))
 }
 
@@ -384,22 +582,19 @@ fn bool_op2(args: &[Value], f: impl Fn(bool, bool) -> bool) -> Result<Value, Eva
 /// their generic counterparts (`leqg`, …): integers compare numerically,
 /// booleans and constructors compare structurally where an order exists.
 fn compare(op: &str, args: &[Value]) -> Result<Value, EvalError> {
+    expect_arity(op, args, 2)?;
     let result = match (&args[0], &args[1]) {
         (Value::Int(a), Value::Int(b)) => match op {
             "leq" => a <= b,
             "lt" => a < b,
             "eq" => a == b,
             "neq" => a != b,
-            _ => return Err(EvalError::new(format!("unknown comparison {op}"))),
+            _ => return Err(EvalError::UnknownBuiltin(op.to_string())),
         },
         (a, b) => match op {
             "eq" => a == b,
             "neq" => a != b,
-            _ => {
-                return Err(EvalError::new(format!(
-                    "ordered comparison {op} on non-integer values {a} and {b}"
-                )))
-            }
+            _ => return Err(EvalError::sort(op, "ordered (integer) values", a)),
         },
     };
     Ok(Value::Bool(result))
@@ -517,10 +712,203 @@ mod tests {
     #[test]
     fn errors_are_reported_not_panicked() {
         let mut eval = Evaluator::default();
-        assert!(eval.run(&Program::var("nope"), &[]).is_err());
-        assert!(eval.run(&Program::Hole, &[]).is_err());
+        assert_eq!(
+            eval.run(&Program::var("nope"), &[]),
+            Err(EvalError::UnboundVariable("nope".into()))
+        );
+        assert_eq!(eval.run(&Program::Hole, &[]), Err(EvalError::Hole));
         let bad_if = Program::ite(Program::IntLit(3), Program::IntLit(1), Program::IntLit(2));
-        assert!(eval.run(&bad_if, &[]).is_err());
+        assert_eq!(
+            eval.run(&bad_if, &[]),
+            Err(EvalError::NonBooleanCondition("3".into()))
+        );
+    }
+
+    #[test]
+    fn builtins_reject_wrong_sorts_and_arities() {
+        let mut eval = Evaluator::default();
+        // inc true → sort mismatch, not a panic.
+        let p = Program::apply("inc", vec![Program::BoolLit(true)]);
+        assert!(matches!(
+            eval.run(&p, &[]),
+            Err(EvalError::SortMismatch { .. })
+        ));
+        // Over-application of a saturated builtin: (not true) false.
+        let mut eval = Evaluator::default();
+        let over = eval
+            .apply(
+                Value::Builtin("not".into(), vec![Value::Bool(true)]),
+                Value::Bool(false),
+            )
+            .unwrap_err();
+        assert!(matches!(over, EvalError::ArityMismatch { .. }));
+        // Direct calls with short argument slices error instead of indexing
+        // out of bounds.
+        assert!(matches!(
+            int_op2("plus", &[Value::Int(1)], |a, b| a + b),
+            Err(EvalError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            compare("lt", &[Value::Bool(true), Value::Bool(false)]),
+            Err(EvalError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_standard_builtin_computes() {
+        let mut cases: Vec<(Program, Value)> = vec![
+            (Program::var("zero"), Value::Int(0)),
+            (Program::var("one"), Value::Int(1)),
+            (Program::var("true"), Value::Bool(true)),
+            (Program::var("false"), Value::Bool(false)),
+            (
+                Program::apply("inc", vec![Program::IntLit(4)]),
+                Value::Int(5),
+            ),
+            (
+                Program::apply("dec", vec![Program::IntLit(4)]),
+                Value::Int(3),
+            ),
+            (
+                Program::apply("neg", vec![Program::IntLit(4)]),
+                Value::Int(-4),
+            ),
+            (
+                Program::apply("plus", vec![Program::IntLit(2), Program::IntLit(3)]),
+                Value::Int(5),
+            ),
+            (
+                Program::apply("minus", vec![Program::IntLit(2), Program::IntLit(3)]),
+                Value::Int(-1),
+            ),
+            (
+                Program::apply("not", vec![Program::BoolLit(false)]),
+                Value::Bool(true),
+            ),
+            (
+                Program::apply("and", vec![Program::BoolLit(true), Program::BoolLit(false)]),
+                Value::Bool(false),
+            ),
+            (
+                Program::apply("or", vec![Program::BoolLit(true), Program::BoolLit(false)]),
+                Value::Bool(true),
+            ),
+        ];
+        for (op, expect) in [
+            ("leq", true),
+            ("lt", true),
+            ("eq", false),
+            ("neq", true),
+            ("leqg", true),
+            ("ltg", true),
+            ("eqg", false),
+            ("neqg", true),
+        ] {
+            cases.push((
+                Program::apply(op, vec![Program::IntLit(1), Program::IntLit(2)]),
+                Value::Bool(expect),
+            ));
+        }
+        for (program, expected) in cases {
+            let mut eval = Evaluator::default();
+            assert_eq!(eval.run(&program, &[]), Ok(expected), "{program:?}");
+        }
+    }
+
+    #[test]
+    fn goal_local_components_compute() {
+        // snoc [1,2] 3 = [1,2,3]
+        let mut eval = Evaluator::default();
+        let xs = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        let out = eval
+            .run(&Program::var("snoc"), &[xs.clone(), Value::Int(3)])
+            .unwrap();
+        assert_eq!(
+            out.as_list().unwrap(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        // append [1] [2,3] = [1,2,3]
+        let mut eval = Evaluator::default();
+        let out = eval
+            .run(
+                &Program::var("append"),
+                &[
+                    Value::list(vec![Value::Int(1)]),
+                    Value::list(vec![Value::Int(2), Value::Int(3)]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.as_list().unwrap().len(), 3);
+        // insert 2 (ICons 1 (ICons 3 INil)) keeps the list sorted.
+        let mut eval = Evaluator::default();
+        let ilist = Value::Ctor(
+            "ICons".into(),
+            vec![
+                Value::Int(1),
+                Value::Ctor(
+                    "ICons".into(),
+                    vec![Value::Int(3), Value::Ctor("INil".into(), vec![])],
+                ),
+            ],
+        );
+        let out = eval
+            .run(&Program::var("insert"), &[Value::Int(2), ilist])
+            .unwrap();
+        assert_eq!(
+            out.as_cons_chain("INil", "ICons").unwrap(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        // umember finds (only) present elements.
+        let mut eval = Evaluator::default();
+        let ulist = Value::Ctor(
+            "UCons".into(),
+            vec![Value::Int(7), Value::Ctor("UNil".into(), vec![])],
+        );
+        assert_eq!(
+            eval.run(&Program::var("umember"), &[Value::Int(7), ulist.clone()]),
+            Ok(Value::Bool(true))
+        );
+        let mut eval = Evaluator::default();
+        assert_eq!(
+            eval.run(&Program::var("umember"), &[Value::Int(8), ulist]),
+            Ok(Value::Bool(false))
+        );
+        // is_private is a deterministic classifier.
+        let mut eval = Evaluator::default();
+        assert_eq!(
+            eval.run(&Program::var("is_private"), &[Value::Int(-3)]),
+            Ok(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn int_constants_resolve_dynamically() {
+        let mut eval = Evaluator::default();
+        assert_eq!(eval.run(&Program::var("c0"), &[]), Ok(Value::Int(0)));
+        let mut eval = Evaluator::default();
+        assert_eq!(eval.run(&Program::var("c42"), &[]), Ok(Value::Int(42)));
+        // `c` alone and `cx` are not constants.
+        let mut eval = Evaluator::default();
+        assert!(eval.run(&Program::var("c"), &[]).is_err());
+        let mut eval = Evaluator::default();
+        assert!(eval.run(&Program::var("cx"), &[]).is_err());
+        assert!(Evaluator::default().covers("c1000"));
+    }
+
+    #[test]
+    fn coverage_introspection_reports_builtins_and_ctors() {
+        let eval = Evaluator::default();
+        for name in [
+            "zero", "plus", "leqg", "snoc", "insert", "Cons", "Node", "c17",
+        ] {
+            assert!(eval.covers(name), "{name} should be covered");
+        }
+        assert!(!eval.covers("mystery_component"));
+        assert!(eval.builtin_names().contains(&"umember"));
     }
 
     #[test]
@@ -541,7 +929,7 @@ mod tests {
             ..Evaluator::default()
         };
         let err = eval.run(&looping, &[Value::Int(1)]).unwrap_err();
-        assert!(err.message.contains("fuel"));
+        assert_eq!(err, EvalError::FuelExhausted);
     }
 
     #[test]

@@ -378,6 +378,7 @@ mod tests {
             timed_out: false,
             time_secs: 0.0,
             program: solved.then(|| format!("{name}-program")),
+            ast: None,
             code_size: None,
             stats: None,
         }

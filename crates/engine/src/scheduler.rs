@@ -205,6 +205,7 @@ impl Engine {
                     timed_out: true,
                     time_secs: 0.0,
                     program: None,
+                    ast: None,
                     code_size: None,
                     stats: None,
                 });

@@ -75,6 +75,9 @@ pub struct RunResult {
     pub time_secs: f64,
     /// The synthesized program, pretty-printed.
     pub program: Option<String>,
+    /// The synthesized program as an AST, for consumers that need to
+    /// execute the result (the runtime oracle) rather than display it.
+    pub ast: Option<synquid_core::Program>,
     /// Size of the synthesized program in AST nodes.
     pub code_size: Option<usize>,
     /// Statistics of the run (present for both solved and failed runs).
@@ -133,6 +136,7 @@ pub fn run_goal_in_context(goal: &Goal, config: SynthesisConfig, ctx: &SolverCon
             time_secs,
             code_size: Some(result.program.size()),
             program: Some(result.program.to_string()),
+            ast: Some(result.program),
             stats,
         },
         Err(err) => RunResult {
@@ -141,6 +145,7 @@ pub fn run_goal_in_context(goal: &Goal, config: SynthesisConfig, ctx: &SolverCon
             timed_out: matches!(err, SynthesisError::Timeout(_)),
             time_secs,
             program: None,
+            ast: None,
             code_size: None,
             stats,
         },

@@ -27,6 +27,8 @@ const PARITY: &[(&str, &str, &str)] = &[
     ("tree_count", "Tree", "node count"),
     ("tree_member", "Tree", "is member"),
     ("heap_singleton", "Binary Heap", "1-element constructor"),
+    ("bst_member", "BST", "is member"),
+    ("bst_insert", "BST", "insert"),
 ];
 
 fn programmatic_goal(group: &str, name: &str) -> Goal {

@@ -1,0 +1,122 @@
+//! First-order concrete values.
+//!
+//! The interpreter's [`Value`] includes closures, which have no logical
+//! meaning; the oracle works on the first-order fragment [`CVal`], which
+//! is totally ordered and hashable so it can populate the finite sets
+//! that measures like `elems` and `keys` denote.
+
+use std::fmt;
+use synquid_core::Value;
+
+/// A first-order runtime value: what a synthesized program may consume or
+/// produce at a scalar goal type.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CVal {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A saturated datatype constructor.
+    Ctor(String, Vec<CVal>),
+}
+
+impl CVal {
+    /// Converts an interpreter value; `None` for closures, fixpoints, and
+    /// partially applied builtins (not first-order data).
+    pub fn from_value(value: &Value) -> Option<CVal> {
+        match value {
+            Value::Int(n) => Some(CVal::Int(*n)),
+            Value::Bool(b) => Some(CVal::Bool(*b)),
+            Value::Ctor(name, args) => {
+                let args = args
+                    .iter()
+                    .map(CVal::from_value)
+                    .collect::<Option<Vec<_>>>()?;
+                Some(CVal::Ctor(name.clone(), args))
+            }
+            Value::Closure(..) | Value::Fixpoint(..) | Value::Builtin(..) => None,
+        }
+    }
+
+    /// Converts back into an interpreter value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            CVal::Int(n) => Value::Int(*n),
+            CVal::Bool(b) => Value::Bool(*b),
+            CVal::Ctor(name, args) => {
+                Value::Ctor(name.clone(), args.iter().map(CVal::to_value).collect())
+            }
+        }
+    }
+
+    /// The constructor name, if this is a constructor value.
+    pub fn ctor_name(&self) -> Option<&str> {
+        match self {
+            CVal::Ctor(name, _) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The number of constructor applications in the value (the "size"
+    /// the generator bounds and the shrinker minimizes).
+    pub fn size(&self) -> usize {
+        match self {
+            CVal::Int(_) | CVal::Bool(_) => 1,
+            CVal::Ctor(_, args) => 1 + args.iter().map(CVal::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CVal::Int(n) => write!(f, "{n}"),
+            CVal::Bool(b) => write!(f, "{b}"),
+            CVal::Ctor(name, args) if args.is_empty() => write!(f, "{name}"),
+            CVal::Ctor(name, args) => {
+                write!(f, "({name}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_interpreter_values() {
+        let list = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        let c = CVal::from_value(&list).unwrap();
+        assert_eq!(c.to_value(), list);
+        assert_eq!(c.to_string(), "(Cons 1 (Cons 2 Nil))");
+        assert_eq!(c.size(), 5);
+    }
+
+    #[test]
+    fn closures_are_not_first_order() {
+        let closure = Value::Closure(
+            "x".into(),
+            std::rc::Rc::new(synquid_core::Program::var("x")),
+            Default::default(),
+        );
+        assert!(CVal::from_value(&closure).is_none());
+        assert!(CVal::from_value(&Value::Ctor("C".into(), vec![closure])).is_none());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = [
+            CVal::Ctor("Nil".into(), vec![]),
+            CVal::Int(3),
+            CVal::Bool(true),
+            CVal::Int(-1),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], CVal::Int(-1));
+    }
+}

@@ -30,7 +30,8 @@ pub mod termination;
 pub mod ty;
 
 pub use data::{
-    bst_datatype, increasing_list_datatype, list_datatype, Constructor, Datatype, Measure,
+    bst_datatype, increasing_list_datatype, list_datatype, Constructor, Datatype, Datatypes,
+    Measure,
 };
 pub use env::Environment;
 pub use solve::{ConstraintSolver, TypeError};

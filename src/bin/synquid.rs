@@ -5,6 +5,9 @@
 //! ```text
 //! Usage: synquid [OPTIONS] <SPEC.sq>...
 //!        synquid explain <GOAL> [@] <SPEC.sq> [--timeout <SECS>] [--full]
+//!        synquid fuzz [GOAL [@]] [SPEC.sq]... [--cases <N>] [--seed <S>]
+//!                     [--size <N>] [--timeout <SECS>] [--differential]
+//!                     [--out <PATH>]
 //!
 //! Options:
 //!   --jobs <N>            worker threads for the batch (default: 1)
@@ -19,6 +22,17 @@
 //!   --list                list the goals without synthesizing
 //!   -h, --help            print this help
 //! ```
+//!
+//! `synquid fuzz` is the runtime soundness oracle: it synthesizes each
+//! selected goal through the full pipeline, runs the result on seeded
+//! random inputs that satisfy the argument refinements, and checks every
+//! output against the goal's postcondition and datatype invariants with
+//! the measure interpreter. Violations are shrunk to minimal witnesses
+//! and reported together with the winning derivation. `--differential`
+//! re-synthesizes under solver ablations (memoization off, incremental
+//! SMT off, budget shaping off) and asserts the oracle verdicts agree.
+//! With no spec files, the whole `specs/` corpus is fuzzed. The run is
+//! bit-reproducible for a given `--seed`.
 //!
 //! `synquid explain` synthesizes one goal with an in-memory trace sink
 //! and replays the captured events into the winning derivation tree:
@@ -49,10 +63,16 @@ use synquid::telemetry;
 const USAGE: &str = "\
 Usage: synquid [OPTIONS] <SPEC.sq>...
        synquid explain <GOAL> [@] <SPEC.sq> [--timeout <SECS>] [--full]
+       synquid fuzz [GOAL [@]] [SPEC.sq]... [--cases <N>] [--seed <S>]
+                    [--size <N>] [--timeout <SECS>] [--differential]
+                    [--out <PATH>]
 
 Synthesizes every goal declared in the given Synquid-style spec files.
 The `explain` subcommand synthesizes one goal and prints the winning
 derivation as an annotated tree (wall time, cache provenance, phases).
+The `fuzz` subcommand synthesizes goals and property-tests the results
+on seeded random inputs against their refinement types (whole corpus
+when no spec file is given); exit 1 on any violation or divergence.
 
 Options:
   --jobs <N>            worker threads for the batch (default: 1)
@@ -333,10 +353,253 @@ fn explain_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `synquid fuzz`: the runtime soundness oracle over synthesized
+/// programs.
+fn fuzz_main(args: &[String]) -> ExitCode {
+    use synquid::oracle::{fuzz_goal, summary_json, CaseVerdict, FuzzConfig};
+
+    let mut cfg = FuzzConfig::default();
+    let mut cfg_cases = 100usize;
+    let mut files: Vec<String> = Vec::new();
+    let mut goal_names: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = (|| -> Result<bool, String> {
+            match arg.as_str() {
+                "-h" | "--help" => Err(String::new()),
+                "--cases" => {
+                    cfg_cases = value("--cases")?
+                        .parse()
+                        .map_err(|_| "--cases needs a positive integer".to_string())?;
+                    Ok(true)
+                }
+                "--seed" => {
+                    cfg.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed needs an unsigned integer".to_string())?;
+                    Ok(true)
+                }
+                "--size" => {
+                    cfg.max_size = value("--size")?
+                        .parse()
+                        .map_err(|_| "--size needs a positive integer".to_string())?;
+                    Ok(true)
+                }
+                "--timeout" => {
+                    cfg.timeout = Duration::from_secs(
+                        value("--timeout")?
+                            .parse()
+                            .map_err(|_| "--timeout needs a number of seconds".to_string())?,
+                    );
+                    Ok(true)
+                }
+                "--differential" => {
+                    cfg.differential = true;
+                    Ok(true)
+                }
+                "--out" => {
+                    out_path = Some(value("--out")?);
+                    Ok(true)
+                }
+                "@" => Ok(true),
+                other if other.starts_with('-') => Err(format!("unknown option `{other}`")),
+                _ => Ok(false),
+            }
+        })();
+        match parsed {
+            Err(msg) => {
+                if !msg.is_empty() {
+                    eprintln!("error: {msg}\n");
+                }
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            Ok(true) => {}
+            Ok(false) => {
+                if arg.ends_with(".sq") {
+                    files.push(arg.clone());
+                } else {
+                    goal_names.push(arg.clone());
+                }
+            }
+        }
+    }
+    cfg.cases = cfg_cases;
+
+    // No spec files → the whole bundled corpus. Each entry is (path to
+    // load, label to report): the corpus lives at an absolute path that
+    // varies by machine, and machine-specific paths must not leak into
+    // the reproducible summary.
+    let paths: Vec<(String, String)> = if files.is_empty() {
+        let corpus = synquid::lang::spec::corpus_files();
+        if corpus.is_empty() {
+            eprintln!("error: no spec files given and no specs/ corpus found");
+            return ExitCode::from(2);
+        }
+        corpus
+            .into_iter()
+            .map(|p| {
+                let label = match p.file_name() {
+                    Some(name) => format!("specs/{}", name.to_string_lossy()),
+                    None => p.display().to_string(),
+                };
+                (p.display().to_string(), label)
+            })
+            .collect()
+    } else {
+        files.into_iter().map(|f| (f.clone(), f)).collect()
+    };
+
+    // Capture the trace so violations can print the winning derivation of
+    // the faulty solution.
+    telemetry::set_profiling(true);
+    telemetry::events::init_trace_buffer();
+
+    let mut reports = Vec::new();
+    let mut matched_goal_filter = false;
+    for (file, label) in &paths {
+        let spec = match synquid::parser::load_file(file) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        for goal in spec.goals {
+            if !goal_names.is_empty() && !goal_names.iter().any(|n| n == &goal.name) {
+                continue;
+            }
+            matched_goal_filter = true;
+            let report = fuzz_goal(&goal, label, &cfg);
+            match &report.skipped {
+                Some(reason) => {
+                    println!(
+                        "{}: skipped ({reason})",
+                        synquid::lang::runner::goal_label(&report.goal, label)
+                    );
+                }
+                None => {
+                    let pass = report.count(&CaseVerdict::Pass);
+                    let gave_up = report.count(&CaseVerdict::GaveUp);
+                    let undecidable = report.count(&CaseVerdict::Undecidable);
+                    let mut cells = vec![format!("{pass} pass")];
+                    if !report.violations.is_empty() {
+                        cells.push(format!("{} VIOLATION(S)", report.violations.len()));
+                    }
+                    if gave_up > 0 {
+                        cells.push(format!("{gave_up} gave up"));
+                    }
+                    if undecidable > 0 {
+                        cells.push(format!("{undecidable} undecidable"));
+                    }
+                    println!(
+                        "{}: {} cases — {} (rejected {})",
+                        synquid::lang::runner::goal_label(&report.goal, label),
+                        report.verdicts.len(),
+                        cells.join(", "),
+                        report.rejected,
+                    );
+                    for v in &report.violations {
+                        let inputs: Vec<String> = v.inputs.iter().map(|c| c.to_string()).collect();
+                        let shrunk: Vec<String> = v.shrunk.iter().map(|c| c.to_string()).collect();
+                        println!(
+                            "  {} case {}: inputs {} — {}",
+                            v.verdict.tag(),
+                            v.case,
+                            inputs.join(", "),
+                            v.detail
+                        );
+                        println!("    shrunk: {}", shrunk.join(", "));
+                    }
+                    for d in &report.differential {
+                        let status = if !d.solved {
+                            "unsolved (timing difference, not checked)".to_string()
+                        } else if d.verdicts_match {
+                            format!("verdicts match, {} output(s) differ", d.outputs_differ)
+                        } else {
+                            "VERDICTS DIVERGE".to_string()
+                        };
+                        println!("  differential {}: {status}", d.ablation);
+                    }
+                }
+            }
+            reports.push(report);
+        }
+    }
+    if !goal_names.is_empty() && !matched_goal_filter {
+        eprintln!("error: no goal named {} found", goal_names.join(", "));
+        return ExitCode::from(2);
+    }
+
+    // On violations, print the winning derivations of the offending
+    // solutions from the captured trace.
+    let any_violation = reports.iter().any(|r| !r.violations.is_empty());
+    let any_divergence = reports
+        .iter()
+        .flat_map(|r| &r.differential)
+        .any(|d| !d.verdicts_match);
+    let text = telemetry::events::take_trace_buffer().unwrap_or_default();
+    if any_violation {
+        if let Ok(trace) = synquid::trace::parse_trace(&text) {
+            let forest = synquid::trace::DerivationForest::build(&trace);
+            for report in reports.iter().filter(|r| !r.violations.is_empty()) {
+                if let Some(attempt) = forest.winning(&report.goal) {
+                    println!(
+                        "\nwinning derivation of the violating solution {}:",
+                        report.goal
+                    );
+                    print!("{}", attempt.render_winning());
+                }
+            }
+        }
+    }
+
+    let total_pass: usize = reports.iter().map(|r| r.count(&CaseVerdict::Pass)).sum();
+    let fuzzed = reports.iter().filter(|r| r.skipped.is_none()).count();
+    let skipped = reports.len() - fuzzed;
+    println!(
+        "\nfuzz: {} goal(s) fuzzed, {} skipped, {} passing case(s), {} violation(s), {} divergence(s) [seed {}]",
+        fuzzed,
+        skipped,
+        total_pass,
+        reports.iter().map(|r| r.violations.len()).sum::<usize>(),
+        reports
+            .iter()
+            .flat_map(|r| &r.differential)
+            .filter(|d| !d.verdicts_match)
+            .count(),
+        cfg.seed,
+    );
+
+    if let Some(path) = out_path {
+        let json = summary_json(cfg.seed, cfg.cases, &reports);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write summary to {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("summary written to {path}");
+    }
+
+    if any_violation || any_divergence {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("explain") {
         return explain_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return fuzz_main(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,

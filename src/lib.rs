@@ -24,7 +24,10 @@
 //!   cache;
 //! * [`trace`] — search forensics over `--trace-out` JSONL streams:
 //!   derivation-tree reconstruction, per-goal timeout attribution, and
-//!   Chrome trace-event export.
+//!   Chrome trace-event export;
+//! * [`oracle`] — the runtime soundness oracle: a measure interpreter
+//!   over concrete values, seeded input generation, counterexample
+//!   shrinking, and the `synquid fuzz` differential harness.
 //!
 //! ## Quickstart: synthesize from a textual spec
 //!
@@ -89,6 +92,7 @@ pub use synquid_engine as engine;
 pub use synquid_horn as horn;
 pub use synquid_lang as lang;
 pub use synquid_logic as logic;
+pub use synquid_oracle as oracle;
 pub use synquid_parser as parser;
 pub use synquid_solver as solver;
 pub use synquid_telemetry as telemetry;
@@ -103,6 +107,7 @@ pub mod prelude {
     pub use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob};
     pub use synquid_lang::runner::{run_goal, RunResult, Variant};
     pub use synquid_logic::{Qualifier, Sort, Term};
+    pub use synquid_oracle::{fuzz_goal, FuzzConfig, GoalFuzzReport};
     pub use synquid_parser::{load_file, load_str, SpecOutput};
     pub use synquid_solver::{SharedValidityCache, Smt};
     pub use synquid_types::{BaseType, Environment, RType, Schema};

@@ -10,9 +10,49 @@
 //! type checker and executed with the reference interpreter.
 
 use std::time::Duration;
-use synquid::core::{Evaluator, TypeChecker, Value};
+use synquid::core::{Evaluator, TypeChecker};
 use synquid::lang::benchmarks::{max_n, table1};
+use synquid::oracle::{CVal, Checker, GenStats, Generator, LogicEnv, LogicVal, Rng};
 use synquid::prelude::*;
+
+/// Validates a synthesized program with the runtime oracle: seeded random
+/// inputs satisfying the argument refinements, outputs checked against
+/// the goal's result type (postcondition and datatype invariants) by the
+/// measure interpreter. This replaces the seed-era ad-hoc reference
+/// closures — the refinement type itself is the executable specification.
+fn oracle_validate(goal: &Goal, program: &Program, cases: usize, seed: u64) {
+    let ints = vec![RType::int(); goal.schema.type_vars.len()];
+    let mono = goal.schema.instantiate(&ints);
+    let (args, ret) = mono.uncurry();
+    let datatypes = goal.env.datatypes();
+    let checker = Checker::new(datatypes);
+    let generator = Generator::new(datatypes);
+    let mut rng = Rng::new(seed);
+    let mut stats = GenStats::default();
+    for case in 0..cases {
+        let mut env = LogicEnv::new();
+        let mut inputs = Vec::new();
+        for (name, ty) in &args {
+            let v = generator
+                .generate(&mut rng, ty, &env, &mut stats)
+                .expect("input generation succeeds");
+            env.insert(name.clone(), LogicVal::of(&v));
+            inputs.push(v);
+        }
+        let values: Vec<_> = inputs.iter().map(CVal::to_value).collect();
+        let mut eval = Evaluator::default();
+        let out = eval
+            .run(program, &values)
+            .unwrap_or_else(|e| panic!("case {case}: {} crashed on {inputs:?}: {e}", goal.name));
+        let out = CVal::from_value(&out).expect("first-order output");
+        assert_eq!(
+            checker.check(&out, &ret, &env),
+            Ok(true),
+            "case {case}: {} violated its spec on inputs {inputs:?} with output {out}",
+            goal.name
+        );
+    }
+}
 
 fn grouped_goal(group: &str, name: &str) -> (Goal, (usize, usize)) {
     let bench = table1()
@@ -48,14 +88,9 @@ fn max2_synthesizes_a_conditional_that_computes_max() {
     let text = result.program.to_string();
     assert!(text.contains("if"), "expected a conditional, got {text}");
 
-    // The synthesized program really computes the maximum.
-    let mut eval = Evaluator::default();
-    for (a, b) in [(1, 2), (7, -3), (0, 0), (-5, -9)] {
-        let out = eval
-            .run(&result.program, &[Value::Int(a), Value::Int(b)])
-            .expect("max2 evaluates");
-        assert_eq!(out, Value::Int(a.max(b)), "max {a} {b}");
-    }
+    // The synthesized program really computes the maximum: the oracle
+    // checks random inputs against `{Int | ν ≥ x1 ∧ ν ≥ x2 ∧ (ν = x1 ∨ ν = x2)}`.
+    oracle_validate(&goal, &result.program, 50, 42);
 }
 
 #[test]
@@ -73,17 +108,9 @@ fn is_empty_synthesizes_and_is_behaviourally_correct() {
         .check_goal(&goal, &result.program)
         .expect("synthesized is_empty should type-check");
 
-    // Dynamic check: it agrees with the reference semantics.
-    let mut eval = Evaluator::default();
-    let empty = eval
-        .run(&result.program, &[Value::list(vec![])])
-        .expect("evaluates on []");
-    assert_eq!(empty, Value::Bool(true));
-    let mut eval = Evaluator::default();
-    let non_empty = eval
-        .run(&result.program, &[Value::list(vec![Value::Int(1)])])
-        .expect("evaluates on [1]");
-    assert_eq!(non_empty, Value::Bool(false));
+    // Dynamic check: the oracle fuzzes it against `{Bool | ν ⇔ len xs = 0}`,
+    // covering the empty list and many non-empty ones.
+    oracle_validate(&goal, &result.program, 50, 42);
 }
 
 #[test]
