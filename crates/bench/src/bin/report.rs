@@ -14,14 +14,15 @@
 //!
 //! `batch` runs the whole `specs/` corpus through the parallel engine
 //! (with span profiling on, so every goal entry carries its per-phase
-//! timing split) and writes the machine-readable `BENCH_pr7.json`
+//! timing split) and writes the machine-readable `BENCH_pr9.json`
 //! timing report (per goal: solved/timings/winning rung/budget-ledger
 //! accounting/enumeration and incremental-solver counters; plus the
 //! validity-cache counters). `--compare` prints per-goal deltas against
 //! a previous artifact (solved↔timeout flips, time ratios, phase-split
 //! movements when both artifacts carry phase data) and **exits nonzero
-//! if a previously solved goal regressed to a timeout or a still-solved
-//! goal got more than 1.5× slower**; `--readme` prints the markdown
+//! if a previously solved goal regressed to a timeout, a still-solved
+//! goal got more than 1.5× slower, or a still-solved goal's LIA phase
+//! regressed past the same thresholds**; `--readme` prints the markdown
 //! corpus table embedded in the README's "Reproduction status" section.
 //!
 //! `trace` is offline forensics over a `--trace-out` JSONL artifact
@@ -82,7 +83,7 @@ fn main() {
                 .position(|a| a == "--out")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+                .unwrap_or_else(|| "BENCH_pr9.json".to_string());
             let compare = args
                 .iter()
                 .position(|a| a == "--compare")
@@ -145,6 +146,13 @@ fn main() {
                                     eprintln!(
                                         "{} still-solved goal(s) got more than 1.5x slower than {old_path}",
                                         deltas.time_regressed
+                                    );
+                                    std::process::exit(1);
+                                }
+                                if deltas.lia_time_regressed > 0 {
+                                    eprintln!(
+                                        "{} still-solved goal(s) regressed in LIA-phase time against {old_path}",
+                                        deltas.lia_time_regressed
                                     );
                                     std::process::exit(1);
                                 }

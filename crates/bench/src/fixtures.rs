@@ -288,6 +288,45 @@ fn double_branch_mus() -> Workload {
     Workload::Mus { background, soft }
 }
 
+/// `take.sq` (3,1): the MUSFIX strengthening problem for the `Nil`
+/// branch — the shrink-loop workload the shared-encoding MUS oracle
+/// targets. The background is the branch VC (measure context included)
+/// with its conclusion negated; the soft atoms are the liquid-abduction
+/// candidate qualifiers over `n`, `m`, and `len xs`, most of them
+/// irrelevant — so the oracle must grow/shrink through many subset
+/// checks against the same conjunction. `{n ≤ 0}` is a MUS (with the
+/// background's `0 ≤ n` it forces `n = 0`, contradicting
+/// `¬(len ν = n)`), so the harness asserts non-emptiness.
+fn take_nil_guard_mus() -> Workload {
+    let (xs, xs1) = (lvar("xs"), lvar("xs1"));
+    let (n, m) = (ivar("n"), ivar("m"));
+    let nu = Term::value_var(list());
+    let background = Term::conjunction([
+        len(xs.clone()).eq(len(xs1.clone()).plus(Term::int(1))),
+        elems(xs.clone()).eq(elems(xs1.clone()).union(single(avar("x0")))),
+        len(xs.clone()).ge(n.clone()),
+        len(xs.clone()).ge(Term::int(0)),
+        len(xs1.clone()).ge(Term::int(0)),
+        len(nu.clone()).ge(Term::int(0)),
+        len(nu.clone()).eq(Term::int(0)),
+        Term::int(0).le(n.clone()),
+        len(nu).eq(n.clone()).not(),
+    ]);
+    let soft = vec![
+        n.clone().le(Term::int(0)),
+        n.clone().neq(Term::int(0)),
+        Term::int(0).le(n.clone()),
+        Term::int(0).lt(n.clone()),
+        m.clone().le(n.clone()),
+        n.clone().le(m.clone()),
+        m.clone().neq(n.clone()),
+        len(xs.clone()).le(n.clone()),
+        n.lt(len(xs)),
+        Term::int(0).lt(m),
+    ];
+    Workload::Mus { background, soft }
+}
+
 /// Every transcribed workload, in a stable report order.
 pub fn all() -> Vec<Fixture> {
     vec![
@@ -324,6 +363,13 @@ pub fn all() -> Vec<Fixture> {
             kind: WorkloadKind::Mus,
             source: "double.sq",
             build: double_branch_mus,
+            expect_unsat: true,
+        },
+        Fixture {
+            name: "take_nil_guard_mus",
+            kind: WorkloadKind::Mus,
+            source: "take.sq (3,1)",
+            build: take_nil_guard_mus,
             expect_unsat: true,
         },
     ]

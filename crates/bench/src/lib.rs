@@ -265,17 +265,19 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr7.json`
+/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr9.json`
 /// artifact: per-goal timings, budget-ledger accounting (rungs run /
 /// cancelled / skipped / out of budget, budget consumed), the
 /// enumeration counters (terms enumerated, pruned early, memo hits),
 /// the incremental-solver counters (conflicts learned / replayed,
-/// assumptions dropped), plus the shared validity-cache counters.
-/// (Hand-rolled JSON: the workspace resolves offline, so no serde.)
+/// assumptions dropped, warm tableau starts, bounds propagated, shared
+/// MUS encodings, pivots saved), plus the shared validity-cache
+/// counters. (Hand-rolled JSON: the workspace resolves offline, so no
+/// serde.)
 pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"report\": \"BENCH_pr7\",\n");
+    out.push_str("  \"report\": \"BENCH_pr9\",\n");
     out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
     out.push_str(&format!("  \"timeout_secs\": {},\n", timeout.as_secs()));
@@ -311,7 +313,7 @@ pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
             _ => String::new(),
         };
         out.push_str(&format!(
-            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"consumed_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_skipped\": {}, \"rungs_out_of_budget\": {}, \"terms_enumerated\": {}, \"eterms_checked\": {}, \"pruned_early\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \"smt_conflicts_learned\": {}, \"smt_conflicts_reused\": {}, \"assumptions_dropped\": {}{phases}}}{}\n",
+            "    {{\"file\": \"{}\", \"name\": \"{}\", \"solved\": {}, \"timed_out\": {}, \"time_secs\": {:.3}, \"consumed_secs\": {:.3}, \"code_size\": {}, \"winning_rung\": {}, \"rungs_run\": {}, \"rungs_cancelled\": {}, \"rungs_skipped\": {}, \"rungs_out_of_budget\": {}, \"terms_enumerated\": {}, \"eterms_checked\": {}, \"pruned_early\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \"smt_conflicts_learned\": {}, \"smt_conflicts_reused\": {}, \"assumptions_dropped\": {}, \"tableau_warm_starts\": {}, \"bounds_propagated\": {}, \"mus_shared_encodings\": {}, \"lia_pivots_saved\": {}{phases}}}{}\n",
             json_escape(&o.source),
             json_escape(&r.name),
             r.solved,
@@ -332,6 +334,10 @@ pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
             stat(|s| s.smt_conflicts_learned),
             stat(|s| s.smt_conflicts_reused),
             stat(|s| s.assumptions_dropped),
+            stat(|s| s.tableau_warm_starts),
+            stat(|s| s.bounds_propagated),
+            stat(|s| s.mus_shared_encodings),
+            stat(|s| s.lia_pivots_saved),
             if i + 1 == report.outcomes.len() { "" } else { "," },
         ));
     }
@@ -354,9 +360,9 @@ pub fn corpus_markdown_table(report: &BatchReport, timeout: Duration) -> String 
         timeout.as_secs()
     ));
     out.push_str(
-        "| Goal | Status | Time (s) | Enumerated | Checked | Pruned early | Memo hits | Conflicts replayed | Rungs skipped |\n",
+        "| Goal | Status | Time (s) | Enumerated | Checked | Pruned early | Memo hits | Conflicts replayed | Warm LIA starts | Rungs skipped |\n",
     );
-    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|\n");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|\n");
     for o in &report.outcomes {
         let r = &o.result;
         let status = if r.solved {
@@ -378,11 +384,12 @@ pub fn corpus_markdown_table(report: &BatchReport, timeout: Duration) -> String 
                 s.pruned_early.to_string(),
                 s.memo_hits.to_string(),
                 s.smt_conflicts_reused.to_string(),
+                s.tableau_warm_starts.to_string(),
             ],
             None => std::array::from_fn(|_| "—".to_string()),
         };
         out.push_str(&format!(
-            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
             synquid_lang::runner::goal_label(&r.name, &o.source),
             status,
             time,
@@ -391,6 +398,7 @@ pub fn corpus_markdown_table(report: &BatchReport, timeout: Duration) -> String 
             counters[2],
             counters[3],
             counters[4],
+            counters[5],
             o.rungs_skipped,
         ));
     }
@@ -632,6 +640,13 @@ pub struct BatchComparison {
     /// more than half a second, so fast goals aren't flagged for noise) —
     /// the second regression condition CI fails on.
     pub time_regressed: usize,
+    /// Still-solved goals whose `lia` phase (first-check theory time)
+    /// regressed by the same [`is_time_regression`] gate — the solver-
+    /// side regression condition CI fails on, so the warm-tableau wins
+    /// can't silently erode even while total wall time stays inside the
+    /// overall gate. Requires phase data on both sides; goals without it
+    /// are not counted.
+    pub lia_time_regressed: usize,
 }
 
 /// The time-regression gate: a still-solved goal counts as regressed
@@ -655,6 +670,7 @@ pub fn compare_batch(old: &[ParsedGoal], report: &BatchReport) -> BatchCompariso
     let mut flips_solved = 0usize;
     let mut flips_lost = 0usize;
     let mut time_regressed = 0usize;
+    let mut lia_time_regressed = 0usize;
     let mut phase_deltas = String::new();
     for o in &report.outcomes {
         let r = &o.result;
@@ -709,13 +725,28 @@ pub fn compare_batch(old: &[ParsedGoal], report: &BatchReport) -> BatchCompariso
             for phase in synquid_telemetry::Phase::ALL {
                 let before = old_phases.get(phase).total_secs();
                 let after = new_phases.get(phase).total_secs();
+                // The LIA-phase gate: a still-solved goal whose
+                // first-check theory time blew past the regression
+                // thresholds fails CI even if wall time didn't.
+                let lia_regressed = phase == synquid_telemetry::Phase::Lia
+                    && prev.solved
+                    && r.solved
+                    && is_time_regression(before, after);
+                if lia_regressed {
+                    lia_time_regressed += 1;
+                }
                 if before.max(after) < 0.01 {
                     continue;
                 }
                 lines.push_str(&format!(
-                    "    {:<16} {before:>9.3}s -> {after:>9.3}s ({:+.3}s)\n",
+                    "    {:<16} {before:>9.3}s -> {after:>9.3}s ({:+.3}s){}\n",
                     phase.name(),
-                    after - before
+                    after - before,
+                    if lia_regressed {
+                        "  LIA REGRESSION"
+                    } else {
+                        ""
+                    }
                 ));
             }
             if !lines.is_empty() {
@@ -727,7 +758,7 @@ pub fn compare_batch(old: &[ParsedGoal], report: &BatchReport) -> BatchCompariso
         out.push_str(&format!("\nphase splits (self time):\n{phase_deltas}"));
     }
     out.push_str(&format!(
-        "\n{flips_solved} goal(s) newly solved, {flips_lost} regressed, {time_regressed} slowed >1.5x, {} total.\n",
+        "\n{flips_solved} goal(s) newly solved, {flips_lost} regressed, {time_regressed} slowed >1.5x, {lia_time_regressed} LIA-phase regression(s), {} total.\n",
         report.outcomes.len()
     ));
     return BatchComparison {
@@ -735,6 +766,7 @@ pub fn compare_batch(old: &[ParsedGoal], report: &BatchReport) -> BatchCompariso
         newly_solved: flips_solved,
         regressed: flips_lost,
         time_regressed,
+        lia_time_regressed,
     };
 
     fn cell(solved: bool, time: f64) -> String {
@@ -763,7 +795,11 @@ mod tests {
             report.outcomes.len()
         );
         let json = batch_report_json(&report, timeout);
-        assert!(json.contains("\"report\": \"BENCH_pr7\""));
+        assert!(json.contains("\"report\": \"BENCH_pr9\""));
+        assert!(json.contains("\"tableau_warm_starts\""));
+        assert!(json.contains("\"bounds_propagated\""));
+        assert!(json.contains("\"mus_shared_encodings\""));
+        assert!(json.contains("\"lia_pivots_saved\""));
         assert!(json.contains("\"validity_cache\""));
         assert!(json.contains("\"terms_enumerated\""));
         assert!(json.contains("\"pruned_early\""));

@@ -24,7 +24,8 @@ use std::time::Instant;
 use synquid_solver::{enumerate_mus_smt, MusConfig, Smt};
 use synquid_telemetry::PhaseProfile;
 
-/// Timing summary of one fixture.
+/// Timing summary of one fixture: the incremental (warm-tableau, shared
+/// MUS encoding) path and the from-scratch baseline, A/B'd in one run.
 pub struct FixtureResult {
     /// The fixture that ran.
     pub name: &'static str,
@@ -32,27 +33,52 @@ pub struct FixtureResult {
     pub kind: WorkloadKind,
     /// Where the workload was captured from.
     pub source: &'static str,
-    /// Iterations timed.
+    /// Iterations timed (per mode).
     pub iterations: usize,
-    /// Fastest iteration, seconds.
+    /// Fastest iteration on the incremental path, seconds.
     pub min_secs: f64,
-    /// Mean iteration, seconds.
+    /// Mean iteration on the incremental path, seconds.
     pub mean_secs: f64,
-    /// Per-phase solver split summed over all iterations (empty when
-    /// span profiling is disabled).
+    /// Fastest iteration with `set_incremental_lia(false)` — the
+    /// from-scratch per-check baseline this PR's tentpole replaces.
+    pub baseline_min_secs: f64,
+    /// Mean from-scratch iteration, seconds.
+    pub baseline_mean_secs: f64,
+    /// Per-phase solver split summed over the incremental iterations
+    /// only (empty when span profiling is disabled).
     pub phases: PhaseProfile,
-    /// Whether every iteration produced the expected verdict.
+    /// Whether every iteration of both modes produced the expected
+    /// verdict.
     pub verdicts_ok: bool,
 }
 
-/// Runs one fixture for `iterations` iterations against fresh solvers.
-pub fn run_fixture(fixture: &Fixture, iterations: usize) -> FixtureResult {
+impl FixtureResult {
+    /// Old-vs-new speedup on fastest iterations (>1 means the
+    /// incremental path wins).
+    pub fn speedup(&self) -> f64 {
+        if self.min_secs > 0.0 {
+            self.baseline_min_secs / self.min_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Times one mode of one fixture; returns per-iteration times and
+/// whether every verdict matched the captured one.
+fn time_mode(
+    fixture: &Fixture,
+    iterations: usize,
+    incremental_lia: bool,
+    phases: Option<&mut PhaseProfile>,
+) -> (Vec<f64>, bool) {
     let mut times = Vec::with_capacity(iterations);
-    let mut phases = PhaseProfile::default();
     let mut verdicts_ok = true;
+    let mut mode_phases = PhaseProfile::default();
     for _ in 0..iterations.max(1) {
         let workload = (fixture.build)();
         let mut smt = Smt::new();
+        smt.set_incremental_lia(incremental_lia);
         let started = Instant::now();
         let ok = match workload {
             Workload::Query {
@@ -74,20 +100,34 @@ pub fn run_fixture(fixture: &Fixture, iterations: usize) -> FixtureResult {
             }
         };
         times.push(started.elapsed().as_secs_f64());
-        phases.merge(&smt.stats().phases);
+        mode_phases.merge(&smt.stats().phases);
         verdicts_ok &= ok;
     }
-    let min_secs = times.iter().copied().fold(f64::INFINITY, f64::min);
-    let mean_secs = times.iter().sum::<f64>() / times.len() as f64;
+    if let Some(out) = phases {
+        out.merge(&mode_phases);
+    }
+    (times, verdicts_ok)
+}
+
+/// Runs one fixture for `iterations` iterations per mode against fresh
+/// solvers: first the incremental path, then the from-scratch baseline.
+pub fn run_fixture(fixture: &Fixture, iterations: usize) -> FixtureResult {
+    let mut phases = PhaseProfile::default();
+    let (new_times, new_ok) = time_mode(fixture, iterations, true, Some(&mut phases));
+    let (old_times, old_ok) = time_mode(fixture, iterations, false, None);
+    let min = |ts: &[f64]| ts.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = |ts: &[f64]| ts.iter().sum::<f64>() / ts.len() as f64;
     FixtureResult {
         name: fixture.name,
         kind: fixture.kind,
         source: fixture.source,
-        iterations: times.len(),
-        min_secs,
-        mean_secs,
+        iterations: new_times.len(),
+        min_secs: min(&new_times),
+        mean_secs: mean(&new_times),
+        baseline_min_secs: min(&old_times),
+        baseline_mean_secs: mean(&old_times),
         phases,
-        verdicts_ok,
+        verdicts_ok: new_ok && old_ok,
     }
 }
 
@@ -132,12 +172,15 @@ pub fn solver_report_json(results: &[FixtureResult]) -> String {
             format!(", \"phases\": {}", r.phases.to_json())
         };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"kind\": \"{kind}\", \"source\": \"{}\", \"iterations\": {}, \"min_secs\": {:.6}, \"mean_secs\": {:.6}{phases}}}{}\n",
+            "    {{\"name\": \"{}\", \"kind\": \"{kind}\", \"source\": \"{}\", \"iterations\": {}, \"min_secs\": {:.6}, \"mean_secs\": {:.6}, \"baseline_min_secs\": {:.6}, \"baseline_mean_secs\": {:.6}, \"speedup\": {:.3}{phases}}}{}\n",
             r.name,
             r.source,
             r.iterations,
             r.min_secs,
             r.mean_secs,
+            r.baseline_min_secs,
+            r.baseline_mean_secs,
+            r.speedup(),
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -145,12 +188,13 @@ pub fn solver_report_json(results: &[FixtureResult]) -> String {
     out
 }
 
-/// Formats a human-readable table of the results.
+/// Formats a human-readable table of the results: from-scratch baseline
+/// vs incremental path, with the per-fixture speedup ratio.
 pub fn format_results(results: &[FixtureResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<24} {:<6} {:>6} {:>12} {:>12}\n",
-        "fixture", "kind", "iters", "min(ms)", "mean(ms)"
+        "{:<24} {:<6} {:>6} {:>12} {:>12} {:>8}\n",
+        "fixture", "kind", "iters", "old(ms)", "new(ms)", "ratio"
     ));
     for r in results {
         let kind = match r.kind {
@@ -158,12 +202,13 @@ pub fn format_results(results: &[FixtureResult]) -> String {
             WorkloadKind::Mus => "mus",
         };
         out.push_str(&format!(
-            "{:<24} {:<6} {:>6} {:>12.3} {:>12.3}\n",
+            "{:<24} {:<6} {:>6} {:>12.3} {:>12.3} {:>7.2}x\n",
             r.name,
             kind,
             r.iterations,
+            r.baseline_min_secs * 1e3,
             r.min_secs * 1e3,
-            r.mean_secs * 1e3
+            r.speedup()
         ));
     }
     out

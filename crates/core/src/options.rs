@@ -41,6 +41,15 @@ pub struct SynthesisConfig {
     /// it (`Unknown` → `Unsat`), making strictly *more* proofs succeed,
     /// never fewer.
     pub incremental_smt: bool,
+    /// Keep one warm simplex tableau per DPLL(T) query in the LIA
+    /// backend (bounds asserted/retracted over a push/pop stack instead
+    /// of rebuilding the tableau for every theory check), plus the
+    /// shared-encoding MUS oracle that rides on it. Disabling gives the
+    /// from-scratch per-check baseline. Verdicts are identical either
+    /// way — backtracking restores exactly the bounds each check
+    /// asserted — so this flag exists for the differential fuzz oracle
+    /// and A/B benchmarking, not for correctness workarounds.
+    pub incremental_lia: bool,
     /// Wall-clock timeout for one synthesis goal.
     pub timeout: Duration,
     /// Cap on the number of candidates returned by one E-term enumeration.
@@ -62,6 +71,7 @@ impl Default for SynthesisConfig {
             use_musfix: true,
             memoize: true,
             incremental_smt: true,
+            incremental_lia: true,
             timeout: Duration::from_secs(120),
             max_candidates: 64,
             max_arg_candidates: 24,
@@ -114,6 +124,16 @@ impl SynthesisConfig {
     /// the budget-boundary asymmetry).
     pub fn without_incremental_smt(mut self) -> SynthesisConfig {
         self.incremental_smt = false;
+        self
+    }
+
+    /// Disables the warm incremental-LIA tableau (every theory check
+    /// rebuilds the simplex tableau from scratch). Used by the
+    /// differential fuzz oracle and the solver microbenchmarks to pin
+    /// warm-vs-cold verdict equivalence and speedups; see
+    /// [`SynthesisConfig::incremental_lia`].
+    pub fn without_incremental_lia(mut self) -> SynthesisConfig {
+        self.incremental_lia = false;
         self
     }
 

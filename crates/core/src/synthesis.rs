@@ -133,6 +133,19 @@ pub struct SynthesisStats {
     /// Duplicate assumption conjuncts dropped by the environment's
     /// assumption extractor before encoding.
     pub assumptions_dropped: usize,
+    /// Theory checks answered by a warm simplex tableau (bounds pushed
+    /// onto an already-built tableau instead of rebuilding it).
+    pub tableau_warm_starts: usize,
+    /// Cross-constant bound-implication clauses asserted into SAT
+    /// skeletons (each lets a derived bound kill related atoms by unit
+    /// propagation instead of an LIA call).
+    pub bounds_propagated: usize,
+    /// MUS enumerations that ran against one shared encoding with
+    /// selector-literal subset activation (vs re-encoding per subset).
+    pub mus_shared_encodings: usize,
+    /// Estimated simplex pivots avoided by warm starts (cold first-check
+    /// cost minus actual cost, summed over warm checks).
+    pub lia_pivots_saved: usize,
     /// True if some E-term generation at the run's maximum application
     /// depth produced candidates its `depth − 1` set lacked — i.e. a
     /// deeper application bound could enumerate new programs. When a run
@@ -210,6 +223,7 @@ impl Synthesizer {
         // fixpoint strengthening, so deadline checks between candidates
         // alone would overshoot by minutes.
         smt.set_incremental(config.incremental_smt);
+        smt.set_incremental_lia(config.incremental_lia);
         smt.set_deadline(Some(deadline));
         smt.set_cancellation(Some(context.cancel.clone()));
         Synthesizer {
@@ -239,6 +253,10 @@ impl Synthesizer {
         stats.smt_conflicts_learned = smt.conflicts_learned;
         stats.smt_conflicts_reused = smt.conflicts_reused;
         stats.assumptions_dropped = smt.assumptions_dropped;
+        stats.tableau_warm_starts = smt.tableau_warm_starts;
+        stats.bounds_propagated = smt.bounds_propagated;
+        stats.mus_shared_encodings = smt.mus_shared_encodings;
+        stats.lia_pivots_saved = smt.lia_pivots_saved;
         stats
     }
 

@@ -161,7 +161,7 @@ impl GoalFuzzReport {
     }
 }
 
-/// The three ablations differential mode compares against the baseline.
+/// The ablations differential mode compares against the baseline.
 fn ablations(cfg: &FuzzConfig) -> Vec<(String, EngineConfig)> {
     let base = |synth: SynthesisConfig, shaping: bool| EngineConfig {
         jobs: 1,
@@ -178,6 +178,10 @@ fn ablations(cfg: &FuzzConfig) -> Vec<(String, EngineConfig)> {
         (
             "without_incremental_smt".into(),
             base(SynthesisConfig::default().without_incremental_smt(), true),
+        ),
+        (
+            "without_incremental_lia".into(),
+            base(SynthesisConfig::default().without_incremental_lia(), true),
         ),
         (
             "without_shaping".into(),

@@ -186,6 +186,19 @@ pub struct Encoder {
     /// Purified applications: function name -> list of
     /// (argument terms, canonical key, result sort).
     apps: BTreeMap<String, Vec<(Vec<Term>, String, Sort)>>,
+    /// Extra element terms unioned into every set-elimination universe
+    /// (see [`Encoder::seed_universe`]).
+    universe_seed: Vec<Term>,
+    /// Disequality witnesses keyed by their negative set atom. Pooling
+    /// makes witness choice deterministic across `encode` calls on the
+    /// same encoder: when [`Encoder::seed_universe`] pre-creates the
+    /// witness for `¬(a = b)`, a later `encode` of a formula containing
+    /// that atom reuses the *same* witness variable, so the universal
+    /// expansions already instantiated at the seeded witness actually
+    /// constrain the existential that ends up in the skeleton. (Reusing
+    /// one Skolem constant for repeated occurrences of the same
+    /// existential atom is equisatisfiable.)
+    witness_pool: BTreeMap<Term, Term>,
     fresh_counter: usize,
 }
 
@@ -225,12 +238,33 @@ impl Encoder {
     // Set elimination
     // -----------------------------------------------------------------
 
+    /// Seeds the set-elimination universe with the relevant element terms
+    /// (and fresh disequality witnesses) of `term`, without encoding it.
+    ///
+    /// The MUS enumerator encodes each soft constraint separately against
+    /// one shared encoder; seeding from the *full* conjunction first makes
+    /// every per-constraint universe a superset of what a from-scratch
+    /// encoding of any subset would have used. That is sound: the universe
+    /// under-approximates set extensionality, and enlarging it only
+    /// sharpens the finite-model abstraction (adds conjuncts to universal
+    /// expansions, disjuncts to existential ones — both implied by the
+    /// real set semantics).
+    pub fn seed_universe(&mut self, term: &Term) {
+        let t = nnf(&normalize(term));
+        collect_element_terms(&t, &mut self.universe_seed);
+        let witnesses = self.create_witnesses(&t);
+        self.universe_seed.extend(witnesses.into_values());
+        dedup_terms(&mut self.universe_seed);
+    }
+
     fn eliminate_sets(&mut self, term: &Term) -> Term {
         // Work on the NNF so polarity of set atoms is syntactically evident.
         let t = nnf(term);
-        // Pass 1: relevant element terms and witnesses.
+        // Pass 1: relevant element terms and witnesses, plus any seeded
+        // universe (shared MUS encodings seed from the full conjunction).
         let mut elements: Vec<Term> = Vec::new();
         collect_element_terms(&t, &mut elements);
+        elements.extend(self.universe_seed.iter().cloned());
         let witnesses = self.create_witnesses(&t);
         let mut universe = elements;
         universe.extend(witnesses.values().cloned());
@@ -240,16 +274,28 @@ impl Encoder {
     }
 
     fn create_witnesses(&mut self, t: &Term) -> BTreeMap<Term, Term> {
-        let mut out = BTreeMap::new();
-        let mut counter = self.fresh_counter;
-        collect_negative_set_atoms(t, true, &mut |atom| {
-            let elem_sort = set_operand_elem_sort(atom).unwrap_or(Sort::Int);
-            let w = Term::var(format!("$w{counter}"), elem_sort);
-            counter += 1;
-            out.insert(atom.clone(), w);
-        });
-        self.fresh_counter = counter;
-        out
+        let mut atoms = Vec::new();
+        collect_negative_set_atoms(t, true, &mut |atom| atoms.push(atom.clone()));
+        atoms
+            .into_iter()
+            .map(|atom| {
+                let w = self.witness_for(&atom);
+                (atom, w)
+            })
+            .collect()
+    }
+
+    /// The pooled disequality witness for a negative set atom, created on
+    /// first use (see the `witness_pool` field for why pooling matters).
+    fn witness_for(&mut self, atom: &Term) -> Term {
+        if let Some(w) = self.witness_pool.get(atom) {
+            return w.clone();
+        }
+        let elem_sort = set_operand_elem_sort(atom).unwrap_or(Sort::Int);
+        let w = Term::var(format!("$w{}", self.fresh_counter), elem_sort);
+        self.fresh_counter += 1;
+        self.witness_pool.insert(atom.clone(), w.clone());
+        w
     }
 
     fn rewrite_sets(
@@ -309,12 +355,10 @@ impl Encoder {
                     }
                 } else {
                     // ∃ witness w distinguishing the two sides.
-                    let w = witness.cloned().unwrap_or_else(|| {
-                        let s = set_operand_elem_sort(atom).unwrap_or(Sort::Int);
-                        let w = Term::var(format!("$w{}", self.fresh_counter), s);
-                        self.fresh_counter += 1;
-                        w
-                    });
+                    let w = match witness {
+                        Some(w) => w.clone(),
+                        None => self.witness_for(atom),
+                    };
                     let ma = self.membership(&w, a);
                     let mb = self.membership(&w, b);
                     if is_equality {

@@ -191,6 +191,8 @@ struct Simplex {
     upper: BTreeMap<VarId, Rational>,
     /// Current assignment β.
     beta: BTreeMap<VarId, Rational>,
+    /// Total pivots performed over the tableau's lifetime.
+    pivots: u64,
 }
 
 impl Simplex {
@@ -201,6 +203,7 @@ impl Simplex {
             lower: BTreeMap::new(),
             upper: BTreeMap::new(),
             beta: BTreeMap::new(),
+            pivots: 0,
         }
     }
 
@@ -299,6 +302,7 @@ impl Simplex {
 
     /// Pivot: basic variable `b` leaves the basis, non-basic `n` enters.
     fn pivot(&mut self, b: VarId, n: VarId, new_b_value: Rational) {
+        self.pivots += 1;
         let row_b = self.rows.remove(&b).expect("pivot on non-basic row");
         let a_bn = *row_b.get(&n).expect("entering variable not in row");
         // b = Σ a_bj x_j  =>  n = (b - Σ_{j≠n} a_bj x_j) / a_bn
@@ -410,6 +414,303 @@ impl Simplex {
     }
 }
 
+/// One saved bound entry of the backtracking trail: the variable, which
+/// bound was touched, and its previous value (`None` = was unbounded).
+#[derive(Debug, Clone)]
+struct BoundUndo {
+    var: VarId,
+    upper: bool,
+    old: Option<Rational>,
+}
+
+/// An incremental LIA solver whose simplex tableau stays *warm* across
+/// the theory checks of one DPLL(T) query.
+///
+/// The from-scratch [`LiaSolver`] rebuilds a tableau (and re-substitutes
+/// every slack row) per check and clones the whole constraint vector per
+/// branch-and-bound node. This solver instead keeps the tableau alive:
+///
+/// * **slack rows persist** — each distinct linear combination gets one
+///   slack variable, registered on first use and reused by every later
+///   check (both polarities of a comparison atom share the combination,
+///   so one slack serves the atom for good);
+/// * **bounds are transient** — every check (and every branch-and-bound
+///   node) runs inside a push/pop frame over variable bounds. Popping
+///   restores the saved bound entries and touches nothing else: rows are
+///   basis-invariant representations of the same linear subspace, and a
+///   non-basic β that satisfied the tighter bounds still satisfies the
+///   restored looser ones, so `check()` only ever needs to repair *basic*
+///   variables — exactly what it does lazily anyway;
+/// * **branch and bound reuses the parent tableau** — a branch asserts
+///   one bound on the fractional variable inside a fresh frame and
+///   recurses; no constraint cloning, no re-substitution.
+///
+/// A check truncated by the wall-clock deadline **poisons** the tableau:
+/// the next check rebuilds from scratch (the incremental analogue of the
+/// "deadline-`Unknown`s are never cached" rule — a truncated search's
+/// verdict reflects the budget, and its tableau state is not trusted
+/// either).
+#[derive(Debug, Clone)]
+pub struct IncrementalLia {
+    num_problem_vars: usize,
+    simplex: Simplex,
+    /// One slack variable per distinct linear combination.
+    slacks: BTreeMap<BTreeMap<VarId, Rational>, VarId>,
+    /// Undo trail of bound changes, unwound on pop.
+    trail: Vec<BoundUndo>,
+    /// Open frames: trail length at each push.
+    frames: Vec<usize>,
+    /// Maximum number of branch-and-bound nodes explored per check.
+    pub branch_budget: usize,
+    /// Wall-clock deadline, polled once per branch-and-bound node.
+    /// Crossing it returns [`LiaResult::Unknown`] and poisons the tableau.
+    pub deadline: Option<std::time::Instant>,
+    poisoned: bool,
+    /// Checks served since the last (re)build; the first check after a
+    /// build is "cold", every later one is a warm start.
+    checks_since_build: u64,
+    warm_checks: u64,
+    rebuilds: u64,
+    /// Pivots spent by the cold first check after the last (re)build —
+    /// the per-check cost a from-scratch solver would pay every time.
+    cold_pivots: u64,
+    pivots_saved: u64,
+}
+
+impl IncrementalLia {
+    /// Creates a warm solver for problems over `num_problem_vars`
+    /// arithmetic variables (ids `0..num_problem_vars`).
+    pub fn new(num_problem_vars: usize) -> IncrementalLia {
+        IncrementalLia {
+            num_problem_vars,
+            simplex: Simplex::new(num_problem_vars),
+            slacks: BTreeMap::new(),
+            trail: Vec::new(),
+            frames: Vec::new(),
+            branch_budget: 200,
+            deadline: None,
+            poisoned: false,
+            checks_since_build: 0,
+            warm_checks: 0,
+            rebuilds: 0,
+            cold_pivots: 0,
+            pivots_saved: 0,
+        }
+    }
+
+    /// Checks served by an already-built tableau (every check after the
+    /// first since the last rebuild).
+    pub fn warm_checks(&self) -> u64 {
+        self.warm_checks
+    }
+
+    /// Times the tableau was rebuilt from scratch (after poisoning).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Estimated pivots saved by warm starts: for each warm check, the
+    /// cold first check's pivot count minus the warm check's, clamped at
+    /// zero. An estimate — the cold baseline is this query's own first
+    /// solve, not a per-check from-scratch rerun.
+    pub fn pivots_saved(&self) -> u64 {
+        self.pivots_saved
+    }
+
+    /// True when the last check was truncated by the deadline and the
+    /// next check will rebuild the tableau.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Marks the tableau as untrusted; the next check rebuilds it.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    fn rebuild(&mut self) {
+        self.simplex = Simplex::new(self.num_problem_vars);
+        self.slacks.clear();
+        self.trail.clear();
+        self.frames.clear();
+        self.poisoned = false;
+        self.checks_since_build = 0;
+        self.rebuilds += 1;
+    }
+
+    fn push(&mut self) {
+        self.frames.push(self.trail.len());
+    }
+
+    fn pop(&mut self) {
+        let mark = self.frames.pop().expect("pop without matching push");
+        while self.trail.len() > mark {
+            let undo = self.trail.pop().unwrap();
+            let map = if undo.upper {
+                &mut self.simplex.upper
+            } else {
+                &mut self.simplex.lower
+            };
+            match undo.old {
+                Some(c) => {
+                    map.insert(undo.var, c);
+                }
+                None => {
+                    map.remove(&undo.var);
+                }
+            }
+        }
+    }
+
+    /// Pops every frame opened after `depth` (defensive unwinding for
+    /// early returns out of the branch-and-bound recursion).
+    fn pop_to(&mut self, depth: usize) {
+        while self.frames.len() > depth {
+            self.pop();
+        }
+    }
+
+    fn assert_upper(&mut self, v: VarId, c: Rational) -> bool {
+        self.trail.push(BoundUndo {
+            var: v,
+            upper: true,
+            old: self.simplex.upper.get(&v).copied(),
+        });
+        self.simplex.assert_upper(v, c)
+    }
+
+    fn assert_lower(&mut self, v: VarId, c: Rational) -> bool {
+        self.trail.push(BoundUndo {
+            var: v,
+            upper: false,
+            old: self.simplex.lower.get(&v).copied(),
+        });
+        self.simplex.assert_lower(v, c)
+    }
+
+    /// The slack variable standing for this linear combination,
+    /// registering it (one row substitution, once ever) on first use.
+    fn slack_for(&mut self, combo: &BTreeMap<VarId, Rational>) -> VarId {
+        if let Some(&s) = self.slacks.get(combo) {
+            return s;
+        }
+        let s = self.simplex.add_slack(combo);
+        self.slacks.insert(combo.clone(), s);
+        s
+    }
+
+    /// Checks a conjunction of constraints against the warm tableau.
+    /// The tableau's *bounds* are restored before returning whatever the
+    /// verdict; its rows, basis and assignment persist (that is the
+    /// warmth). Sound for any sequence of checks because no bound
+    /// outlives its check's frame.
+    pub fn check(&mut self, constraints: &[Constraint]) -> LiaResult {
+        if self.poisoned {
+            self.rebuild();
+        }
+        if self.checks_since_build > 0 {
+            self.warm_checks += 1;
+        }
+        self.checks_since_build += 1;
+        let pivots_before = self.simplex.pivots;
+        let depth = self.frames.len();
+        self.push();
+        let result = self.check_in_frame(constraints);
+        self.pop_to(depth);
+        if matches!(result, LiaResult::Unknown) && self.deadline_passed() {
+            // Deadline-truncated: the verdict reflects the budget, and
+            // the tableau is not trusted either (the incremental
+            // extension of "deadline-Unknowns are never cached").
+            self.poisoned = true;
+        }
+        let spent = self.simplex.pivots - pivots_before;
+        if self.checks_since_build == 1 {
+            self.cold_pivots = spent;
+        } else {
+            self.pivots_saved += self.cold_pivots.saturating_sub(spent);
+        }
+        result
+    }
+
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| std::time::Instant::now() > d)
+    }
+
+    fn check_in_frame(&mut self, constraints: &[Constraint]) -> LiaResult {
+        let empty = BTreeMap::new();
+        for c in constraints {
+            if c.expr.is_constant() && !c.holds(&empty) {
+                return LiaResult::Unsat;
+            }
+        }
+        for c in constraints.iter().filter(|c| !c.expr.is_constant()) {
+            let s = self.slack_for(&c.expr.coeffs);
+            // expr ⋈ 0  ⟺  Σ aᵢxᵢ ⋈ -constant
+            let bound = -c.expr.constant;
+            let ok = match c.rel {
+                Rel::Le => self.assert_upper(s, bound),
+                Rel::Ge => self.assert_lower(s, bound),
+                Rel::Eq => self.assert_upper(s, bound) && self.assert_lower(s, bound),
+            };
+            if !ok {
+                return LiaResult::Unsat;
+            }
+        }
+        let mut budget = self.branch_budget;
+        let result = self.solve_rec(&mut budget);
+        if let LiaResult::Sat(model) = &result {
+            debug_assert!(
+                constraints.iter().all(|c| c.holds(model)),
+                "warm tableau produced a non-model"
+            );
+        }
+        result
+    }
+
+    /// Feasibility plus branch-and-bound over the current bound frame.
+    fn solve_rec(&mut self, budget: &mut usize) -> LiaResult {
+        if self.deadline_passed() {
+            return LiaResult::Unknown;
+        }
+        if !self.simplex.check() {
+            return LiaResult::Unsat;
+        }
+        let model = self.simplex.model(self.num_problem_vars);
+        let fractional = model.iter().find(|(_, v)| !v.is_integer());
+        let Some((&v, &val)) = fractional else {
+            return LiaResult::Sat(model);
+        };
+        if *budget == 0 {
+            return LiaResult::Unknown;
+        }
+        *budget -= 1;
+        // Left branch: v ≤ floor(val), on the same tableau.
+        self.push();
+        let floor = Rational::new(val.floor(), 1);
+        let left = if self.assert_upper(v, floor) {
+            self.solve_rec(budget)
+        } else {
+            LiaResult::Unsat
+        };
+        self.pop();
+        match left {
+            LiaResult::Sat(m) => return LiaResult::Sat(m),
+            LiaResult::Unknown => return LiaResult::Unknown,
+            LiaResult::Unsat => {}
+        }
+        // Right branch: v ≥ ceil(val).
+        self.push();
+        let ceil = Rational::new(val.ceil(), 1);
+        let right = if self.assert_lower(v, ceil) {
+            self.solve_rec(budget)
+        } else {
+            LiaResult::Unsat
+        };
+        self.pop();
+        right
+    }
+}
+
 /// Decides satisfiability of a conjunction of linear constraints over the
 /// integers.
 #[derive(Debug, Clone, Default)]
@@ -436,80 +737,15 @@ impl LiaSolver {
 
     /// Checks a conjunction of constraints; `num_vars` is the number of
     /// problem variables (ids `0..num_vars`).
+    ///
+    /// One-shot: builds a fresh [`IncrementalLia`] and discards it. The
+    /// from-scratch baseline the `without_incremental_lia` ablation runs
+    /// against, and the entry point for callers without a warm tableau.
     pub fn check(&self, num_vars: usize, constraints: &[Constraint]) -> LiaResult {
-        let mut budget = self.branch_budget;
-        self.check_rec(num_vars, constraints.to_vec(), &mut budget)
-    }
-
-    fn check_rec(
-        &self,
-        num_vars: usize,
-        constraints: Vec<Constraint>,
-        budget: &mut usize,
-    ) -> LiaResult {
-        if let Some(deadline) = self.deadline {
-            if std::time::Instant::now() > deadline {
-                return LiaResult::Unknown;
-            }
-        }
-        // Constant constraints can be discharged immediately.
-        for c in &constraints {
-            if c.expr.is_constant() && !c.holds(&BTreeMap::new()) {
-                return LiaResult::Unsat;
-            }
-        }
-
-        let mut simplex = Simplex::new(num_vars);
-        for c in constraints.iter().filter(|c| !c.expr.is_constant()) {
-            let combo = c.expr.coeffs.clone();
-            let s = simplex.add_slack(&combo);
-            // expr ⋈ 0  ⟺  Σ aᵢxᵢ ⋈ -constant
-            let bound = -c.expr.constant;
-            let ok = match c.rel {
-                Rel::Le => simplex.assert_upper(s, bound),
-                Rel::Ge => simplex.assert_lower(s, bound),
-                Rel::Eq => simplex.assert_upper(s, bound) && simplex.assert_lower(s, bound),
-            };
-            if !ok {
-                return LiaResult::Unsat;
-            }
-        }
-        if !simplex.check() {
-            return LiaResult::Unsat;
-        }
-        let model = simplex.model(num_vars);
-        // Branch and bound on a fractional variable.
-        let fractional = model.iter().find(|(_, v)| !v.is_integer());
-        match fractional {
-            None => {
-                debug_assert!(constraints.iter().all(|c| c.holds(&model)));
-                LiaResult::Sat(model)
-            }
-            Some((&v, &val)) => {
-                if *budget == 0 {
-                    return LiaResult::Unknown;
-                }
-                *budget -= 1;
-                // x ≤ floor(val)
-                let mut left = constraints.clone();
-                left.push(Constraint::le(
-                    LinExpr::variable(v),
-                    LinExpr::constant(Rational::new(val.floor(), 1)),
-                ));
-                match self.check_rec(num_vars, left, budget) {
-                    LiaResult::Sat(m) => return LiaResult::Sat(m),
-                    LiaResult::Unknown => return LiaResult::Unknown,
-                    LiaResult::Unsat => {}
-                }
-                // x ≥ ceil(val)
-                let mut right = constraints;
-                right.push(Constraint::ge(
-                    LinExpr::variable(v),
-                    LinExpr::constant(Rational::new(val.ceil(), 1)),
-                ));
-                self.check_rec(num_vars, right, budget)
-            }
-        }
+        let mut inc = IncrementalLia::new(num_vars);
+        inc.branch_budget = self.branch_budget;
+        inc.deadline = self.deadline;
+        inc.check(constraints)
     }
 }
 
@@ -654,5 +890,134 @@ mod tests {
             Constraint::ge(var(1), num(2)),
         ];
         assert_eq!(solver.check(3, &cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn warm_tableau_answers_a_sequence_of_checks() {
+        // The DPLL(T) usage pattern: many near-identical checks over the
+        // same atoms against one tableau, verdicts matching from-scratch.
+        let mut inc = IncrementalLia::new(2);
+        let scratch = LiaSolver::new();
+        let families: Vec<Vec<Constraint>> = vec![
+            vec![
+                Constraint::le(var(0).plus(&var(1)), num(5)),
+                Constraint::ge(var(0), num(3)),
+                Constraint::ge(var(1), num(3)),
+            ],
+            vec![
+                Constraint::le(var(0).plus(&var(1)), num(5)),
+                Constraint::ge(var(0), num(3)),
+                Constraint::ge(var(1), num(2)),
+            ],
+            vec![
+                Constraint::le(var(0).plus(&var(1)), num(5)),
+                Constraint::ge(var(0), num(6)),
+            ],
+            vec![
+                Constraint::eq(var(0), var(1)),
+                Constraint::ge(var(0), num(1)),
+                Constraint::le(var(1), num(0)),
+            ],
+            vec![Constraint::ge(var(0).minus(&var(1)), num(10))],
+        ];
+        for cs in &families {
+            let warm = inc.check(cs);
+            let cold = scratch.check(2, cs);
+            assert_eq!(
+                matches!(warm, LiaResult::Unsat),
+                matches!(cold, LiaResult::Unsat),
+                "verdict divergence on {cs:?}: warm {warm:?} vs cold {cold:?}"
+            );
+            if let LiaResult::Sat(m) = warm {
+                assert!(cs.iter().all(|c| {
+                    let v = c.expr.eval(&m);
+                    match c.rel {
+                        Rel::Le => v <= Rational::ZERO,
+                        Rel::Eq => v.is_zero(),
+                        Rel::Ge => v >= Rational::ZERO,
+                    }
+                }));
+            }
+        }
+        assert_eq!(inc.warm_checks(), families.len() as u64 - 1);
+        assert_eq!(inc.rebuilds(), 0);
+    }
+
+    #[test]
+    fn popped_bounds_never_leak_into_the_next_check() {
+        let mut inc = IncrementalLia::new(1);
+        // x ≤ 3 is sat…
+        assert!(matches!(
+            inc.check(&[Constraint::le(var(0), num(3))]),
+            LiaResult::Sat(_)
+        ));
+        // …and must not constrain the next check: x ≥ 4 alone is sat.
+        assert!(matches!(
+            inc.check(&[Constraint::ge(var(0), num(4))]),
+            LiaResult::Sat(_)
+        ));
+        // An unsat check's bounds must not leak either.
+        assert_eq!(
+            inc.check(&[
+                Constraint::ge(var(0), num(4)),
+                Constraint::le(var(0), num(3)),
+            ]),
+            LiaResult::Unsat
+        );
+        assert!(matches!(
+            inc.check(&[Constraint::ge(var(0), num(4))]),
+            LiaResult::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn warm_branch_and_bound_restores_branch_bounds() {
+        let mut inc = IncrementalLia::new(1);
+        // 2x = 1: rational-feasible, integer-infeasible — both branches
+        // of the branch-and-bound run and both must unwind cleanly.
+        let cs = vec![Constraint::eq(var(0).scaled(Rational::from_int(2)), num(1))];
+        assert_eq!(inc.check(&cs), LiaResult::Unsat);
+        // The tableau is still usable and unconstrained afterwards.
+        let cs = vec![Constraint::eq(var(0).scaled(Rational::from_int(2)), num(4))];
+        match inc.check(&cs) {
+            LiaResult::Sat(m) => assert_eq!(m[&0], Rational::from_int(2)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_truncated_check_poisons_the_warm_tableau() {
+        let mut inc = IncrementalLia::new(1);
+        // Warm the tableau with a normal check.
+        assert!(matches!(
+            inc.check(&[Constraint::ge(var(0), num(1))]),
+            LiaResult::Sat(_)
+        ));
+        assert!(!inc.is_poisoned());
+        // A check that crosses the deadline must answer Unknown and mark
+        // the tableau untrusted (the regression PR 5's "deadline-Unknowns
+        // are never cached" rule extends to tableau state).
+        inc.deadline = Some(std::time::Instant::now() - std::time::Duration::from_secs(1));
+        assert_eq!(
+            inc.check(&[Constraint::ge(var(0), num(1))]),
+            LiaResult::Unknown
+        );
+        assert!(inc.is_poisoned());
+        // With the deadline lifted, the next check rebuilds and answers
+        // correctly — in both directions.
+        inc.deadline = None;
+        assert_eq!(
+            inc.check(&[
+                Constraint::ge(var(0), num(4)),
+                Constraint::le(var(0), num(3)),
+            ]),
+            LiaResult::Unsat
+        );
+        assert!(!inc.is_poisoned());
+        assert_eq!(inc.rebuilds(), 1);
+        assert!(matches!(
+            inc.check(&[Constraint::le(var(0), num(0))]),
+            LiaResult::Sat(_)
+        ));
     }
 }

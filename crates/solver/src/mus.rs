@@ -13,6 +13,7 @@
 //! to MUSes (blocking all supersets), satisfiable seeds are grown to MSSes
 //! (blocking all subsets).
 
+use crate::encode::{Encoder, Skeleton};
 use crate::sat::{Lit, SatResult, SatSolver};
 use crate::smt::{Smt, SmtResult};
 use std::collections::BTreeSet;
@@ -141,6 +142,16 @@ pub fn enumerate_mus(
 /// Enumerates the MUSes of `background ∧ soft` that contain all `required`
 /// soft constraints, using the SMT solver as the oracle.
 ///
+/// The whole constraint set is encoded *once* against one shared encoder
+/// (atoms, arithmetic variables, purified applications, and the
+/// set-elimination universe — seeded from the full conjunction, which is
+/// sound because a larger universe only sharpens the finite-model
+/// abstraction). Each soft constraint gets a selector literal; a subset
+/// check is then a single assumption-based call into the shared DPLL(T)
+/// session, reusing its SAT clause database, learned theory conflicts,
+/// and warm simplex tableau across all subsets — instead of re-encoding
+/// and re-solving every subset from scratch.
+///
 /// Enumerations are memoized in the solver's incremental state: the
 /// liquid-abduction loop poses the *same* strengthening problem for every
 /// candidate that shares a VC skeleton, and the result is a pure function
@@ -172,11 +183,27 @@ pub fn enumerate_mus_smt(
     // open their own spans, so self-time attribution keeps the totals
     // additive.
     let _span = synquid_telemetry::span(synquid_telemetry::Phase::CoreShrink);
+    // Shared encoding: background is asserted unconditionally, each soft
+    // constraint hangs off a selector literal assumed per subset.
+    let (problem, soft_skeletons) = {
+        let _encode_span = synquid_telemetry::span(synquid_telemetry::Phase::Encode);
+        let mut encoder = Encoder::new();
+        let full = Term::conjunction(std::iter::once(background).chain(soft.iter()).cloned());
+        encoder.seed_universe(&full);
+        let background_skeleton = encoder.encode(background);
+        let soft_skeletons: Vec<Skeleton> = soft.iter().map(|t| encoder.encode(t)).collect();
+        (encoder.finish(background_skeleton), soft_skeletons)
+    };
+    let mut session = smt.begin_session(&problem, &[]);
+    let selectors: Vec<_> = soft_skeletons
+        .iter()
+        .map(|s| session.add_selectable(s))
+        .collect();
+    smt.note_mus_shared_encoding();
     let mut interrupted = false;
     let muses = enumerate_mus(soft.len(), required, config, |subset| {
-        let mut formulas = vec![background.clone()];
-        formulas.extend(subset.iter().map(|i| soft[*i].clone()));
-        let verdict = smt.check_sat_conj(&formulas);
+        let assumptions: Vec<_> = subset.iter().map(|i| selectors[*i]).collect();
+        let verdict = smt.solve_session(&mut session, &problem, &assumptions);
         interrupted |= smt.last_query_interrupted();
         matches!(verdict, SmtResult::Unsat)
     });
@@ -265,5 +292,49 @@ mod tests {
         // {n ≠ 0, 0 ≤ n} also implies n > 0, contradicting len ν = 0 = n?
         // No: background already negates len ν = n, so n ≠ 0 does not help.
         assert!(!muses.contains(&set(&[1])));
+    }
+
+    #[test]
+    fn shared_encoding_links_soft_disequality_witness_to_background() {
+        // The list_delete Cons-branch strengthening problem, reduced.
+        // Background (the recursive-call environment):
+        //   elems xs = elems xs1 ∪ [x0]  ∧  elems ν = elems xs1 \ [x0]
+        // Softs: {x ≤ x0, x0 ≤ x, ¬(elems ν = elems xs \ [x])}.
+        // Under x = x0 the negated conclusion is unsatisfiable, so
+        // {0, 1, 2} is a MUS. Finding it requires the background set
+        // equalities to be instantiated at the *soft* constraint's
+        // disequality witness — exactly what the encoder's witness pool
+        // guarantees for shared (selector-based) MUS encodings. With
+        // per-call fresh witnesses this enumeration comes back empty and
+        // list_delete stops synthesizing.
+        let elem = Sort::var("a");
+        let list = Sort::data("List", vec![elem.clone()]);
+        let elems = |t: Term| Term::app("elems", vec![t], Sort::set(Sort::var("a")));
+        let single = |name: &str| Term::singleton(elem.clone(), Term::var(name, elem.clone()));
+        let xs = Term::var("xs", list.clone());
+        let xs1 = Term::var("xs1", list.clone());
+        let nu = Term::value_var(list);
+        let x = Term::var("x", elem.clone());
+        let x0 = Term::var("x0", elem.clone());
+        let background = elems(xs.clone())
+            .eq(elems(xs1.clone()).union(single("x0")))
+            .and(elems(nu.clone()).eq(elems(xs1).set_diff(single("x0"))));
+        let soft = vec![
+            x.clone().le(x0.clone()),
+            x0.le(x),
+            elems(nu).eq(elems(xs).set_diff(single("x"))).not(),
+        ];
+        let mut smt = Smt::new();
+        let muses = enumerate_mus_smt(
+            &mut smt,
+            &background,
+            &soft,
+            &set(&[2]),
+            MusConfig::default(),
+        );
+        assert!(
+            muses.contains(&set(&[0, 1, 2])),
+            "expected {{x ≤ x0, x0 ≤ x, ¬conclusion}} to be a MUS, got {muses:?}"
+        );
     }
 }

@@ -17,7 +17,8 @@
 use crate::cache::SharedValidityCache;
 use crate::cancel::CancellationToken;
 use crate::encode::{Encoded, Encoder, Skeleton, TheoryAtom};
-use crate::lia::{LiaResult, LiaSolver};
+use crate::lia::{IncrementalLia, LiaResult, LiaSolver};
+use crate::rational::Rational;
 use crate::sat::{Lit, SatResult, SatSolver};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -78,6 +79,28 @@ pub struct SmtStats {
     /// hit spares the complete MARCO loop (dozens of subset
     /// satisfiability checks) the abduction loop would otherwise repeat.
     pub mus_memo_hits: usize,
+    /// Theory checks served by an already-warm simplex tableau (every
+    /// check of a DPLL(T) query after the first, when the incremental
+    /// LIA path is on): these reuse the tableau's rows and basis instead
+    /// of rebuilding and re-substituting slack rows from scratch.
+    pub tableau_warm_starts: usize,
+    /// Bound-implication clauses installed between comparison atoms over
+    /// the same linear combination but *different* constants (`d ≤ c₁ ⟹
+    /// d ≤ c₂` for `c₁ ≤ c₂`, and the lower/exclusivity/totality
+    /// variants). Each is a derived bound fact propagated into the SAT
+    /// trail by unit propagation, killing boolean models — and whole
+    /// candidate families — without an LIA call.
+    pub bounds_propagated: usize,
+    /// MUS enumerations that ran against one shared encoding with
+    /// selector-literal subset activation, instead of re-encoding
+    /// `background ∧ subset` per oracle call.
+    pub mus_shared_encodings: usize,
+    /// Estimated simplex pivots saved by warm tableau starts, summed
+    /// over all queries: per warm check, the query's cold first-solve
+    /// pivot count minus the warm check's own, clamped at zero. An
+    /// estimate — the baseline is the same query's first solve, not a
+    /// from-scratch rerun of each check.
+    pub lia_pivots_saved: usize,
     /// Per-phase wall-time attribution of the work done *inside* this
     /// instance's queries (cache-lookup, encode, SAT, LIA, core-shrink),
     /// captured per `Smt::check_query` call when span profiling is on
@@ -121,6 +144,12 @@ pub struct Smt {
     /// persistence (the from-scratch baseline the parity tests compare
     /// against).
     lemmas: Option<LemmaStore>,
+    /// When true (the default), each DPLL(T) query keeps one warm
+    /// [`IncrementalLia`] tableau across all of its theory checks
+    /// (including core shrinking and MUS subset oracles). When false,
+    /// every theory check builds a fresh from-scratch [`LiaSolver`] —
+    /// the `without_incremental_lia` ablation baseline.
+    incremental_lia: bool,
     /// Memoized MUS enumerations (see [`crate::mus::enumerate_mus_smt`]):
     /// the liquid-abduction loop re-derives the *same* strengthening
     /// problem for every candidate program that shares a VC skeleton, so
@@ -198,6 +227,7 @@ impl Smt {
             cancel: None,
             interrupted: false,
             lemmas: Some(LemmaStore::default()),
+            incremental_lia: true,
             mus_memo: Some(HashMap::new()),
         }
     }
@@ -249,6 +279,14 @@ impl Smt {
     pub fn set_incremental(&mut self, incremental: bool) {
         self.lemmas = incremental.then(LemmaStore::default);
         self.mus_memo = incremental.then(HashMap::new);
+    }
+
+    /// Enables or disables the warm incremental-LIA tableau (on by
+    /// default). Disabling gives the from-scratch per-check baseline the
+    /// `without_incremental_lia` ablation and the differential fuzz
+    /// oracle compare against; verdicts are unaffected either way.
+    pub fn set_incremental_lia(&mut self, incremental: bool) {
+        self.incremental_lia = incremental;
     }
 
     /// True if the deadline has passed or cancellation was requested.
@@ -440,14 +478,30 @@ impl Smt {
         result
     }
 
-    /// Low-level entry point used by the MUS enumerator: checks the
-    /// conjunction of already-encoded skeletons against a shared encoding.
+    /// Low-level entry point: checks the conjunction of already-encoded
+    /// skeletons. Builds a one-shot [`EncodedSession`] and solves it with
+    /// no assumptions; the MUS enumerator instead keeps its session alive
+    /// across subset checks (see [`Smt::begin_session`]).
     pub(crate) fn solve_encoded(&mut self, problem: &Encoded, roots: &[Skeleton]) -> SmtResult {
         // Trivial short-circuit.
         if roots.iter().any(|r| matches!(r, Skeleton::False)) {
             return SmtResult::Unsat;
         }
+        let mut session = self.begin_session(problem, roots);
+        self.solve_session(&mut session, problem, &[])
+    }
 
+    /// Builds a reusable DPLL(T) session for one encoded problem: the SAT
+    /// solver loaded with the skeletons, side conditions, bound-
+    /// implication axioms and replayed lemmas, plus (when the incremental
+    /// LIA path is on) one warm simplex tableau that will serve *every*
+    /// theory check issued through this session — main-loop checks, core
+    /// shrinking, and MUS subset oracles alike.
+    pub(crate) fn begin_session(
+        &mut self,
+        problem: &Encoded,
+        roots: &[Skeleton],
+    ) -> EncodedSession {
         let mut sat = SatSolver::new();
         // One SAT variable per theory atom, allocated up front so atom index
         // and SAT variable coincide.
@@ -460,13 +514,17 @@ impl Smt {
         {
             tseitin.assert_root(root);
         }
-        // Eagerly assert the total-order relationships between comparison
-        // atoms over the same linear expression (x ≤ y vs x > y vs y < x …).
-        // Without these lemmas the SAT solver proposes many boolean models
-        // that differ only in mutually inconsistent comparisons, each of
-        // which costs a theory conflict; with them, most such models are
-        // pruned propositionally.
-        for clause in order_axioms(problem) {
+        // Eagerly assert the bound-implication lattice between comparison
+        // atoms over the same linear combination (same or different
+        // constants: x ≤ y vs x > y, x ≤ 3 vs x ≤ 5, …). Without these
+        // lemmas the SAT solver proposes many boolean models that differ
+        // only in mutually inconsistent comparisons, each of which costs
+        // a theory conflict; with them, most such models are pruned
+        // propositionally, and a bound proved for one atom propagates to
+        // every weaker atom over the same combination by unit propagation.
+        let (axioms, cross_bound) = bound_axioms(problem);
+        self.stats.bounds_propagated += cross_bound;
+        for clause in axioms {
             sat.add_clause(clause);
         }
 
@@ -525,10 +583,69 @@ impl Smt {
             }
         }
 
-        let mut lia = LiaSolver::new();
-        // A single branch-and-bound search must not outlive the query
-        // budget: the LIA solver polls the deadline once per node.
-        lia.deadline = self.deadline;
+        EncodedSession {
+            sat,
+            lia: self
+                .incremental_lia
+                .then(|| IncrementalLia::new(problem.num_arith_vars)),
+            atom_keys,
+        }
+    }
+
+    /// One theory check through the session's LIA backend: the warm
+    /// tableau when the incremental path is on, a from-scratch solver
+    /// otherwise. The deadline is refreshed per check so a single
+    /// branch-and-bound search never outlives the query budget.
+    fn theory_check(
+        &self,
+        session: &mut EncodedSession,
+        num_arith_vars: usize,
+        constraints: &[crate::lia::Constraint],
+    ) -> LiaResult {
+        match &mut session.lia {
+            Some(inc) => {
+                inc.deadline = self.deadline;
+                inc.check(constraints)
+            }
+            None => {
+                let mut lia = LiaSolver::new();
+                lia.deadline = self.deadline;
+                lia.check(num_arith_vars, constraints)
+            }
+        }
+    }
+
+    /// Runs the DPLL(T) loop of a session under the given assumption
+    /// literals. `Unsat` means the problem plus assumptions is
+    /// unsatisfiable. Sound to call repeatedly with different assumption
+    /// sets: everything the loop adds to the session — theory blocking
+    /// clauses, learned lemmas, CDCL-learned clauses — is implied by the
+    /// encoded problem alone, never by the assumptions.
+    pub(crate) fn solve_session(
+        &mut self,
+        session: &mut EncodedSession,
+        problem: &Encoded,
+        assumptions: &[Lit],
+    ) -> SmtResult {
+        let warm_before = session
+            .lia
+            .as_ref()
+            .map(|l| (l.warm_checks(), l.pivots_saved()));
+        let result = self.solve_session_inner(session, problem, assumptions);
+        if let (Some(inc), Some((w0, p0))) = (&session.lia, warm_before) {
+            self.stats.tableau_warm_starts += (inc.warm_checks() - w0) as usize;
+            self.stats.lia_pivots_saved += (inc.pivots_saved() - p0) as usize;
+        }
+        result
+    }
+
+    fn solve_session_inner(
+        &mut self,
+        session: &mut EncodedSession,
+        problem: &Encoded,
+        assumptions: &[Lit],
+    ) -> SmtResult {
+        self.interrupted = false;
         for _ in 0..self.max_iterations {
             if self.interrupt_requested() {
                 self.interrupted = true;
@@ -537,7 +654,7 @@ impl Smt {
             self.stats.sat_calls += 1;
             let model = {
                 let _sat_span = synquid_telemetry::span(Phase::Sat);
-                match sat.solve() {
+                match session.sat.solve_with_assumptions(assumptions) {
                     SatResult::Unsat(_) => return SmtResult::Unsat,
                     SatResult::Sat(model) => model,
                 }
@@ -559,14 +676,15 @@ impl Smt {
                 // DPLL(T) loop; theory checks issued while shrinking a
                 // conflict are attributed to `CoreShrink` below.
                 let _lia_span = synquid_telemetry::span(Phase::Lia);
-                lia.check(problem.num_arith_vars, &constraints)
+                self.theory_check(session, problem.num_arith_vars, &constraints)
             };
             match verdict {
                 LiaResult::Sat(_) => return SmtResult::Sat,
                 LiaResult::Unknown => {
                     // A branch-budget `Unknown` is a deterministic verdict
                     // and may be cached; one caused by the deadline
-                    // reflects the budget and must not be.
+                    // reflects the budget and must not be (the warm
+                    // tableau poisons itself on deadline truncation).
                     if self.interrupt_requested() {
                         self.interrupted = true;
                     }
@@ -584,7 +702,8 @@ impl Smt {
                     // theory checks instead of the O(n) of one-at-a-time
                     // deletion — on measure-heavy synthesis queries the
                     // conflict sets run to dozens of literals, and this
-                    // shrink loop dominates query time.
+                    // shrink loop dominates query time. Every shrink check
+                    // runs against the same warm tableau.
                     // The whole shrink (including its theory checks) is
                     // one `CoreShrink` span — matching how solver cost
                     // was profiled by hand before this instrumentation.
@@ -611,7 +730,10 @@ impl Smt {
                             candidate.drain(i..end);
                             let cs: Vec<_> = candidate.iter().map(|(_, _, c)| c.clone()).collect();
                             self.stats.theory_calls += 1;
-                            if matches!(lia.check(problem.num_arith_vars, &cs), LiaResult::Unsat) {
+                            if matches!(
+                                self.theory_check(session, problem.num_arith_vars, &cs),
+                                LiaResult::Unsat
+                            ) {
                                 core = candidate;
                             } else {
                                 i = end;
@@ -630,7 +752,8 @@ impl Smt {
                         let lemma: Option<Vec<(String, bool)>> = core
                             .iter()
                             .map(|(idx, value, _)| {
-                                atom_keys
+                                session
+                                    .atom_keys
                                     .get(*idx)
                                     .and_then(|k| k.clone())
                                     .map(|k| (k, *value))
@@ -652,105 +775,178 @@ impl Smt {
                     if blocking.is_empty() {
                         return SmtResult::Unsat;
                     }
-                    sat.add_clause(blocking);
+                    session.sat.add_clause(blocking);
                 }
             }
         }
         SmtResult::Unknown
     }
-}
 
-/// The sign-normalized relation of a comparison atom `d ⋈ 0` where `d` is
-/// the difference of the atom's two sides.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Rel0 {
-    Le,
-    Lt,
-    Ge,
-    Gt,
-}
-
-impl Rel0 {
-    fn flip(self) -> Rel0 {
-        match self {
-            Rel0::Le => Rel0::Ge,
-            Rel0::Lt => Rel0::Gt,
-            Rel0::Ge => Rel0::Le,
-            Rel0::Gt => Rel0::Lt,
-        }
+    /// Bumps the shared-MUS-encoding counter (called by the enumerator
+    /// once per enumeration that builds a shared session).
+    pub(crate) fn note_mus_shared_encoding(&mut self) {
+        self.stats.mus_shared_encodings += 1;
     }
 }
 
-/// Propositional total-order lemmas between comparison atoms that talk
-/// about the same difference expression (possibly with opposite sign).
-/// Returned as clauses over the atom literals.
-fn order_axioms(problem: &Encoded) -> Vec<Vec<Lit>> {
-    // Normalize every comparison atom to (difference expression, relation),
-    // keyed both by the difference and by its negation so that `x - y` and
-    // `y - x` atoms are related too.
-    let mut keys: Vec<(usize, String, String, Rel0)> = Vec::new();
+/// A reusable DPLL(T) session over one encoded problem: the loaded SAT
+/// solver, the warm LIA tableau (when the incremental path is on), and
+/// the portable atom keys for lemma persistence. Created by
+/// [`Smt::begin_session`], solved (repeatedly, under varying assumption
+/// sets) by [`Smt::solve_session`].
+#[derive(Debug)]
+pub(crate) struct EncodedSession {
+    sat: SatSolver,
+    /// `Some` = warm tableau shared by every theory check of the session;
+    /// `None` = from-scratch per check (the ablation baseline).
+    lia: Option<IncrementalLia>,
+    atom_keys: Vec<Option<String>>,
+}
+
+impl EncodedSession {
+    /// Registers a skeleton as *selectable*: returns a selector literal
+    /// that, when assumed true, enforces the skeleton (one-sided — the
+    /// selector left free or false enforces nothing). This is how the MUS
+    /// enumerator activates soft-constraint subsets against one shared
+    /// encoding instead of re-encoding each subset.
+    pub(crate) fn add_selectable(&mut self, skeleton: &Skeleton) -> Lit {
+        let selector = self.sat.new_var();
+        let lit = Tseitin { sat: &mut self.sat }.literal_for(skeleton);
+        self.sat.add_clause(vec![Lit::neg(selector), lit]);
+        Lit::pos(selector)
+    }
+}
+
+/// A comparison atom normalized to a one-sided bound over a canonical
+/// linear combination: `combo ≤ bound` when `upper`, `combo ≥ bound`
+/// otherwise, strict or not. The combination is sign- and
+/// scale-canonicalized (leading coefficient 1), so `x - y ≤ 0`,
+/// `y ≥ x`, and `2x - 2y < 4` all land in the same group and become
+/// propositionally comparable by bound alone.
+#[derive(Debug, Clone, Copy)]
+struct NormAtom {
+    idx: usize,
+    upper: bool,
+    strict: bool,
+    bound: Rational,
+}
+
+/// Normalizes one comparison atom; `None` for non-comparisons and for
+/// ground (variable-free) comparisons, which the encoder already folds.
+fn normalize_atom(
+    idx: usize,
+    op: synquid_logic::BinOp,
+    lhs: &crate::lia::LinExpr,
+    rhs: &crate::lia::LinExpr,
+) -> Option<(Vec<(crate::lia::VarId, Rational)>, NormAtom)> {
+    use synquid_logic::BinOp;
+    let diff = lhs.minus(rhs);
+    let (mut upper, strict) = match op {
+        BinOp::Le => (true, false),
+        BinOp::Lt => (true, true),
+        BinOp::Ge => (false, false),
+        BinOp::Gt => (false, true),
+        _ => return None,
+    };
+    // `diff ⋈ 0` is `Σ cᵢxᵢ ⋈ -k`. Dividing by the leading coefficient
+    // makes it 1; a negative leading coefficient flips the direction.
+    let lead = *diff.coeffs.values().next()?;
+    let scale = lead.recip();
+    if lead.is_negative() {
+        upper = !upper;
+    }
+    let combo: Vec<(crate::lia::VarId, Rational)> =
+        diff.coeffs.iter().map(|(v, c)| (*v, *c * scale)).collect();
+    let bound = -diff.constant * scale;
+    Some((
+        combo,
+        NormAtom {
+            idx,
+            upper,
+            strict,
+            bound,
+        },
+    ))
+}
+
+/// True when normalized atom `a` implies normalized atom `b`, both bounds
+/// in the *same* direction over the same combination: a tighter (or
+/// equally tight, no-weaker-strictness) bound implies a looser one. The
+/// rule is valid over the rationals, hence also over the integers.
+fn bound_implies(a: &NormAtom, b: &NormAtom) -> bool {
+    let tighter = if a.upper {
+        a.bound < b.bound
+    } else {
+        a.bound > b.bound
+    };
+    tighter || (a.bound == b.bound && (a.strict || !b.strict))
+}
+
+/// Above this many atoms over one linear combination, only same-bound
+/// pairs are related, keeping the axiom count from going quadratic on
+/// pathological queries. Synthesis queries stay far below this.
+const MAX_CROSS_BOUND_GROUP: usize = 64;
+
+/// Propositional bound-implication lemmas between comparison atoms over
+/// the same canonical linear combination — the theory-propagation layer.
+/// Subsumes the old same-difference total-order axioms (complementary,
+/// equivalent, strict→non-strict, totality, exclusivity pairs) and adds
+/// *cross-constant* propagation: once the SAT trail fixes `x ≤ 3`, unit
+/// propagation immediately derives `x ≤ 5`, `¬(x ≥ 4)`, … without a
+/// theory call. Returns the clauses plus the number of cross-constant
+/// clauses (the `bounds_propagated` statistic).
+fn bound_axioms(problem: &Encoded) -> (Vec<Vec<Lit>>, usize) {
+    let mut groups: std::collections::BTreeMap<Vec<(crate::lia::VarId, Rational)>, Vec<NormAtom>> =
+        std::collections::BTreeMap::new();
     for (idx, atom) in problem.atoms.iter().enumerate() {
         if let TheoryAtom::Compare(op, lhs, rhs) = atom {
-            let rel = match op {
-                synquid_logic::BinOp::Le => Rel0::Le,
-                synquid_logic::BinOp::Lt => Rel0::Lt,
-                synquid_logic::BinOp::Ge => Rel0::Ge,
-                synquid_logic::BinOp::Gt => Rel0::Gt,
-                _ => continue,
-            };
-            let key = format!("{:?}", lhs.minus(rhs));
-            let neg_key = format!("{:?}", rhs.minus(lhs));
-            keys.push((idx, key, neg_key, rel));
-        }
-    }
-    let mut clauses: Vec<Vec<Lit>> = Vec::new();
-    for i in 0..keys.len() {
-        for j in (i + 1)..keys.len() {
-            let (ai, key_i, _, rel_i) = &keys[i];
-            let rel_i = *rel_i;
-            let (aj, key_j, neg_key_j, rel_j) = &keys[j];
-            let rel_j = if key_i == key_j {
-                *rel_j
-            } else if key_i == neg_key_j {
-                rel_j.flip()
-            } else {
-                continue;
-            };
-            let pos = |a: usize| Lit::new(a, true);
-            let neg = |a: usize| Lit::new(a, false);
-            let (a, b) = (*ai, *aj);
-            match (rel_i, rel_j) {
-                // Complementary pairs: exactly one holds.
-                (Rel0::Le, Rel0::Gt)
-                | (Rel0::Gt, Rel0::Le)
-                | (Rel0::Lt, Rel0::Ge)
-                | (Rel0::Ge, Rel0::Lt) => {
-                    clauses.push(vec![pos(a), pos(b)]);
-                    clauses.push(vec![neg(a), neg(b)]);
-                }
-                // Equivalent atoms.
-                (x, y) if x == y => {
-                    clauses.push(vec![neg(a), pos(b)]);
-                    clauses.push(vec![neg(b), pos(a)]);
-                }
-                // Strict implies non-strict.
-                (Rel0::Le, Rel0::Lt) => clauses.push(vec![neg(b), pos(a)]),
-                (Rel0::Lt, Rel0::Le) => clauses.push(vec![neg(a), pos(b)]),
-                (Rel0::Ge, Rel0::Gt) => clauses.push(vec![neg(b), pos(a)]),
-                (Rel0::Gt, Rel0::Ge) => clauses.push(vec![neg(a), pos(b)]),
-                // Totality: d ≤ 0 ∨ d ≥ 0.
-                (Rel0::Le, Rel0::Ge) | (Rel0::Ge, Rel0::Le) => {
-                    clauses.push(vec![pos(a), pos(b)]);
-                }
-                // Exclusivity: ¬(d < 0 ∧ d > 0).
-                (Rel0::Lt, Rel0::Gt) | (Rel0::Gt, Rel0::Lt) => {
-                    clauses.push(vec![neg(a), neg(b)]);
-                }
-                _ => {}
+            if let Some((combo, norm)) = normalize_atom(idx, *op, lhs, rhs) {
+                groups.entry(combo).or_default().push(norm);
             }
         }
     }
-    clauses
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut cross_bound = 0usize;
+    let pos = |n: &NormAtom| Lit::new(n.idx, true);
+    let neg = |n: &NormAtom| Lit::new(n.idx, false);
+    for group in groups.values() {
+        let same_bound_only = group.len() > MAX_CROSS_BOUND_GROUP;
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                let (a, b) = (&group[i], &group[j]);
+                let cross = a.bound != b.bound;
+                if cross && same_bound_only {
+                    continue;
+                }
+                let before = clauses.len();
+                if a.upper == b.upper {
+                    // Same direction: tighter bound implies looser bound.
+                    if bound_implies(a, b) {
+                        clauses.push(vec![neg(a), pos(b)]);
+                    }
+                    if bound_implies(b, a) {
+                        clauses.push(vec![neg(b), pos(a)]);
+                    }
+                } else {
+                    let (u, l) = if a.upper { (a, b) } else { (b, a) };
+                    // Exclusivity: `combo ≤ b_u` and `combo ≥ b_l` cannot
+                    // both hold when the window [b_l, b_u] is empty.
+                    if l.bound > u.bound || (l.bound == u.bound && (u.strict || l.strict)) {
+                        clauses.push(vec![neg(u), neg(l)]);
+                    }
+                    // Totality: one of them must hold when together they
+                    // cover the whole line (¬upper ⟹ lower).
+                    if u.bound > l.bound || (u.bound == l.bound && (!u.strict || !l.strict)) {
+                        clauses.push(vec![pos(u), pos(l)]);
+                    }
+                }
+                if cross {
+                    cross_bound += clauses.len() - before;
+                }
+            }
+        }
+    }
+    (clauses, cross_bound)
 }
 
 /// Tseitin-style CNF conversion of skeletons into the SAT solver.

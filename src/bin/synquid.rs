@@ -210,7 +210,7 @@ fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
         );
         if let Some(stats) = &result.stats {
             print!(
-                ", {} enumerated, {} checked, {} pruned early, {} memo hits / {} misses, {} branches, {} matches, {} SMT queries ({} local hits, {} shared hits / {} misses), {} conflicts learned / {} replayed, {} assumptions dropped",
+                ", {} enumerated, {} checked, {} pruned early, {} memo hits / {} misses, {} branches, {} matches, {} SMT queries ({} local hits, {} shared hits / {} misses), {} conflicts learned / {} replayed, {} assumptions dropped, {} warm tableau starts ({} pivots saved), {} bounds propagated, {} shared MUS encodings",
                 stats.terms_enumerated,
                 stats.eterms_checked,
                 stats.pruned_early,
@@ -225,6 +225,10 @@ fn print_outcome(planned: &PlannedGoal, outcome: &GoalOutcome, opts: &Options) {
                 stats.smt_conflicts_learned,
                 stats.smt_conflicts_reused,
                 stats.assumptions_dropped,
+                stats.tableau_warm_starts,
+                stats.lia_pivots_saved,
+                stats.bounds_propagated,
+                stats.mus_shared_encodings,
             );
         }
         println!();
