@@ -5,7 +5,7 @@
 //! report table2 [--timeout SECS]
 //! report fig7   [--max-n N]   [--timeout SECS]
 //! report batch  [--jobs N]    [--timeout SECS] [--out PATH]
-//!               [--compare OLD.json] [--readme]
+//!               [--compare OLD.json] [--readme] [--warm-runs N]
 //! report trace  <TRACE.jsonl> [--perfetto OUT.json] [--top K]
 //! report solver-bench [--smoke] [--iters N] [--out PATH]
 //! report fuzz   <SUMMARY.json>
@@ -24,6 +24,11 @@
 //! goal got more than 1.5× slower, or a still-solved goal's LIA phase
 //! regressed past the same thresholds**; `--readme` prints the markdown
 //! corpus table embedded in the README's "Reproduction status" section.
+//! `--warm-runs N` replays the whole corpus N more times against the
+//! same resident session (schema v3 `resident` block: per-run session
+//! counters plus cold-vs-warm wall times) and **exits nonzero if any
+//! warm replay changed an outcome or failed to beat the cold run's
+//! validity hit rate** — the residency payoff and soundness gates.
 //!
 //! `trace` is offline forensics over a `--trace-out` JSONL artifact
 //! (e.g. the batch job's): per-goal budget attribution by rung × phase,
@@ -44,9 +49,9 @@
 
 use std::time::Duration;
 use synquid_bench::{
-    batch_report_json, compare_batch, corpus_markdown_table, format_fig7, format_fuzz_summary,
-    format_table1, format_table2, parse_batch_json, parse_fuzz_json, run_corpus_batch, run_fig7,
-    run_table1, run_table2,
+    batch_report_json_runs, compare_batch, corpus_markdown_table, format_fig7, format_fuzz_summary,
+    format_table1, format_table2, parse_batch_json, parse_fuzz_json, run_corpus_warm, run_fig7,
+    run_table1, run_table2, warm_outcomes_match,
 };
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
@@ -90,15 +95,17 @@ fn main() {
                 .and_then(|i| args.get(i + 1))
                 .cloned();
             let readme = args.iter().any(|a| a == "--readme");
+            let warm_runs = parse_flag(&args, "--warm-runs").unwrap_or(0) as usize;
             // Phase splits ride the artifact (schema v2): profile every
             // batch run so `--compare` can show where time moved.
             synquid_telemetry::set_profiling(true);
             eprintln!(
-                "== Batch: specs/ corpus through the engine ({jobs} worker(s), {}s/goal) ==",
+                "== Batch: specs/ corpus through the engine ({jobs} worker(s), {}s/goal, {warm_runs} warm replay(s)) ==",
                 timeout.as_secs()
             );
-            match run_corpus_batch(jobs, timeout) {
-                Ok(report) => {
+            match run_corpus_warm(jobs, timeout, warm_runs) {
+                Ok(runs) => {
+                    let report = &runs[0];
                     for o in &report.outcomes {
                         eprintln!(
                             "  {:<45} {}",
@@ -112,7 +119,7 @@ fn main() {
                             },
                         );
                     }
-                    let json = batch_report_json(&report, timeout);
+                    let json = batch_report_json_runs(&runs, timeout);
                     if let Err(e) = std::fs::write(&out, &json) {
                         eprintln!("failed to write {out}: {e}");
                         std::process::exit(1);
@@ -123,13 +130,43 @@ fn main() {
                         report.outcomes.len(),
                         100.0 * report.cache.hit_rate()
                     );
+                    // The residency gates: every warm replay must
+                    // reproduce the cold outcomes exactly, and its
+                    // cross-run validity hit rate must beat the cold
+                    // within-run rate (otherwise the resident session
+                    // carried nothing between runs).
+                    for (i, warm) in runs[1..].iter().enumerate() {
+                        let cold_rate = report.session.validity.hit_rate();
+                        let warm_rate = warm.session.validity.hit_rate();
+                        eprintln!(
+                            "warm run {}: wall {:.1}s vs cold {:.1}s, validity hit rate {:.1}% vs cold {:.1}%",
+                            i + 1,
+                            warm.wall_secs,
+                            report.wall_secs,
+                            100.0 * warm_rate,
+                            100.0 * cold_rate
+                        );
+                        if let Err(e) = warm_outcomes_match(report, warm) {
+                            eprintln!("warm run {} changed outcomes: {e}", i + 1);
+                            std::process::exit(1);
+                        }
+                        if warm_rate <= cold_rate {
+                            eprintln!(
+                                "warm run {} validity hit rate {:.4} did not beat the cold rate {:.4}",
+                                i + 1,
+                                warm_rate,
+                                cold_rate
+                            );
+                            std::process::exit(1);
+                        }
+                    }
                     if readme {
-                        println!("{}", corpus_markdown_table(&report, timeout));
+                        println!("{}", corpus_markdown_table(report, timeout));
                     }
                     if let Some(old_path) = compare {
                         match std::fs::read_to_string(&old_path) {
                             Ok(text) => {
-                                let deltas = compare_batch(&parse_batch_json(&text), &report);
+                                let deltas = compare_batch(&parse_batch_json(&text), report);
                                 println!(
                                     "== Deltas against {old_path} (schema v{}) ==\n{}",
                                     synquid_bench::batch_schema_version(&text),

@@ -22,7 +22,7 @@
 //! regressed to a timeout).
 
 use std::time::Duration;
-use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob};
+use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob, SynthesisSession};
 use synquid_lang::benchmarks::{sygus, table1, table2, Benchmark};
 pub use synquid_lang::runner::goal_label;
 use synquid_lang::runner::{run_goal, RunResult, Variant};
@@ -33,8 +33,10 @@ pub mod solver_bench;
 
 /// Version stamped into every BENCH JSON artifact this crate emits.
 /// History: absent = v1 (PR 2–5, no phase data); 2 = per-goal `phases`
-/// map and top-level `schema_version` (PR 6).
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// map and top-level `schema_version` (PR 6); 3 = the `resident` block
+/// (per-run session-layer counters for cold + warm replays of the
+/// corpus against one resident session, PR 10).
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// One row of the regenerated Table 1.
 #[derive(Debug, Clone)]
@@ -217,14 +219,9 @@ pub fn format_fig7(points: &[Fig7Point]) -> String {
 // Batch runs over the specs/ corpus (the PR-2 timing artifact)
 // ---------------------------------------------------------------------
 
-/// Runs every goal of the `specs/` corpus through the parallel engine.
-///
-/// Returns the deterministic [`BatchReport`] (outcomes in corpus order)
-/// or an error when the corpus is missing or a spec file fails to load.
-pub fn run_corpus_batch(
-    jobs: usize,
-    timeout: Duration,
-) -> Result<BatchReport, Box<dyn std::error::Error>> {
+/// Loads every goal of the `specs/` corpus as engine jobs, in corpus
+/// order, or errors when the corpus is missing or a spec fails to load.
+pub fn corpus_jobs() -> Result<Vec<GoalJob>, Box<dyn std::error::Error>> {
     let files = synquid_lang::spec::corpus_files();
     if files.is_empty() {
         return Err("specs/ corpus not found".into());
@@ -243,12 +240,84 @@ pub fn run_corpus_batch(
             batch.push(GoalJob::new(source.clone(), goal));
         }
     }
+    Ok(batch)
+}
+
+/// Runs every goal of the `specs/` corpus through the parallel engine,
+/// against the given (possibly already warm) session.
+///
+/// Returns the deterministic [`BatchReport`] (outcomes in corpus order)
+/// or an error when the corpus is missing or a spec file fails to load.
+pub fn run_corpus_batch(
+    jobs: usize,
+    timeout: Duration,
+    session: &SynthesisSession,
+) -> Result<BatchReport, Box<dyn std::error::Error>> {
     let engine = Engine::new(EngineConfig {
         jobs,
         timeout,
         ..EngineConfig::default()
     });
-    Ok(engine.run(batch))
+    Ok(engine.run_batch(corpus_jobs()?, session))
+}
+
+/// Runs the corpus `1 + warm_runs` times against one resident session:
+/// element 0 is the cold run, the rest replay with warm caches. Each
+/// report's `session` counters are that run's own traffic, so warm
+/// cross-run hit rates are directly comparable to the cold within-run
+/// rate.
+pub fn run_corpus_warm(
+    jobs: usize,
+    timeout: Duration,
+    warm_runs: usize,
+) -> Result<Vec<BatchReport>, Box<dyn std::error::Error>> {
+    let session = SynthesisSession::new();
+    let mut reports = Vec::with_capacity(1 + warm_runs);
+    for _ in 0..=warm_runs {
+        let engine = Engine::new(EngineConfig {
+            jobs,
+            timeout,
+            ..EngineConfig::default()
+        });
+        reports.push(engine.run_batch(corpus_jobs()?, &session));
+    }
+    Ok(reports)
+}
+
+/// Checks that a warm replay reproduced the cold run's outcomes exactly:
+/// same goals, same solved verdicts, same programs. A difference is the
+/// residency-soundness alarm CI keys on (a cached verdict or replayed
+/// lemma changed a result, which the session design promises never
+/// happens).
+pub fn warm_outcomes_match(cold: &BatchReport, warm: &BatchReport) -> Result<(), String> {
+    if cold.outcomes.len() != warm.outcomes.len() {
+        return Err(format!(
+            "goal count changed: {} cold vs {} warm",
+            cold.outcomes.len(),
+            warm.outcomes.len()
+        ));
+    }
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        let label = synquid_lang::runner::goal_label(&c.result.name, &c.source);
+        if c.result.name != w.result.name || c.source != w.source {
+            return Err(format!(
+                "goal order changed at {label}: warm has {}",
+                synquid_lang::runner::goal_label(&w.result.name, &w.source)
+            ));
+        }
+        if c.result.solved != w.result.solved {
+            return Err(format!(
+                "{label}: solved flipped {} -> {} under a warm session",
+                c.result.solved, w.result.solved
+            ));
+        }
+        if c.result.program != w.result.program {
+            return Err(format!(
+                "{label}: synthesized program changed under a warm session"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn json_escape(s: &str) -> String {
@@ -265,7 +334,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr9.json`
+/// Renders a [`BatchReport`] as the machine-readable `BENCH_pr10.json`
 /// artifact: per-goal timings, budget-ledger accounting (rungs run /
 /// cancelled / skipped / out of budget, budget consumed), the
 /// enumeration counters (terms enumerated, pruned early, memo hits),
@@ -275,9 +344,20 @@ fn json_escape(s: &str) -> String {
 /// counters. (Hand-rolled JSON: the workspace resolves offline, so no
 /// serde.)
 pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
+    batch_report_json_runs(std::slice::from_ref(report), timeout)
+}
+
+/// [`batch_report_json`] over a cold run plus its warm replays (as
+/// produced by [`run_corpus_warm`]; `runs[0]` is the cold run and
+/// supplies the per-goal body). Schema v3 adds the `resident` block:
+/// one entry per run with that run's session-layer counters (validity /
+/// enumeration / lemma traffic, namespaces), cold-vs-warm wall times,
+/// and whether every warm replay reproduced the cold outcomes.
+pub fn batch_report_json_runs(runs: &[BatchReport], timeout: Duration) -> String {
+    let report = &runs[0];
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"report\": \"BENCH_pr9\",\n");
+    out.push_str("  \"report\": \"BENCH_pr10\",\n");
     out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
     out.push_str(&format!("  \"timeout_secs\": {},\n", timeout.as_secs()));
@@ -287,6 +367,55 @@ pub fn batch_report_json(report: &BatchReport, timeout: Duration) -> String {
         "  \"validity_cache\": {{\"hits\": {}, \"misses\": {}, \"negative_hits\": {}, \"entries\": {}, \"interned_nodes\": {}, \"hit_rate\": {:.4}}},\n",
         c.hits, c.misses, c.negative_hits, c.entries, c.interned_nodes, c.hit_rate()
     ));
+    out.push_str("  \"resident\": {\n");
+    out.push_str(&format!("    \"warm_runs\": {},\n", runs.len() - 1));
+    let outcomes_match = runs[1..]
+        .iter()
+        .all(|warm| warm_outcomes_match(report, warm).is_ok());
+    out.push_str(&format!("    \"outcomes_match\": {outcomes_match},\n"));
+    out.push_str(&format!(
+        "    \"cold_wall_secs\": {:.3},\n",
+        report.wall_secs
+    ));
+    let warm_min = runs[1..]
+        .iter()
+        .map(|r| r.wall_secs)
+        .fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "    \"warm_min_wall_secs\": {},\n",
+        if runs.len() > 1 {
+            format!("{warm_min:.3}")
+        } else {
+            "null".to_string()
+        }
+    ));
+    out.push_str("    \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let s = &run.session;
+        let solved = run.outcomes.iter().filter(|o| o.result.solved).count();
+        out.push_str(&format!(
+            "      {{\"warm\": {}, \"wall_secs\": {:.3}, \"solved\": {solved}, \"validity_hits\": {}, \"validity_misses\": {}, \"validity_hit_rate\": {:.4}, \"validity_entries\": {}, \"validity_evicted\": {}, \"terms_interned\": {}, \"terms_evicted\": {}, \"enum_hits\": {}, \"enum_misses\": {}, \"enum_hit_rate\": {:.4}, \"enum_evicted\": {}, \"lemmas_absorbed\": {}, \"lemmas_resident\": {}, \"namespaces\": {}}}{}\n",
+            i > 0,
+            run.wall_secs,
+            s.validity.hits,
+            s.validity.misses,
+            s.validity.hit_rate(),
+            s.validity.entries,
+            s.validity.entries_evicted,
+            s.validity.terms_interned,
+            s.validity.terms_evicted,
+            s.enumeration.hits,
+            s.enumeration.misses,
+            s.enumeration.hit_rate(),
+            s.enumeration.evicted,
+            s.lemmas.absorbed,
+            s.lemmas.resident,
+            s.namespaces,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
     out.push_str("  \"goals\": [\n");
     for (i, o) in report.outcomes.iter().enumerate() {
         let r = &o.result;
@@ -788,14 +917,19 @@ mod tests {
         // time out instantly, but every corpus goal must appear in the
         // JSON with its portfolio accounting.
         let timeout = Duration::from_millis(1);
-        let report = run_corpus_batch(2, timeout).expect("the specs/ corpus loads");
+        let session = SynthesisSession::new();
+        let report = run_corpus_batch(2, timeout, &session).expect("the specs/ corpus loads");
         assert!(
             report.outcomes.len() >= 16,
             "expected at least 16 corpus goals, got {}",
             report.outcomes.len()
         );
         let json = batch_report_json(&report, timeout);
-        assert!(json.contains("\"report\": \"BENCH_pr9\""));
+        assert!(json.contains("\"report\": \"BENCH_pr10\""));
+        assert!(json.contains("\"resident\": {"));
+        assert!(json.contains("\"warm_runs\": 0"));
+        assert!(json.contains("\"warm_min_wall_secs\": null"));
+        assert!(json.contains("\"namespaces\""));
         assert!(json.contains("\"tableau_warm_starts\""));
         assert!(json.contains("\"bounds_propagated\""));
         assert!(json.contains("\"mus_shared_encodings\""));
@@ -832,6 +966,26 @@ mod tests {
         assert!(deltas.text.contains("0 goal(s) newly solved"));
         assert_eq!(deltas.newly_solved, 0);
         assert_eq!(deltas.regressed, 0, "self-comparison cannot regress");
+    }
+
+    #[test]
+    fn warm_replay_artifact_carries_per_run_resident_counters() {
+        // 1 ms budgets keep this a structure test: nothing solves cold
+        // or warm, so the outcome-identity check trivially holds, and
+        // the artifact must carry one resident entry per run.
+        let timeout = Duration::from_millis(1);
+        let runs = run_corpus_warm(2, timeout, 1).expect("the specs/ corpus loads");
+        assert_eq!(runs.len(), 2);
+        warm_outcomes_match(&runs[0], &runs[1]).expect("1 ms runs agree");
+        let json = batch_report_json_runs(&runs, timeout);
+        assert!(json.contains("\"warm_runs\": 1"));
+        assert!(json.contains("\"warm\": false"));
+        assert!(json.contains("\"warm\": true"));
+        assert!(json.contains("\"outcomes_match\": true"));
+        assert!(!json.contains("\"warm_min_wall_secs\": null"));
+        // The per-goal body is the cold run's; the parser still sees
+        // exactly one entry per goal.
+        assert_eq!(parse_batch_json(&json).len(), runs[0].outcomes.len());
     }
 
     #[test]

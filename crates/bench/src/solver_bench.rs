@@ -227,7 +227,10 @@ mod tests {
         assert_eq!(results.len(), fixtures::all().len());
         let json = solver_report_json(&results);
         assert!(json.contains("\"report\": \"BENCH_solver\""));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains(&format!(
+            "\"schema_version\": {}",
+            crate::BENCH_SCHEMA_VERSION
+        )));
         assert!(json.contains("take_guard_abduction"));
         assert!(json.contains("double_branch_mus"));
         let table = format_results(&results);

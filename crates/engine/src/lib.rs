@@ -16,12 +16,16 @@
 //!   time budget and cancellation tokens; the lowest rung that solves
 //!   wins and cancels its deeper siblings, so the reported program is
 //!   the one the sequential ladder would have found;
-//! * **shared validity cache** — every worker's SMT backend is attached
-//!   to one [`SharedValidityCache`](synquid_solver::SharedValidityCache)
-//!   (hash-consed `(antecedent, consequent)` keys, see
-//!   `synquid_logic::intern`), so solver verdicts are reused across
-//!   rungs, goals, and threads; hit/miss/negative counters surface in
-//!   [`BatchReport::cache`] and per-goal
+//! * **resident sessions** ([`session`]) — all cross-goal state (the
+//!   [`SharedValidityCache`](synquid_solver::SharedValidityCache) with
+//!   its hash-consed `(antecedent, consequent)` keys, the enumeration
+//!   memo, and the theory-lemma pool) is owned by a long-lived
+//!   [`SynthesisSession`], namespaced by component-library fingerprint
+//!   and epoch-GC'd per batch; every worker's SMT backend borrows from
+//!   its goal's namespace, so solver verdicts are reused across rungs,
+//!   goals, threads, and — for a resident session — whole batch runs;
+//!   hit/miss/negative counters surface in [`BatchReport::cache`],
+//!   [`BatchReport::session`], and per-goal
 //!   [`SynthesisStats`](synquid_core::SynthesisStats).
 //!
 //! ## Example
@@ -58,6 +62,10 @@
 
 pub mod portfolio;
 pub mod scheduler;
+pub mod session;
 
 pub use portfolio::{Portfolio, RungOutcome, DEFAULT_RUNGS};
 pub use scheduler::{BatchReport, Engine, EngineConfig, GoalJob, GoalOutcome};
+pub use session::{
+    LibraryFingerprint, SessionCaches, SessionLimits, SessionStats, SynthesisSession, WarmStart,
+};

@@ -4,9 +4,11 @@
 //! Work items are queued goal-major (every rung of goal 0, then every
 //! rung of goal 1, …), so a single worker reproduces the sequential
 //! iterative-deepening ladder exactly, while `N` workers overlap both
-//! *across* goals and *within* a goal's portfolio. All workers share one
-//! [`SharedValidityCache`], so a subtyping obligation proven for one
-//! rung (or one goal) is never re-proven by another.
+//! *across* goals and *within* a goal's portfolio. All workers borrow
+//! their caches from a [`SynthesisSession`] namespace (keyed by the
+//! goal's library fingerprint), so a subtyping obligation proven for one
+//! rung (or one goal) is never re-proven by another — and, for resident
+//! sessions, not even by a later batch.
 //!
 //! Each claim is budgeted through the goal's [`Portfolio`] ledger: the
 //! attempt reserves a bounded slice of the goal's remaining budget, is
@@ -24,12 +26,13 @@
 //! wall-clock finish order.
 
 use crate::portfolio::{Portfolio, RungOutcome, DEFAULT_RUNGS};
-use std::collections::VecDeque;
+use crate::session::{LibraryFingerprint, SessionCaches, SessionStats, SynthesisSession};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use synquid_core::{Goal, SolverContext, SynthesisConfig};
 use synquid_lang::runner::{run_goal_in_context, RunResult};
-use synquid_solver::{SharedValidityCache, ValidityCacheStats};
+use synquid_solver::{LemmaSeed, ValidityCacheStats};
 use synquid_telemetry::{events, events::Event};
 
 /// Configuration of a batch run.
@@ -113,8 +116,13 @@ pub struct GoalOutcome {
 pub struct BatchReport {
     /// Per-goal outcomes, in job-submission order.
     pub outcomes: Vec<GoalOutcome>,
-    /// Validity-cache counters accumulated across the whole batch.
+    /// Validity-cache counters this run contributed (summed over the
+    /// namespaces it touched). Against a warm session, `hits` includes
+    /// cross-run hits on entries proven by earlier batches.
     pub cache: ValidityCacheStats,
+    /// All session-layer counters this run contributed (validity,
+    /// enumeration, lemmas), measured before the end-of-batch GC epoch.
+    pub session: SessionStats,
     /// Wall-clock duration of the batch.
     pub wall_secs: f64,
     /// Worker threads used.
@@ -146,7 +154,25 @@ impl Engine {
         Engine { config }
     }
 
-    /// Runs a batch of goals to completion and aggregates the results.
+    /// Runs a batch of goals against a throwaway cold session —
+    /// equivalent to [`Self::run_batch`] on a fresh
+    /// [`SynthesisSession`] that is dropped afterwards. Prefer
+    /// `run_batch` anywhere a session outlives one batch.
+    pub fn run(&self, jobs: Vec<GoalJob>) -> BatchReport {
+        self.run_batch(jobs, &SynthesisSession::new())
+    }
+
+    /// Runs a batch of goals to completion against a resident session
+    /// and aggregates the results.
+    ///
+    /// The session supplies every piece of cross-goal state: per-goal
+    /// cache namespaces are resolved by library fingerprint at batch
+    /// start (one frozen lemma seed per namespace, so results cannot
+    /// depend on worker scheduling), and one GC epoch is closed when
+    /// the batch ends. The report's counters are this run's traffic
+    /// only ([`SessionStats::since`] against the start-of-batch
+    /// snapshot), so warm hit rates are directly comparable to cold
+    /// ones.
     ///
     /// The same batch produces the same solutions whatever `jobs` is,
     /// *timeouts aside*: each `(goal, rung)` search is deterministic,
@@ -158,16 +184,37 @@ impl Engine {
     /// solve comfortably inside the budget, or exhaust their search
     /// space, or are hopeless at every rung, report identically at any
     /// worker count; `tests/determinism.rs` pins this for the corpus.
-    pub fn run(&self, jobs: Vec<GoalJob>) -> BatchReport {
+    /// A warm session changes timing only, never results: cached
+    /// verdicts are pure functions of their keys, and replayed lemmas
+    /// are implied by the encoding of any query containing their atoms.
+    pub fn run_batch(&self, jobs: Vec<GoalJob>, session: &SynthesisSession) -> BatchReport {
         let start = Instant::now();
+        let before = session.stats();
         let rungs = if self.config.rungs.is_empty() {
             DEFAULT_RUNGS.to_vec()
         } else {
             self.config.rungs.clone()
         };
         let workers = self.config.jobs.max(1);
-        let cache = SharedValidityCache::new();
-        let enum_cache = synquid_core::EnumerationCache::new();
+
+        // Resolve each goal's cache namespace up front and freeze one
+        // lemma seed per namespace: every run of this batch replays the
+        // same seed, while fresh conflicts flow into the resident store
+        // for *future* batches only.
+        let mut namespaces: BTreeMap<LibraryFingerprint, (SessionCaches, LemmaSeed)> =
+            BTreeMap::new();
+        let goal_namespaces: Vec<LibraryFingerprint> = jobs
+            .iter()
+            .map(|job| {
+                let fingerprint = LibraryFingerprint::of_env(&job.goal.env);
+                namespaces.entry(fingerprint).or_insert_with(|| {
+                    let caches = session.caches_for(fingerprint);
+                    let seed = caches.lemmas.snapshot();
+                    (caches, seed)
+                });
+                fingerprint
+            })
+            .collect();
 
         let mut queue = VecDeque::new();
         let mut portfolios = Vec::with_capacity(jobs.len());
@@ -188,7 +235,7 @@ impl Engine {
         let workers = workers.min(jobs.len().max(1) * rungs.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| self.worker(&shared, &jobs, &cache, &enum_cache));
+                scope.spawn(|| self.worker(&shared, &jobs, &namespaces, &goal_namespaces));
             }
         });
 
@@ -229,9 +276,15 @@ impl Engine {
                 }
             })
             .collect();
+        // Measure this run's traffic before GC mutates the gauges, then
+        // close the batch's epoch: entries untouched for two more
+        // batches will be evicted.
+        let run_stats = session.stats().since(&before);
+        session.advance_epoch();
         BatchReport {
             outcomes,
-            cache: cache.stats(),
+            cache: run_stats.validity,
+            session: run_stats,
             wall_secs: start.elapsed().as_secs_f64(),
             jobs: workers,
         }
@@ -242,8 +295,8 @@ impl Engine {
         &self,
         shared: &Mutex<Shared>,
         jobs: &[GoalJob],
-        cache: &SharedValidityCache,
-        enum_cache: &synquid_core::EnumerationCache,
+        namespaces: &BTreeMap<LibraryFingerprint, (SessionCaches, LemmaSeed)>,
+        goal_namespaces: &[LibraryFingerprint],
     ) {
         // Consecutive pops that all ended in a starved park (see below).
         let mut parked_streak = 0usize;
@@ -329,10 +382,13 @@ impl Engine {
 
             let mut config = self.config.base.clone().with_bounds(app_depth, match_depth);
             config.timeout = slice;
+            let (caches, seed) = &namespaces[&goal_namespaces[goal_idx]];
             let ctx = SolverContext {
-                cache: Some(cache.clone()),
+                cache: Some(caches.validity.clone()),
                 cancel: token,
-                enum_cache: enum_cache.clone(),
+                enum_cache: caches.enumeration.clone(),
+                lemma_seed: Some(seed.clone()),
+                lemma_sink: Some(caches.lemmas.clone()),
             };
             events::emit(|| {
                 Event::new("rung_start")

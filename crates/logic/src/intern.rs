@@ -19,7 +19,8 @@ use crate::term::{BinOp, Term, UnOp, UnknownId};
 use std::collections::HashMap;
 
 /// Identifier of an interned term. Ids are dense (`0..len`) and stable
-/// for the lifetime of the [`Interner`] that produced them.
+/// until the next [`Interner::compact`], which renumbers survivors and
+/// hands the caller a remap table for its own id-keyed structures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TermId(u32);
 
@@ -48,11 +49,66 @@ enum Node {
     App(String, Vec<TermId>, Sort),
 }
 
+impl Node {
+    /// Visits each child id of this node once.
+    fn for_each_child(&self, mut f: impl FnMut(TermId)) {
+        match self {
+            Node::IntLit(_) | Node::BoolLit(_) | Node::Var(_, _) => {}
+            Node::SetLit(_, items) => items.iter().copied().for_each(&mut f),
+            Node::Unknown(_, pending) => pending.iter().for_each(|(_, v)| f(*v)),
+            Node::Unary(_, t) => f(*t),
+            Node::Binary(_, a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Node::Ite(c, t, e) => {
+                f(*c);
+                f(*t);
+                f(*e);
+            }
+            Node::App(_, args, _) => args.iter().copied().for_each(&mut f),
+        }
+    }
+
+    /// Rewrites each child id in place.
+    fn map_children(&mut self, mut f: impl FnMut(TermId) -> TermId) {
+        match self {
+            Node::IntLit(_) | Node::BoolLit(_) | Node::Var(_, _) => {}
+            Node::SetLit(_, items) => items.iter_mut().for_each(|i| *i = f(*i)),
+            Node::Unknown(_, pending) => pending.iter_mut().for_each(|(_, v)| *v = f(*v)),
+            Node::Unary(_, t) => *t = f(*t),
+            Node::Binary(_, a, b) => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Node::Ite(c, t, e) => {
+                *c = f(*c);
+                *t = f(*t);
+                *e = f(*e);
+            }
+            Node::App(_, args, _) => args.iter_mut().for_each(|i| *i = f(*i)),
+        }
+    }
+}
+
 /// A hash-consing table for refinement terms.
+///
+/// The table grows monotonically between [`Interner::compact`] calls;
+/// a resident owner (the validity cache of a long-lived session) calls
+/// `compact` at epoch boundaries with the ids its memo still references,
+/// and every node unreachable from those roots is dropped. The
+/// [`total_interned`](Interner::total_interned) /
+/// [`total_evicted`](Interner::total_evicted) counter pair is monotone
+/// across compactions, so `total_interned - total_evicted == len()`
+/// always holds and a fleet dashboard can watch for leaks.
 #[derive(Debug, Default)]
 pub struct Interner {
     ids: HashMap<Node, TermId>,
     nodes: Vec<Node>,
+    /// Distinct nodes ever created (monotone across compactions).
+    total_interned: usize,
+    /// Nodes dropped by compactions (monotone).
+    total_evicted: usize,
 }
 
 impl Interner {
@@ -69,6 +125,17 @@ impl Interner {
     /// True if nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Distinct nodes ever created by this interner, including nodes
+    /// since evicted by [`compact`](Interner::compact).
+    pub fn total_interned(&self) -> usize {
+        self.total_interned
+    }
+
+    /// Nodes dropped by [`compact`](Interner::compact) calls so far.
+    pub fn total_evicted(&self) -> usize {
+        self.total_evicted
     }
 
     /// Interns a term, returning its id. Structurally equal terms map to
@@ -107,6 +174,7 @@ impl Interner {
         let id = TermId(u32::try_from(self.nodes.len()).expect("interner overflow"));
         self.nodes.push(node.clone());
         self.ids.insert(node, id);
+        self.total_interned += 1;
         id
     }
 
@@ -145,6 +213,47 @@ impl Interner {
             ),
         };
         self.ids.get(&node).copied()
+    }
+
+    /// Drops every node unreachable from `roots`, renumbering the
+    /// survivors densely while preserving their relative order.
+    ///
+    /// Returns the remap table indexed by *old* id: `remap[old.index()]`
+    /// is the surviving node's new id, or `None` if it was evicted. The
+    /// caller owns every id-keyed side table and must re-key it through
+    /// the remap; child links inside the interner are rewritten here.
+    /// Children always precede their parents (interning is bottom-up),
+    /// so a root keeps its entire subtree alive.
+    pub fn compact(&mut self, roots: impl IntoIterator<Item = TermId>) -> Vec<Option<TermId>> {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = roots.into_iter().map(|r| r.index()).collect();
+        while let Some(i) = stack.pop() {
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            self.nodes[i].for_each_child(|c| stack.push(c.index()));
+        }
+        let mut remap: Vec<Option<TermId>> = vec![None; self.nodes.len()];
+        let mut new_nodes: Vec<Node> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let new_id = TermId(u32::try_from(new_nodes.len()).expect("interner overflow"));
+            remap[i] = Some(new_id);
+            let mut renumbered = node.clone();
+            renumbered.map_children(|c| remap[c.index()].expect("child of live node is live"));
+            new_nodes.push(renumbered);
+        }
+        self.total_evicted += self.nodes.len() - new_nodes.len();
+        self.ids = new_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), TermId(i as u32)))
+            .collect();
+        self.nodes = new_nodes;
+        remap
     }
 
     /// Rebuilds the term behind an id.
@@ -254,6 +363,47 @@ mod tests {
         let len = interner.len();
         assert_eq!(interner.find(&x().plus(y()).le(Term::int(9))), None);
         assert_eq!(interner.len(), len);
+    }
+
+    #[test]
+    fn compact_keeps_roots_and_their_subtrees() {
+        let mut interner = Interner::new();
+        let keep = interner.intern(&x().plus(y()).le(Term::int(3)));
+        let drop = interner.intern(&x().eq(Term::int(42)));
+        let before = interner.len();
+        let remap = interner.compact([keep]);
+        // The kept root and its whole subtree survive; the `= 42` spine
+        // dies (x is shared with the survivor and stays).
+        let new_keep = remap[keep.index()].expect("root survives");
+        assert_eq!(remap[drop.index()], None);
+        assert!(interner.len() < before);
+        assert_eq!(
+            interner.resolve(new_keep),
+            x().plus(y()).le(Term::int(3)),
+            "surviving ids resolve to the same terms"
+        );
+        // Re-interning the survivor is a no-op; the dropped term re-interns
+        // as new nodes.
+        assert_eq!(interner.intern(&x().plus(y()).le(Term::int(3))), new_keep);
+        assert_eq!(
+            interner.total_interned() - interner.total_evicted(),
+            interner.len(),
+            "counter pair accounts for every node"
+        );
+    }
+
+    #[test]
+    fn compact_counters_are_monotone() {
+        let mut interner = Interner::new();
+        interner.intern(&x());
+        interner.intern(&y());
+        assert_eq!(interner.total_interned(), 2);
+        interner.compact([]);
+        assert!(interner.is_empty());
+        assert_eq!(interner.total_interned(), 2);
+        assert_eq!(interner.total_evicted(), 2);
+        interner.intern(&x());
+        assert_eq!(interner.total_interned(), 3);
     }
 
     #[test]

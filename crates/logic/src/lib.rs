@@ -41,6 +41,7 @@ pub mod intern;
 pub mod pretty;
 pub mod qualifier;
 pub mod simplify;
+pub mod snapshot;
 pub mod sort;
 pub mod term;
 

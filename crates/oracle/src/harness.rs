@@ -22,7 +22,7 @@ use crate::rng::Rng;
 use crate::shrink;
 use std::time::Duration;
 use synquid_core::{Evaluator, Goal, Program, SynthesisConfig};
-use synquid_engine::{Engine, EngineConfig, GoalJob};
+use synquid_engine::{Engine, EngineConfig, GoalJob, SynthesisSession};
 use synquid_types::RType;
 
 /// Harness configuration.
@@ -190,11 +190,17 @@ fn ablations(cfg: &FuzzConfig) -> Vec<(String, EngineConfig)> {
     ]
 }
 
-/// Synthesizes `goal` under `engine_cfg` and returns the result AST and
-/// pretty form, or `None` if unsolved.
-fn synthesize(goal: &Goal, source: &str, engine_cfg: EngineConfig) -> Option<(Program, String)> {
+/// Synthesizes `goal` under `engine_cfg`, borrowing the given session's
+/// caches, and returns the result AST and pretty form, or `None` if
+/// unsolved.
+fn synthesize(
+    goal: &Goal,
+    source: &str,
+    engine_cfg: EngineConfig,
+    session: &SynthesisSession,
+) -> Option<(Program, String)> {
     let engine = Engine::new(engine_cfg);
-    let report = engine.run(vec![GoalJob::new(source, goal.clone())]);
+    let report = engine.run_batch(vec![GoalJob::new(source, goal.clone())], session);
     let outcome = report.outcomes.into_iter().next()?;
     let ast = outcome.result.ast?;
     let pretty = outcome.result.program.unwrap_or_else(|| ast.to_string());
@@ -344,8 +350,24 @@ fn replay(
 }
 
 /// Fuzzes one goal end to end: synthesize, generate, run, check, shrink
-/// — and optionally re-run the whole thing under ablations.
+/// — and optionally re-run the whole thing under ablations. Creates a
+/// throwaway session; `synquid fuzz` shares one across its whole corpus
+/// via [`fuzz_goal_in`].
 pub fn fuzz_goal(goal: &Goal, source: &str, cfg: &FuzzConfig) -> GoalFuzzReport {
+    fuzz_goal_in(goal, source, cfg, &SynthesisSession::new())
+}
+
+/// [`fuzz_goal`] borrowing a caller-owned session for the baseline
+/// synthesis, so consecutive goals of one fuzz run warm each other's
+/// caches. Ablated re-syntheses deliberately get fresh isolated sessions
+/// each: a differential run must measure the ablation itself, not a
+/// baseline-warmed cache standing in for the disabled optimization.
+pub fn fuzz_goal_in(
+    goal: &Goal,
+    source: &str,
+    cfg: &FuzzConfig,
+    session: &SynthesisSession,
+) -> GoalFuzzReport {
     let Some((goal_args, ret)) = first_order_signature(goal) else {
         return GoalFuzzReport::skipped(goal, source, "higher-order signature");
     };
@@ -357,7 +379,7 @@ pub fn fuzz_goal(goal: &Goal, source: &str, cfg: &FuzzConfig) -> GoalFuzzReport 
         timeout: cfg.timeout,
         ..EngineConfig::default()
     };
-    let Some((program, pretty)) = synthesize(goal, source, baseline_cfg) else {
+    let Some((program, pretty)) = synthesize(goal, source, baseline_cfg, session) else {
         return GoalFuzzReport::skipped(goal, source, "synthesis failed or timed out");
     };
 
@@ -397,7 +419,7 @@ pub fn fuzz_goal(goal: &Goal, source: &str, cfg: &FuzzConfig) -> GoalFuzzReport 
     let mut differential = Vec::new();
     if cfg.differential {
         for (label, engine_cfg) in ablations(cfg) {
-            match synthesize(goal, source, engine_cfg) {
+            match synthesize(goal, source, engine_cfg, &SynthesisSession::new()) {
                 None => differential.push(DifferentialReport {
                     ablation: label,
                     solved: false,

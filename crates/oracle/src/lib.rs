@@ -39,7 +39,8 @@ pub use check::Checker;
 pub use cval::CVal;
 pub use generate::{GenStats, Generator};
 pub use harness::{
-    fuzz_goal, summary_json, CaseVerdict, DifferentialReport, FuzzConfig, GoalFuzzReport, Violation,
+    fuzz_goal, fuzz_goal_in, summary_json, CaseVerdict, DifferentialReport, FuzzConfig,
+    GoalFuzzReport, Violation,
 };
 pub use interp::{conjuncts, nu_env, LogicEnv, LogicVal, MeasureInterp, OracleError};
 pub use rng::Rng;

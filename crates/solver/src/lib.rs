@@ -35,6 +35,7 @@
 pub mod cache;
 pub mod cancel;
 pub mod encode;
+pub mod lemmas;
 pub mod lia;
 pub mod mus;
 pub mod rational;
@@ -43,6 +44,7 @@ pub mod smt;
 
 pub use cache::{NormalizedQuery, SharedValidityCache, ValidityCacheStats};
 pub use cancel::CancellationToken;
+pub use lemmas::{Lemma, LemmaSeed, LemmaStoreStats, SharedLemmaStore};
 pub use mus::{enumerate_mus, enumerate_mus_smt, MusConfig};
 pub use rational::Rational;
 pub use sat::{Lit, SatResult, SatSolver};

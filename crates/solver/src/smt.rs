@@ -26,7 +26,7 @@ use synquid_logic::Term;
 use synquid_telemetry::{events, events::Event, Phase, PhaseProfile};
 
 /// Result of an SMT query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SmtResult {
     /// The formula is satisfiable.
     Sat,
@@ -144,6 +144,15 @@ pub struct Smt {
     /// persistence (the from-scratch baseline the parity tests compare
     /// against).
     lemmas: Option<LemmaStore>,
+    /// Lemmas inherited from a resident session, frozen at the batch
+    /// boundary: replayed exactly like privately learned ones, but
+    /// identical for every solver of the run (so results cannot depend
+    /// on worker scheduling). Cleared together with `lemmas` when
+    /// incrementality is disabled.
+    lemma_seed: Option<crate::lemmas::LemmaSeed>,
+    /// Where freshly learned conflicts are published for *future* runs
+    /// of the owning session (never read back within this run).
+    lemma_sink: Option<crate::lemmas::SharedLemmaStore>,
     /// When true (the default), each DPLL(T) query keeps one warm
     /// [`IncrementalLia`] tableau across all of its theory checks
     /// (including core shrinking and MUS subset oracles). When false,
@@ -227,9 +236,26 @@ impl Smt {
             cancel: None,
             interrupted: false,
             lemmas: Some(LemmaStore::default()),
+            lemma_seed: None,
+            lemma_sink: None,
             incremental_lia: true,
             mus_memo: Some(HashMap::new()),
         }
+    }
+
+    /// Attaches the resident lemma state of a session: a frozen seed to
+    /// replay from and the shared store where fresh conflicts are
+    /// published for future runs. Ignored (and cleared) when
+    /// [`set_incremental`](Smt::set_incremental) later disables
+    /// incrementality — ablated runs must neither benefit from nor feed
+    /// the resident pool.
+    pub fn attach_lemma_session(
+        &mut self,
+        seed: crate::lemmas::LemmaSeed,
+        sink: crate::lemmas::SharedLemmaStore,
+    ) {
+        self.lemma_seed = Some(seed);
+        self.lemma_sink = Some(sink);
     }
 
     /// Looks up a memoized MUS enumeration.
@@ -279,6 +305,10 @@ impl Smt {
     pub fn set_incremental(&mut self, incremental: bool) {
         self.lemmas = incremental.then(LemmaStore::default);
         self.mus_memo = incremental.then(HashMap::new);
+        if !incremental {
+            self.lemma_seed = None;
+            self.lemma_sink = None;
+        }
     }
 
     /// Enables or disables the warm incremental-LIA tableau (on by
@@ -548,25 +578,49 @@ impl Smt {
                     by_key.entry(key).or_insert(idx);
                 }
             }
-            // Probe the store by this problem's atom keys (each lemma is
-            // indexed under exactly one bucket — its smallest key — so no
-            // lemma is visited twice): cost proportional to the query's
-            // atoms, not to the whole accumulated store.
+            // Maps a lemma's literals onto this problem's atom indices;
+            // `None` if some atom is absent (the lemma does not apply).
+            let clause_of = |lemma: &[(String, bool)]| -> Option<Vec<Lit>> {
+                lemma
+                    .iter()
+                    .map(|(key, value)| by_key.get(key.as_str()).map(|&idx| Lit::new(idx, !*value)))
+                    .collect()
+            };
+            // Probe the run-private store by this problem's atom keys
+            // (each lemma is indexed under exactly one bucket — its
+            // smallest key — so no lemma is visited twice): cost
+            // proportional to the query's atoms, not to the whole
+            // accumulated store.
             let mut replayed: Vec<Vec<Lit>> = Vec::new();
             for first_key in by_key.keys() {
                 let Some(ids) = store.index.get(*first_key) else {
                     continue;
                 };
-                'lemma: for &id in ids {
-                    let lemma = &store.lemmas[id];
-                    let mut clause = Vec::with_capacity(lemma.len());
-                    for (key, value) in lemma {
-                        match by_key.get(key.as_str()) {
-                            Some(&idx) => clause.push(Lit::new(idx, !*value)),
-                            None => continue 'lemma,
+                for &id in ids {
+                    if let Some(clause) = clause_of(&store.lemmas[id]) {
+                        replayed.push(clause);
+                    }
+                }
+            }
+            // Then the session seed (lemmas inherited from earlier runs).
+            // A seeded lemma can never coincide with a run-learned one:
+            // learning requires the SAT core to violate it, which the
+            // already-asserted replay clause makes impossible. Replayed
+            // seed lemmas are reported back to the resident store so the
+            // epoch GC sees them as live.
+            if let Some(seed) = &self.lemma_seed {
+                let mut touched: Vec<&crate::lemmas::Lemma> = Vec::new();
+                for first_key in by_key.keys() {
+                    for &id in seed.ids_for_first_key(first_key) {
+                        let lemma = seed.lemma(id);
+                        if let Some(clause) = clause_of(lemma) {
+                            replayed.push(clause);
+                            touched.push(lemma);
                         }
                     }
-                    replayed.push(clause);
+                }
+                if let (Some(sink), false) = (&self.lemma_sink, touched.is_empty()) {
+                    sink.touch_all(touched);
                 }
             }
             // HashMap iteration order is nondeterministic; the clause set
@@ -759,12 +813,19 @@ impl Smt {
                                     .map(|k| (k, *value))
                             })
                             .collect();
-                        if let Some(lemma) = lemma {
-                            if !lemma.is_empty() && store.insert(lemma) {
+                        if let Some(mut lemma) = lemma {
+                            lemma.sort();
+                            if !lemma.is_empty() && store.insert(lemma.clone()) {
                                 self.stats.conflicts_learned += 1;
                                 events::emit(|| {
                                     Event::new("lemma_learn").uint("size", core.len() as u64)
                                 });
+                                // Publish for future runs of the owning
+                                // session (this run keeps replaying from
+                                // its private store and frozen seed).
+                                if let Some(sink) = &self.lemma_sink {
+                                    sink.absorb(lemma);
+                                }
                             }
                         }
                     }

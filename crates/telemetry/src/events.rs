@@ -33,14 +33,16 @@ use std::time::Instant;
 ///   `search`, `node` on candidate/guard/match/cache events); the
 ///   `node_finish` kind (status, term, per-node cache provenance, and an
 ///   optional `phases` split); `check_step` kinds from the round-trip
-///   checker; `rung` indices on the rung/ledger lifecycle events.
+///   checker; `rung` indices on the rung/ledger lifecycle events;
+/// * 3 — the `session_epoch` kind (resident-session GC boundaries, with
+///   per-layer eviction counts).
 ///
 /// Versioning rules (see `docs/ARCHITECTURE.md`): *adding* a field to an
 /// existing kind or adding a new kind bumps this constant but keeps old
 /// consumers working (consumers must tolerate unknown fields); renaming
 /// or removing a field or kind is a breaking change and additionally
 /// renames the event kind.
-pub const EVENT_SCHEMA_VERSION: u64 = 2;
+pub const EVENT_SCHEMA_VERSION: u64 = 3;
 
 const MODE_OFF: u8 = 0;
 const MODE_JSON: u8 = 1;

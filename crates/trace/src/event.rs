@@ -48,6 +48,8 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "cache_miss",
     "lemma_learn",
     "lemma_replay",
+    // Resident sessions: one event per GC epoch boundary.
+    "session_epoch",
 ];
 
 /// One parsed trace event: the envelope plus the payload fields in

@@ -19,9 +19,20 @@
 //!                         cache counters
 //!   --trace-out <PATH>    write structured JSONL trace events to PATH
 //!                         ("-" for stderr)
+//!   --warm-runs <N>       replay the batch N more times against the same
+//!                         resident session (prints cold-vs-warm wall time
+//!                         and cross-run hit rates)
+//!   --save-session <PATH> serialize the session's durable caches on exit
+//!   --load-session <PATH> warm-start from a session snapshot (stale or
+//!                         corrupt snapshots fall back to a cold start)
 //!   --list                list the goals without synthesizing
 //!   -h, --help            print this help
 //! ```
+//!
+//! Every entry point — the batch runner, `explain`, and `fuzz` — borrows
+//! its solver state (interner, validity cache, enumeration memo, lemma
+//! store) from one [`SynthesisSession`] rather than constructing caches
+//! of its own; see `synquid_engine::session` for the residency rules.
 //!
 //! `synquid fuzz` is the runtime soundness oracle: it synthesizes each
 //! selected goal through the full pipeline, runs the result on seeded
@@ -57,7 +68,9 @@
 
 use std::process::ExitCode;
 use std::time::Duration;
-use synquid::engine::{Engine, EngineConfig, GoalJob, GoalOutcome, DEFAULT_RUNGS};
+use synquid::engine::{
+    Engine, EngineConfig, GoalJob, GoalOutcome, SynthesisSession, DEFAULT_RUNGS,
+};
 use synquid::telemetry;
 
 const USAGE: &str = "\
@@ -84,6 +97,12 @@ Options:
                         cache counters
   --trace-out <PATH>    write structured JSONL trace events to PATH
                         (\"-\" for stderr)
+  --warm-runs <N>       replay the batch N more times against the same
+                        resident session (cold-vs-warm wall time and
+                        cross-run hit rates)
+  --save-session <PATH> serialize the session's durable caches on exit
+  --load-session <PATH> warm-start from a session snapshot (stale or
+                        corrupt snapshots fall back to a cold start)
   --list                list the goals without synthesizing
   -h, --help            print this help
 
@@ -101,6 +120,9 @@ struct Options {
     only: Vec<String>,
     stats: bool,
     trace_out: Option<String>,
+    warm_runs: usize,
+    save_session: Option<String>,
+    load_session: Option<String>,
     list: bool,
 }
 
@@ -114,6 +136,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         only: Vec::new(),
         stats: false,
         trace_out: None,
+        warm_runs: 0,
+        save_session: None,
+        load_session: None,
         list: false,
     };
     let mut it = args.iter();
@@ -157,6 +182,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--goal" => opts.only.push(value("--goal")?),
             "--stats" => opts.stats = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--warm-runs" => {
+                opts.warm_runs = value("--warm-runs")?
+                    .parse()
+                    .map_err(|_| "--warm-runs needs a non-negative integer".to_string())?
+            }
+            "--save-session" => opts.save_session = Some(value("--save-session")?),
+            "--load-session" => opts.load_session = Some(value("--load-session")?),
             "--list" => opts.list = true,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             file => opts.files.push(file.to_string()),
@@ -305,7 +337,10 @@ fn explain_main(args: &[String]) -> ExitCode {
         timeout,
         ..EngineConfig::default()
     });
-    let report = engine.run(vec![GoalJob::new(file.clone(), goal)]);
+    // `explain` borrows a session like every other entry point; one goal
+    // means it stays cold, but the ownership seam is uniform.
+    let session = SynthesisSession::new();
+    let report = engine.run_batch(vec![GoalJob::new(file.clone(), goal)], &session);
     let outcome = &report.outcomes[0];
 
     let text = telemetry::events::take_trace_buffer().unwrap_or_default();
@@ -360,7 +395,7 @@ fn explain_main(args: &[String]) -> ExitCode {
 /// `synquid fuzz`: the runtime soundness oracle over synthesized
 /// programs.
 fn fuzz_main(args: &[String]) -> ExitCode {
-    use synquid::oracle::{fuzz_goal, summary_json, CaseVerdict, FuzzConfig};
+    use synquid::oracle::{fuzz_goal_in, summary_json, CaseVerdict, FuzzConfig};
 
     let mut cfg = FuzzConfig::default();
     let mut cfg_cases = 100usize;
@@ -465,6 +500,10 @@ fn fuzz_main(args: &[String]) -> ExitCode {
     telemetry::set_profiling(true);
     telemetry::events::init_trace_buffer();
 
+    // One resident session for the whole fuzz run: consecutive goals'
+    // baseline syntheses warm each other's caches (ablated re-syntheses
+    // inside the harness stay isolated).
+    let session = SynthesisSession::new();
     let mut reports = Vec::new();
     let mut matched_goal_filter = false;
     for (file, label) in &paths {
@@ -480,7 +519,7 @@ fn fuzz_main(args: &[String]) -> ExitCode {
                 continue;
             }
             matched_goal_filter = true;
-            let report = fuzz_goal(&goal, label, &cfg);
+            let report = fuzz_goal_in(&goal, label, &cfg, &session);
             match &report.skipped {
                 Some(reason) => {
                     println!(
@@ -695,7 +734,31 @@ fn main() -> ExitCode {
         rungs,
         ..EngineConfig::default()
     });
-    let report = engine.run(jobs);
+    // All cross-goal solver state lives in one resident session; the
+    // engine (and any warm replays) only borrow it.
+    let session = SynthesisSession::new();
+    if let Some(path) = &opts.load_session {
+        // Best-effort by design: a missing, stale, or corrupt snapshot
+        // must degrade to a cold start, never an error.
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let warm = session.warm_start(&text);
+                if warm.cold {
+                    eprintln!("note: session snapshot {path} is stale or corrupt; starting cold");
+                } else if opts.stats {
+                    eprintln!(
+                        "session warm start from {path}: {} validity entries, {} lemma(s), {} namespace(s)",
+                        warm.validity_entries, warm.lemmas, warm.namespaces
+                    );
+                }
+            }
+            Err(e) => eprintln!("note: cannot read session snapshot {path} ({e}); starting cold"),
+        }
+    }
+    let report = engine.run_batch(jobs.clone(), &session);
+    let warm_reports: Vec<_> = (0..opts.warm_runs)
+        .map(|_| engine.run_batch(jobs.clone(), &session))
+        .collect();
 
     // Deterministic aggregation: results print grouped by file, in
     // submission order, however the workers interleaved. Every file
@@ -733,6 +796,16 @@ fn main() -> ExitCode {
             cache.entries,
             cache.interned_nodes,
         );
+        let s = &report.session;
+        println!(
+            "session: {} namespace(s), enumeration {} hits / {} misses ({:.1}% hit rate), {} lemma(s) resident ({} absorbed this run)",
+            s.namespaces,
+            s.enumeration.hits,
+            s.enumeration.misses,
+            100.0 * s.enumeration.hit_rate(),
+            s.lemmas.resident,
+            s.lemmas.absorbed,
+        );
         // Aggregate phase split: the main thread's parse/desugar time
         // plus every goal's synthesis-side profile.
         let mut aggregate = profile_base
@@ -746,6 +819,41 @@ fn main() -> ExitCode {
         if !aggregate.is_empty() {
             println!("batch phases (self time, summed across threads):");
             print!("{}", aggregate.table("  "));
+        }
+    }
+    // Warm replays against the now-resident session: same outcomes,
+    // warmer caches. An outcome change is a residency-soundness bug and
+    // fails the run.
+    for (i, warm) in warm_reports.iter().enumerate() {
+        let ws = &warm.session;
+        println!(
+            "warm run {}: {:.2}s wall (cold {:.2}s), validity {:.1}% hit rate (cold {:.1}%), enumeration {:.1}% (cold {:.1}%)",
+            i + 1,
+            warm.wall_secs,
+            report.wall_secs,
+            100.0 * ws.validity.hit_rate(),
+            100.0 * report.session.validity.hit_rate(),
+            100.0 * ws.enumeration.hit_rate(),
+            100.0 * report.session.enumeration.hit_rate(),
+        );
+        let mismatch = report.outcomes.len() != warm.outcomes.len()
+            || report.outcomes.iter().zip(&warm.outcomes).any(|(c, w)| {
+                c.result.solved != w.result.solved || c.result.program != w.result.program
+            });
+        if mismatch {
+            eprintln!(
+                "error: warm run {} changed outcomes against the cold run",
+                i + 1
+            );
+            any_failed = true;
+        }
+    }
+    if let Some(path) = &opts.save_session {
+        if let Err(e) = std::fs::write(path, session.serialize()) {
+            eprintln!("error: cannot write session snapshot to {path}: {e}");
+            any_failed = true;
+        } else if opts.stats {
+            eprintln!("session snapshot written to {path}");
         }
     }
     telemetry::events::flush_trace();

@@ -20,8 +20,10 @@
 //! * [`lang`] — component libraries, the benchmark suite, spec-corpus
 //!   helpers, and runners;
 //! * [`engine`] — the parallel execution layer: multi-goal scheduler,
-//!   portfolio search over deepening rungs, and the shared validity
-//!   cache;
+//!   portfolio search over deepening rungs, and the resident
+//!   [`SynthesisSession`](engine::SynthesisSession) owning all
+//!   cross-goal caches (validity, enumeration, lemmas) keyed by
+//!   component-library fingerprint;
 //! * [`trace`] — search forensics over `--trace-out` JSONL streams:
 //!   derivation-tree reconstruction, per-goal timeout attribution, and
 //!   Chrome trace-event export;
@@ -104,10 +106,10 @@ pub mod prelude {
     pub use synquid_core::{
         Goal, Program, SolverContext, SynthesisConfig, SynthesisError, Synthesizer,
     };
-    pub use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob};
+    pub use synquid_engine::{BatchReport, Engine, EngineConfig, GoalJob, SynthesisSession};
     pub use synquid_lang::runner::{run_goal, RunResult, Variant};
     pub use synquid_logic::{Qualifier, Sort, Term};
-    pub use synquid_oracle::{fuzz_goal, FuzzConfig, GoalFuzzReport};
+    pub use synquid_oracle::{fuzz_goal, fuzz_goal_in, FuzzConfig, GoalFuzzReport};
     pub use synquid_parser::{load_file, load_str, SpecOutput};
     pub use synquid_solver::{SharedValidityCache, Smt};
     pub use synquid_types::{BaseType, Environment, RType, Schema};
